@@ -1,0 +1,30 @@
+//! Experiment `fig2`: the per-category balance time series.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fistful_bench::Workbench;
+use fistful_flow::balance_series;
+use fistful_sim::SimConfig;
+use std::sync::OnceLock;
+
+fn workbench() -> &'static Workbench {
+    static WB: OnceLock<Workbench> = OnceLock::new();
+    WB.get_or_init(|| Workbench::build(SimConfig::tiny()))
+}
+
+fn bench_series(c: &mut Criterion) {
+    let wb = workbench();
+    let chain = wb.eco.chain.resolved();
+    let clustering = wb.cluster_with(wb.refined_config());
+    let dir = wb.directory_for(&clustering);
+    let mut g = c.benchmark_group("balance");
+    g.throughput(Throughput::Elements(chain.tx_count() as u64));
+    for every in [1u64, 24, 144] {
+        g.bench_function(format!("series_every_{every}"), |b| {
+            b.iter(|| std::hint::black_box(balance_series(chain, &dir, every)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_series);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Ablation `abl-chain`: chain substrate throughput — block validation,
+//! UTXO application, consensus encode/decode round-trips.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fistful_chain::address::Address;
+use fistful_chain::amount::Amount;
+use fistful_chain::builder::{BlockBuilder, TransactionBuilder};
+use fistful_chain::chainstate::ChainState;
+use fistful_chain::encode::{Decodable, Encodable};
+use fistful_chain::params::Params;
+use fistful_chain::transaction::OutPoint;
+
+/// A chain with one funding block and a block of `n` chained spends.
+fn spend_block(n: usize) -> (ChainState, fistful_chain::block::Block) {
+    let params = Params::regtest();
+    let mut chain = ChainState::new(params.clone());
+    let miner = Address::from_seed(0);
+    let b0 = BlockBuilder::new(&params)
+        .coinbase_to(miner, 0, chain.next_subsidy())
+        .build_on(&chain);
+    let mut prev = (b0.transactions[0].txid(), 0u32);
+    chain.accept_block(b0).unwrap();
+
+    let mut value = Amount::from_btc(50);
+    let mut txs = Vec::with_capacity(n);
+    for i in 0..n {
+        value = Amount::from_sat(value.to_sat() - 1000);
+        let tx = TransactionBuilder::new()
+            .input(OutPoint { txid: prev.0, vout: prev.1 })
+            .output(Address::from_seed(i as u64 + 1), value)
+            .build_unsigned();
+        prev = (tx.txid(), 0);
+        txs.push(tx);
+    }
+    let fees = Amount::from_sat(1000 * n as u64);
+    let block = BlockBuilder::new(&params)
+        .coinbase_to(miner, 1, chain.next_subsidy().checked_add(fees).unwrap())
+        .txs(txs)
+        .build_on(&chain);
+    (chain, block)
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chain");
+    g.sample_size(30);
+    let n = 500;
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("validate_block_500tx", |b| {
+        let (chain, block) = spend_block(n);
+        b.iter(|| {
+            fistful_chain::validate::check_block(
+                std::hint::black_box(&block),
+                &chain.tip_hash(),
+                chain.utxos(),
+                1,
+                chain.params(),
+            )
+            .unwrap()
+        })
+    });
+    g.bench_function("accept_block_500tx", |b| {
+        b.iter_batched(
+            || spend_block(n),
+            |(mut chain, block)| chain.accept_block(block).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("encoding");
+    let (_, block) = spend_block(500);
+    let bytes = block.encode_to_vec();
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("encode_block_500tx", |b| b.iter(|| block.encode_to_vec()));
+    g.bench_function("decode_block_500tx", |b| {
+        b.iter(|| fistful_chain::block::Block::decode_all(std::hint::black_box(&bytes)).unwrap())
+    });
+    let tx = &block.transactions[1];
+    g.bench_function("txid", |b| b.iter(|| std::hint::black_box(tx).txid()));
+    g.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("merkle");
+    let txids: Vec<_> = (0..1000u64)
+        .map(|i| fistful_crypto::sha256::sha256d(&i.to_le_bytes()))
+        .collect();
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("root_1000", |b| {
+        b.iter(|| fistful_chain::merkle::merkle_root(std::hint::black_box(&txids)))
+    });
+    g.finish();
+}
+
+fn bench_signed_tx(c: &mut Criterion) {
+    let mut g = c.benchmark_group("signed_tx");
+    g.sample_size(20);
+    let key = fistful_crypto::keys::KeyPair::from_seed(9);
+    let addr = Address::from_public_key(key.public());
+    let tx = TransactionBuilder::new()
+        .input(OutPoint { txid: fistful_crypto::sha256::sha256d(b"prev"), vout: 0 })
+        .output(Address::from_seed(5), Amount::from_btc(1))
+        .build_signed(|_| key);
+    g.bench_function("sign_input", |b| {
+        b.iter_batched(
+            || tx.clone(),
+            |mut tx| tx.sign_input(0, &key),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("verify_input", |b| {
+        b.iter(|| assert!(tx.verify_input(0, std::hint::black_box(&addr))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_validation, bench_encoding, bench_merkle, bench_signed_tx);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Ablation `abl-crypto`: throughput of the from-scratch crypto substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fistful_crypto::keys::KeyPair;
+use fistful_crypto::ripemd160::ripemd160;
+use fistful_crypto::sha256::{hash160, sha256, sha256d};
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hashing");
+    let data = vec![0xabu8; 1024];
+    g.throughput(Throughput::Bytes(1024));
+    g.bench_function("sha256_1k", |b| b.iter(|| sha256(std::hint::black_box(&data))));
+    g.bench_function("sha256d_1k", |b| b.iter(|| sha256d(std::hint::black_box(&data))));
+    g.bench_function("ripemd160_1k", |b| b.iter(|| ripemd160(std::hint::black_box(&data))));
+    g.bench_function("hash160_1k", |b| b.iter(|| hash160(std::hint::black_box(&data))));
+    g.finish();
+}
+
+fn bench_ecdsa(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ecdsa");
+    g.sample_size(20);
+    let kp = KeyPair::from_seed(42);
+    let msg = sha256d(b"bench message");
+    let sig = kp.sign(&msg);
+    g.bench_function("keypair_derive", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            KeyPair::from_seed(std::hint::black_box(seed))
+        })
+    });
+    g.bench_function("sign", |b| b.iter(|| kp.sign(std::hint::black_box(&msg))));
+    g.bench_function("verify", |b| {
+        b.iter(|| {
+            assert!(kp
+                .public()
+                .verify(std::hint::black_box(&msg), std::hint::black_box(&sig)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hashing, bench_ecdsa);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Experiment `sec4-h1`: Heuristic 1 clustering over the simulated chain —
+//! sequential vs parallel, plus the naming pass.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fistful_bench::{build_tagdb, Workbench};
+use fistful_core::heuristic1;
+use fistful_core::naming::name_clusters;
+use fistful_core::union_find::{AtomicUnionFind, UnionFind};
+use fistful_sim::SimConfig;
+use std::sync::OnceLock;
+
+fn workbench() -> &'static Workbench {
+    static WB: OnceLock<Workbench> = OnceLock::new();
+    WB.get_or_init(|| Workbench::build(SimConfig::tiny()))
+}
+
+fn bench_h1(c: &mut Criterion) {
+    let wb = workbench();
+    let chain = wb.eco.chain.resolved();
+    let mut g = c.benchmark_group("heuristic1");
+    g.sample_size(30);
+    g.throughput(Throughput::Elements(chain.tx_count() as u64));
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut uf = UnionFind::new(chain.address_count());
+            heuristic1::apply(chain, &mut uf);
+            std::hint::black_box(uf.component_count())
+        })
+    });
+    for threads in [2usize, 4] {
+        g.bench_function(format!("parallel_{threads}"), |b| {
+            b.iter(|| {
+                let uf = AtomicUnionFind::new(chain.address_count());
+                heuristic1::apply_parallel(chain, &uf, threads);
+                std::hint::black_box(uf.find(0))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_naming(c: &mut Criterion) {
+    let wb = workbench();
+    let db = build_tagdb(&wb.eco);
+    let mut g = c.benchmark_group("naming");
+    g.bench_function("name_clusters", |b| {
+        b.iter(|| std::hint::black_box(name_clusters(&wb.h1, &db)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_h1, bench_naming);
+criterion_main!(benches);

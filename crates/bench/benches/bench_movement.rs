@@ -1,0 +1,57 @@
+//! Experiment `tab3`: theft taint walks and movement classification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fistful_bench::Workbench;
+use fistful_core::change::{self, ChangeConfig};
+use fistful_flow::{classify_movements, track_theft};
+use fistful_sim::SimConfig;
+use std::sync::OnceLock;
+
+fn workbench() -> &'static Workbench {
+    static WB: OnceLock<Workbench> = OnceLock::new();
+    WB.get_or_init(|| Workbench::build(SimConfig::default()))
+}
+
+fn loot_outputs(wb: &Workbench) -> Vec<(u32, u32)> {
+    let chain = wb.eco.chain.resolved();
+    let mut loot = Vec::new();
+    for theft in &wb.eco.script_report.thefts {
+        let ids: Vec<u32> = theft
+            .loot_addresses
+            .iter()
+            .filter_map(|a| chain.address_id(a))
+            .collect();
+        for txid in &theft.theft_txids {
+            if let Some((t, rtx)) = chain.tx_by_txid(txid) {
+                for (v, o) in rtx.outputs.iter().enumerate() {
+                    if ids.contains(&o.address) {
+                        loot.push((t, v as u32));
+                    }
+                }
+            }
+        }
+    }
+    loot
+}
+
+fn bench_taint(c: &mut Criterion) {
+    let wb = workbench();
+    let chain = wb.eco.chain.resolved();
+    let labels = change::identify(chain, &ChangeConfig::naive());
+    let loot = loot_outputs(wb);
+    assert!(!loot.is_empty());
+
+    let mut g = c.benchmark_group("movement");
+    g.bench_function("classify_all_thefts", |b| {
+        b.iter(|| std::hint::black_box(classify_movements(chain, &loot, &labels, 5_000)))
+    });
+    let clustering = wb.cluster_with(wb.refined_config());
+    let dir = wb.directory_for(&clustering);
+    g.bench_function("track_theft_full", |b| {
+        b.iter(|| std::hint::black_box(track_theft(chain, &loot, &labels, &dir, 5_000)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_taint);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Experiment `tab2`: peeling-chain traversal and service attribution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fistful_bench::Workbench;
+use fistful_core::change::{self, ChangeConfig};
+use fistful_flow::{follow_chain, service_arrivals, FollowStrategy};
+use fistful_sim::SimConfig;
+use std::sync::OnceLock;
+
+fn workbench() -> &'static Workbench {
+    static WB: OnceLock<Workbench> = OnceLock::new();
+    WB.get_or_init(|| Workbench::build(SimConfig::default()))
+}
+
+fn bench_follow(c: &mut Criterion) {
+    let wb = workbench();
+    let chain = wb.eco.chain.resolved();
+    let labels = change::identify(chain, &ChangeConfig::naive());
+    let sr = wb.eco.script_report.silk_road.as_ref().expect("script on");
+    let starts: Vec<u32> = sr
+        .chain_first_hops
+        .iter()
+        .filter_map(|t| chain.tx_by_txid(t).map(|(id, _)| id))
+        .collect();
+    assert!(!starts.is_empty());
+
+    let mut g = c.benchmark_group("peel");
+    g.bench_function("follow_3_chains_100_hops", |b| {
+        b.iter(|| {
+            for &s in &starts {
+                std::hint::black_box(follow_chain(
+                    chain,
+                    &labels,
+                    s,
+                    100,
+                    FollowStrategy::LargestFallback,
+                ));
+            }
+        })
+    });
+
+    let chains: Vec<_> = starts
+        .iter()
+        .map(|&s| follow_chain(chain, &labels, s, 100, FollowStrategy::LargestFallback))
+        .collect();
+    let clustering = wb.cluster_with(wb.refined_config());
+    let dir = wb.directory_for(&clustering);
+    g.bench_function("service_arrivals", |b| {
+        b.iter(|| std::hint::black_box(service_arrivals(&chains, &dir)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_follow);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Experiment `fig1`: gossip-network propagation at several network sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fistful_chain::address::Address;
+use fistful_chain::amount::Amount;
+use fistful_chain::builder::TransactionBuilder;
+use fistful_chain::transaction::OutPoint;
+use fistful_net::{Network, NetworkConfig};
+
+fn tx(tag: u64) -> fistful_chain::transaction::Transaction {
+    TransactionBuilder::new()
+        .input(OutPoint::null())
+        .output(Address::from_seed(tag), Amount::from_sat(70_000_000))
+        .build_unsigned()
+}
+
+fn bench_flood(c: &mut Criterion) {
+    let mut g = c.benchmark_group("propagation");
+    g.sample_size(20);
+    for nodes in [50usize, 200, 500] {
+        g.throughput(Throughput::Elements(nodes as u64));
+        g.bench_with_input(BenchmarkId::new("tx_flood", nodes), &nodes, |b, &n| {
+            b.iter(|| {
+                let mut net = Network::new(NetworkConfig {
+                    nodes: n,
+                    ..NetworkConfig::default()
+                });
+                let txid = net.submit_tx(0, tx(1));
+                net.run_to_quiescence();
+                let prop = net.propagation(&txid).unwrap();
+                assert_eq!(prop.reached, n);
+                std::hint::black_box(prop.full_coverage_time())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_flood);
+criterion_main!(benches);

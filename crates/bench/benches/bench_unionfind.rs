@@ -1,0 +1,79 @@
+//! Ablation `abl-uf`: union-find variants — sequential (path halving +
+//! rank) vs the lock-free atomic variant at 1/2/4 threads.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fistful_core::union_find::{AtomicUnionFind, UnionFind};
+
+const N: usize = 100_000;
+
+fn edges() -> Vec<(u32, u32)> {
+    // Pseudo-random union workload with chains and rejoins.
+    (0..N as u32)
+        .map(|i| (i, i.wrapping_mul(2654435761) % N as u32))
+        .collect()
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("union_find");
+    let es = edges();
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut uf = UnionFind::new(N);
+            for &(x, y) in &es {
+                uf.union(x, y);
+            }
+            std::hint::black_box(uf.component_count())
+        })
+    });
+    g.bench_function("atomic_1thread", |b| {
+        b.iter(|| {
+            let uf = AtomicUnionFind::new(N);
+            for &(x, y) in &es {
+                uf.union(x, y);
+            }
+            std::hint::black_box(uf.find(0))
+        })
+    });
+    for threads in [2usize, 4] {
+        g.bench_function(format!("atomic_{threads}threads"), |b| {
+            b.iter(|| {
+                let uf = AtomicUnionFind::new(N);
+                let chunk = es.len().div_ceil(threads);
+                std::thread::scope(|s| {
+                    for part in es.chunks(chunk) {
+                        let uf = &uf;
+                        s.spawn(move || {
+                            for &(x, y) in part {
+                                uf.union(x, y);
+                            }
+                        });
+                    }
+                });
+                std::hint::black_box(uf.find(0))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut g = c.benchmark_group("union_find_query");
+    let es = edges();
+    let mut uf = UnionFind::new(N);
+    for &(x, y) in &es {
+        uf.union(x, y);
+    }
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("assignments", |b| {
+        b.iter_batched(
+            || uf.clone(),
+            |mut uf| std::hint::black_box(uf.assignments()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,489 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! Usage: `repro [--scale tiny|default|paper] [experiment]`
+//! where `experiment` is one of `fig1 tab1 h1 fp super h2 fig2 tab2 tab3`
+//! (default: `all`).
+
+use fistful_bench::{btc_round, Workbench};
+use fistful_chain::amount::Amount;
+use fistful_core::change::{self, ChangeConfig, BLOCKS_PER_DAY, BLOCKS_PER_WEEK};
+use fistful_core::fp;
+use fistful_core::metrics::{amplification, score_change_labels, score_clustering};
+use fistful_core::naming::name_clusters;
+use fistful_flow::{balance_series, follow_chain, service_arrivals, track_theft, FollowStrategy};
+use fistful_net::{Network, NetworkConfig};
+use fistful_sim::{Category, SimConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = "default".to_string();
+    let mut experiments: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => scale = it.next().cloned().unwrap_or(scale),
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.push("all".into());
+    }
+    let cfg = match scale.as_str() {
+        "tiny" => SimConfig::tiny(),
+        "paper" => SimConfig::paper_scale(),
+        _ => SimConfig::default(),
+    };
+
+    let run_all = experiments.iter().any(|e| e == "all");
+    let want = |name: &str| run_all || experiments.iter().any(|e| e == name);
+
+    // Figure 1 needs no economy.
+    if want("fig1") {
+        fig1();
+    }
+
+    if ["tab1", "h1", "fp", "super", "h2", "fig2", "tab2", "tab3"]
+        .iter()
+        .any(|e| want(e))
+    {
+        eprintln!(
+            "# building economy (scale={scale}, blocks={}, users={}) ...",
+            cfg.blocks, cfg.users
+        );
+        let t0 = std::time::Instant::now();
+        let wb = Workbench::build(cfg);
+        eprintln!(
+            "# economy ready in {:.1?}: {} txs, {} addresses",
+            t0.elapsed(),
+            wb.eco.chain.resolved().tx_count(),
+            wb.eco.chain.resolved().address_count()
+        );
+        if want("tab1") {
+            tab1(&wb);
+        }
+        if want("h1") {
+            h1_stats(&wb);
+        }
+        if want("fp") {
+            fp_ladder(&wb);
+        }
+        if want("super") {
+            super_cluster(&wb);
+        }
+        if want("h2") {
+            h2_stats(&wb);
+        }
+        if want("fig2") {
+            fig2(&wb);
+        }
+        if want("tab2") {
+            tab2(&wb);
+        }
+        if want("tab3") {
+            tab3(&wb);
+        }
+    }
+}
+
+/// Figure 1: how a transaction propagates, gets mined, and settles.
+fn fig1() {
+    println!("\n== Figure 1: transaction broadcast, mining, confirmation ==");
+    let mut net = Network::new(NetworkConfig::default());
+    let miners = net.miners();
+    let user = 0u32;
+    let merchant = 1u32;
+
+    // (3)-(4): the user forms and broadcasts the payment (0.7 BTC, as in
+    // the figure).
+    let tx = fistful_chain::builder::TransactionBuilder::new()
+        .input(fistful_chain::transaction::OutPoint::null())
+        .output(
+            fistful_chain::address::Address::from_seed(42),
+            Amount::from_sat(70_000_000),
+        )
+        .build_unsigned();
+    let txid = net.submit_tx(user, tx.clone());
+    net.run_to_quiescence();
+    let tx_prop = net.propagation(&txid).unwrap();
+
+    // (5): the first miner to see it mines a block containing it.
+    let miner = *miners.first().expect("some miners");
+    let t_miner = tx_prop.node_times[miner as usize].unwrap();
+    let mut block = fistful_chain::block::Block {
+        header: fistful_chain::block::BlockHeader {
+            version: 1,
+            prev_hash: fistful_crypto::hash::Hash256::ZERO,
+            merkle_root: fistful_crypto::hash::Hash256::ZERO,
+            time: 1,
+            nonce: 0,
+        },
+        transactions: vec![tx],
+    };
+    block.header.merkle_root = block.computed_merkle_root();
+    // (6): the block floods; the merchant accepts the payment.
+    let hash = net.submit_block(miner, block);
+    net.run_to_quiescence();
+    let block_prop = net.propagation(&hash).unwrap();
+    let t_merchant = block_prop.node_times[merchant as usize].unwrap();
+
+    println!(
+        "nodes={} out_degree={} latency={}..{}ms",
+        net.config.nodes,
+        net.config.out_degree,
+        net.config.latency_lo / 1000,
+        net.config.latency_hi / 1000
+    );
+    println!("t=0.000s        user broadcasts tx {txid}");
+    println!(
+        "t={:.3}s        first miner (node {miner}) has the tx",
+        t_miner as f64 / 1e6
+    );
+    for pct in [50, 90, 100] {
+        let t = tx_prop.coverage_time(pct as f64 / 100.0).unwrap();
+        println!("tx reaches {pct:>3}% of nodes after {:.3}s", t as f64 / 1e6);
+    }
+    for pct in [50, 90, 100] {
+        let t = block_prop.coverage_time(pct as f64 / 100.0).unwrap();
+        println!("block reaches {pct:>3}% of nodes after {:.3}s", t as f64 / 1e6);
+    }
+    println!(
+        "t={:.3}s        merchant (node {merchant}) sees the confirming block",
+        t_merchant as f64 / 1e6
+    );
+    println!("messages delivered: {}", net.messages_delivered);
+}
+
+/// Table 1: the service roster, by category, with probe interaction counts.
+fn tab1(wb: &Workbench) {
+    println!("\n== Table 1: services interacted with, by category ==");
+    let mut per_cat: std::collections::BTreeMap<&str, Vec<&str>> = Default::default();
+    for s in &wb.eco.services {
+        per_cat.entry(s.category.label()).or_default().push(&s.name);
+    }
+    let probe_txs = wb.eco.probe_observations.len();
+    for (cat, services) in &per_cat {
+        println!("[{cat}] ({} services)", services.len());
+        let mut line = String::new();
+        for s in services {
+            if line.len() + s.len() > 72 {
+                println!("  {line}");
+                line.clear();
+            }
+            if !line.is_empty() {
+                line.push_str(", ");
+            }
+            line.push_str(s);
+        }
+        if !line.is_empty() {
+            println!("  {line}");
+        }
+    }
+    println!(
+        "probe observations: {probe_txs} (hand-tagged addresses: {})",
+        wb.hand_tagged()
+    );
+}
+
+/// §4.1: Heuristic 1 statistics.
+fn h1_stats(wb: &Workbench) {
+    println!("\n== §4.1: Heuristic 1 (multi-input) clustering ==");
+    let chain = wb.eco.chain.resolved();
+    let cs = fistful_chain::stats::chain_stats(chain);
+    println!(
+        "self-change transactions: {:.1}% of spends (paper: 23% in H1 2013)",
+        cs.self_change_rate() * 100.0
+    );
+    println!(
+        "multi-input transactions: {} | address reuse: {:.1}%",
+        cs.multi_input,
+        cs.reuse_rate() * 100.0
+    );
+    let gt = wb.eco.gt.to_id_space(chain);
+    let score = score_clustering(&wb.h1, &gt.owner_of);
+    println!("addresses:                {}", chain.address_count());
+    println!("H1 clusters:              {}", wb.h1.cluster_count());
+    println!("  (paper: 5.5M clusters from 12M+ addresses)");
+    println!("sink addresses:           {}", wb.h1.sink_count(chain));
+    println!(
+        "upper-bound users:        {} (paper: <=6,595,564)",
+        wb.h1.cluster_count()
+    );
+    println!(
+        "false merges (gt):        {} impure clusters (purity {:.4})",
+        score.impure_clusters,
+        score.purity()
+    );
+    let gox = wb.h1_names.clusters_of_service("Mt. Gox");
+    println!("Mt. Gox spans:            {} H1 clusters (paper: ~20)", gox.len());
+    println!("named clusters:           {}", wb.h1_names.named_clusters);
+    println!("named addresses:          {}", wb.h1_names.named_addresses);
+    println!(
+        "amplification:            {:.0}x over {} hand-tagged (paper: ~1,600x)",
+        amplification(wb.hand_tagged(), wb.h1_names.named_addresses),
+        wb.hand_tagged()
+    );
+}
+
+/// §4.2: the false-positive refinement ladder.
+fn fp_ladder(wb: &Workbench) {
+    println!("\n== §4.2: Heuristic 2 false-positive ladder ==");
+    let chain = wb.eco.chain.resolved();
+    let naive_labels = change::identify(chain, &ChangeConfig::naive());
+    println!("naive H2 change labels:   {} (paper: >4M)", naive_labels.labels);
+
+    let est_naive = fp::estimate(chain, &naive_labels, &ChangeConfig::naive());
+    println!(
+        "FP rate, naive:           {:.2}%  (paper: 13%)",
+        est_naive.rate() * 100.0
+    );
+
+    let mut dice_cfg = ChangeConfig::naive();
+    dice_cfg.dice_exception = true;
+    dice_cfg.dice_addresses = wb.dice.clone();
+    let est_dice = fp::estimate(chain, &naive_labels, &dice_cfg);
+    println!(
+        "FP rate, dice exception:  {:.2}%  (paper: 1%)",
+        est_dice.rate() * 100.0
+    );
+
+    let mut day = dice_cfg.clone();
+    day.wait_blocks = Some(BLOCKS_PER_DAY);
+    let day_labels = change::identify(chain, &day);
+    let est_day = fp::estimate(chain, &day_labels, &dice_cfg);
+    println!(
+        "FP rate, wait a day:      {:.2}%  (paper: 0.28%)",
+        est_day.rate() * 100.0
+    );
+
+    let mut week = dice_cfg.clone();
+    week.wait_blocks = Some(BLOCKS_PER_WEEK);
+    let week_labels = change::identify(chain, &week);
+    let est_week = fp::estimate(chain, &week_labels, &dice_cfg);
+    println!(
+        "FP rate, wait a week:     {:.2}%  (paper: 0.17%)",
+        est_week.rate() * 100.0
+    );
+
+    // Ground truth (unavailable to the paper).
+    let gt = wb.eco.gt.to_id_space(chain);
+    let s_naive = score_change_labels(chain, &naive_labels, &gt.change_vout);
+    let refined_labels = change::identify(chain, &wb.refined_config());
+    let s_refined = score_change_labels(chain, &refined_labels, &gt.change_vout);
+    println!(
+        "ground-truth precision:   naive {:.4}, refined {:.4}",
+        s_naive.precision(),
+        s_refined.precision()
+    );
+    println!(
+        "ground-truth recall:      naive {:.4}, refined {:.4}",
+        s_naive.recall(),
+        s_refined.recall()
+    );
+}
+
+/// §4.2: the super-cluster failure mode and its resolution.
+fn super_cluster(wb: &Workbench) {
+    println!("\n== §4.2: super-cluster formation (naive) vs refined H2 ==");
+    let naive = wb.cluster_with(ChangeConfig::naive());
+    let naive_names = name_clusters(&naive, &wb.tagdb);
+    println!(
+        "naive H2:  {} clusters, {} super-clusters",
+        naive.cluster_count(),
+        naive_names.super_clusters.len()
+    );
+    if let Some(sc) = naive_names.super_clusters.first() {
+        println!(
+            "  largest super-cluster: {} addresses welding {} services",
+            sc.size,
+            sc.services.len()
+        );
+        let preview: Vec<&str> = sc.services.iter().take(6).map(String::as_str).collect();
+        println!("  services include: {} ...", preview.join(", "));
+        println!("  (paper: 1.6M addresses welding Mt. Gox, Instawallet, BitPay, Silk Road)");
+    }
+    let refined = wb.cluster_with(wb.refined_config());
+    let refined_names = name_clusters(&refined, &wb.tagdb);
+    println!(
+        "refined H2: {} clusters, {} super-clusters",
+        refined.cluster_count(),
+        refined_names.super_clusters.len()
+    );
+    let gt = wb.eco.gt.to_id_space(wb.eco.chain.resolved());
+    let s_naive = score_clustering(&naive, &gt.owner_of);
+    let s_refined = score_clustering(&refined, &gt.owner_of);
+    println!(
+        "cluster purity: naive {:.4}, refined {:.4}",
+        s_naive.purity(),
+        s_refined.purity()
+    );
+}
+
+/// §4.2: refined Heuristic 2 headline numbers.
+fn h2_stats(wb: &Workbench) {
+    println!("\n== §4.2: refined Heuristic 2 clustering ==");
+    let refined = wb.cluster_with(wb.refined_config());
+    let labels = refined.change_labels.as_ref().unwrap();
+    println!("change addresses found:   {} (paper: 3,540,831)", labels.labels);
+    println!("clusters:                 {} (paper: 3,384,179)", refined.cluster_count());
+    let names = name_clusters(&refined, &wb.tagdb);
+    println!(
+        "after tag collapse:       {} (paper: 3,383,904)",
+        names.collapsed_cluster_count(refined.cluster_count())
+    );
+    println!("named clusters:           {} (paper: 2,197)", names.named_clusters);
+    println!("named addresses:          {} (paper: >1.8M)", names.named_addresses);
+    println!(
+        "amplification:            {:.0}x over {} hand-tagged (paper: ~1,600x)",
+        amplification(wb.hand_tagged(), names.named_addresses),
+        wb.hand_tagged()
+    );
+}
+
+/// Figure 2: category balances over time (% of active bitcoins).
+fn fig2(wb: &Workbench) {
+    println!("\n== Figure 2: balance per category, % of active bitcoins ==");
+    let chain = wb.eco.chain.resolved();
+    let refined = wb.cluster_with(wb.refined_config());
+    let dir = wb.directory_for(&refined);
+    let every = (wb.eco.cfg.blocks / 24).max(1);
+    let series = balance_series(chain, &dir, every);
+    let cats: Vec<&str> = Category::figure2_categories()
+        .iter()
+        .map(|c| c.label())
+        .collect();
+    print!("{:>8}", "height");
+    for c in &cats {
+        print!("{c:>12}");
+    }
+    println!("{:>12}", "active BTC");
+    for point in &series {
+        print!("{:>8}", point.height);
+        for c in &cats {
+            print!("{:>11.2}%", point.percent_of_active(c));
+        }
+        println!("{:>12}", point.active().to_sat() / 100_000_000);
+    }
+}
+
+/// Table 2: tracking the Silk Road dissolution along three peeling chains.
+fn tab2(wb: &Workbench) {
+    println!("\n== Table 2: tracking the 1DkyBEKt (Silk Road) dissolution ==");
+    let Some(sr) = &wb.eco.script_report.silk_road else {
+        println!("(Silk Road script disabled)");
+        return;
+    };
+    let chain = wb.eco.chain.resolved();
+    println!("big address:         {}", sr.big_address);
+    println!(
+        "total received:      {} (paper: 613,326 BTC; scaled economy)",
+        sr.total_received
+    );
+    println!(
+        "dissolution txs:     {} withdrawals + final sweep",
+        sr.dissolution_txids.len()
+    );
+    println!("peel hops per chain: {:?} (paper: 100 each)", sr.hops_done);
+
+    let labels = change::identify(chain, &wb.refined_config());
+    let refined = wb.cluster_with(wb.refined_config());
+    let dir = wb.directory_for(&refined);
+
+    let chains: Vec<_> = sr
+        .chain_first_hops
+        .iter()
+        .filter_map(|txid| chain.tx_by_txid(txid).map(|(id, _)| id))
+        .map(|start| follow_chain(chain, &labels, start, 100, FollowStrategy::LargestFallback))
+        .collect();
+    for (i, c) in chains.iter().enumerate() {
+        println!(
+            "chain {}: {} hops followed ({} via fallback), {} peeled",
+            i + 1,
+            c.hops.len(),
+            c.fallback_hops(),
+            c.total_peeled()
+        );
+    }
+
+    let rows = service_arrivals(&chains, &dir);
+    println!(
+        "{:<20} {:>6} {:>8} {:>6} {:>8} {:>6} {:>8}",
+        "Service", "P1", "BTC1", "P2", "BTC2", "P3", "BTC3"
+    );
+    let mut exchange_peels = 0usize;
+    let mut attributed = 0usize;
+    for row in &rows {
+        let p = |i: usize| row.peels.get(i).copied().unwrap_or(0);
+        let v = |i: usize| row.value.get(i).copied().map(btc_round).unwrap_or(0);
+        println!(
+            "{:<20} {:>6} {:>8} {:>6} {:>8} {:>6} {:>8}",
+            row.service,
+            p(0),
+            v(0),
+            p(1),
+            v(1),
+            p(2),
+            v(2)
+        );
+        attributed += row.total_peels();
+        if row.category == "exchange" {
+            exchange_peels += row.total_peels();
+        }
+    }
+    let total_peels: usize = chains.iter().map(|c| c.hops.iter().map(|h| h.peels.len()).sum::<usize>()).sum();
+    println!(
+        "peels to exchanges: {exchange_peels} of {total_peels} total ({attributed} attributed; paper: 54 of 300)"
+    );
+}
+
+/// Table 3: tracking thefts.
+fn tab3(wb: &Workbench) {
+    println!("\n== Table 3: tracking thefts ==");
+    let chain = wb.eco.chain.resolved();
+    let labels = change::identify(chain, &wb.refined_config());
+    let refined = wb.cluster_with(wb.refined_config());
+    let dir = wb.directory_for(&refined);
+    println!(
+        "{:<18} {:>10} {:>8} {:<10} {:<10} {:>14}",
+        "Theft", "BTC", "Height", "Scripted", "Observed", "Exchanges?"
+    );
+    for theft in &wb.eco.script_report.thefts {
+        let loot_ids: Vec<u32> = theft
+            .loot_addresses
+            .iter()
+            .filter_map(|a| chain.address_id(a))
+            .collect();
+        // The loot outputs: outputs of the theft txs paying loot addresses.
+        let mut loot: Vec<(u32, u32)> = Vec::new();
+        for txid in &theft.theft_txids {
+            let Some((t, rtx)) = chain.tx_by_txid(txid) else { continue };
+            for (v, o) in rtx.outputs.iter().enumerate() {
+                if loot_ids.contains(&o.address) {
+                    loot.push((t, v as u32));
+                }
+            }
+        }
+        if loot.is_empty() {
+            continue;
+        }
+        let trace = track_theft(chain, &loot, &labels, &dir, 5_000);
+        println!(
+            "{:<18} {:>10} {:>8} {:<10} {:<10} {:>14}",
+            theft.name,
+            btc_round(theft.stolen),
+            theft.theft_height,
+            theft.pattern,
+            trace.pattern,
+            if trace.reached_exchange() {
+                format!("Yes ({:.1} BTC)", trace.to_exchanges.to_btc())
+            } else {
+                "No".to_string()
+            }
+        );
+        if theft.name == "Trojan" {
+            println!(
+                "  trojan dormant loot: {} of {} never moved (paper: 2,857 of 3,257)",
+                trace.dormant, theft.stolen
+            );
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Shared experiment harness: builds the simulated economy once and
+//! derives everything the paper's tables and figures need.
+
+use fistful_chain::resolve::AddressId;
+use fistful_core::change::ChangeConfig;
+use fistful_core::cluster::{Clusterer, Clustering};
+use fistful_core::naming::{name_clusters, NamingReport};
+use fistful_core::tagdb::{Tag, TagDb, TagSource};
+use fistful_flow::AddressDirectory;
+use fistful_sim::{generate_tags, Economy, RawTagSource, SimConfig};
+use std::collections::HashSet;
+
+/// A fully prepared experiment context.
+pub struct Workbench {
+    /// The finished economy (chain + ground truth + script reports).
+    pub eco: Economy,
+    /// All tags (own-transaction + public).
+    pub tagdb: TagDb,
+    /// Gambling-cluster addresses (for the Satoshi-Dice exception).
+    pub dice: HashSet<AddressId>,
+    /// Heuristic 1 clustering.
+    pub h1: Clustering,
+    /// Naming of the H1 clustering.
+    pub h1_names: NamingReport,
+}
+
+impl Workbench {
+    /// Runs the economy and prepares clustering + tags.
+    pub fn build(cfg: SimConfig) -> Workbench {
+        let eco = Economy::run(cfg);
+        let tagdb = build_tagdb(&eco);
+        let h1 = Clusterer::h1_only().run(eco.chain.resolved());
+        let h1_names = name_clusters(&h1, &tagdb);
+        let dice = dice_addresses(&h1, &h1_names);
+        Workbench { eco, tagdb, dice, h1, h1_names }
+    }
+
+    /// The refined Heuristic-2 configuration for this chain.
+    pub fn refined_config(&self) -> ChangeConfig {
+        ChangeConfig::refined(self.dice.clone())
+    }
+
+    /// Runs H1+H2 clustering with a given H2 configuration.
+    pub fn cluster_with(&self, cfg: ChangeConfig) -> Clustering {
+        Clusterer::with_h2(cfg).run(self.eco.chain.resolved())
+    }
+
+    /// Address directory via cluster naming (the paper's route).
+    pub fn directory_for(&self, clustering: &Clustering) -> AddressDirectory {
+        let names = name_clusters(clustering, &self.tagdb);
+        AddressDirectory::from_naming(clustering, &names)
+    }
+
+    /// Count of distinct hand-tagged (own-transaction) addresses.
+    pub fn hand_tagged(&self) -> usize {
+        self.tagdb
+            .tags_from(TagSource::OwnTransaction)
+            .map(|t| t.address)
+            .collect::<HashSet<_>>()
+            .len()
+    }
+}
+
+/// Converts the simulator's raw tags into an interned [`TagDb`].
+pub fn build_tagdb(eco: &Economy) -> TagDb {
+    let chain = eco.chain.resolved();
+    let mut db = TagDb::new();
+    for raw in generate_tags(eco) {
+        let Some(address) = chain.address_id(&raw.address) else { continue };
+        let source = match raw.source {
+            RawTagSource::OwnTransaction => TagSource::OwnTransaction,
+            RawTagSource::SelfSubmitted => TagSource::SelfSubmitted,
+            RawTagSource::Forum => TagSource::Forum,
+        };
+        db.add(Tag { address, service: raw.service, category: raw.category, source });
+    }
+    db
+}
+
+/// Addresses in clusters named with the gambling category — the paper's
+/// route to the Satoshi-Dice exception set.
+pub fn dice_addresses(clustering: &Clustering, names: &NamingReport) -> HashSet<AddressId> {
+    let mut dice = HashSet::new();
+    for (addr, &cluster) in clustering.assignment.iter().enumerate() {
+        if names.categories.get(&cluster).map(String::as_str) == Some("gambling") {
+            dice.insert(addr as AddressId);
+        }
+    }
+    dice
+}
+
+/// Formats a satoshi amount as whole bitcoins (rounded), Table-2 style.
+pub fn btc_round(amount: fistful_chain::amount::Amount) -> u64 {
+    (amount.to_sat() + 50_000_000) / 100_000_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workbench_builds_and_is_consistent() {
+        let wb = Workbench::build(SimConfig::tiny());
+        assert!(wb.tagdb.len() > 100);
+        assert!(!wb.dice.is_empty(), "dice clusters identified");
+        assert!(wb.h1.cluster_count() > 100);
+        assert!(wb.hand_tagged() > 50);
+        let refined = wb.cluster_with(wb.refined_config());
+        assert!(refined.cluster_count() <= wb.h1.cluster_count());
+    }
+}

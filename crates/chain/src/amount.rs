@@ -1,0 +1,155 @@
+//! Monetary amounts in satoshis, with checked arithmetic.
+
+use std::fmt;
+use std::iter::Sum;
+
+/// Satoshis per bitcoin.
+pub const COIN: u64 = 100_000_000;
+
+/// The 21-million-bitcoin cap, in satoshis.
+pub const MAX_MONEY: u64 = 21_000_000 * COIN;
+
+/// An amount of bitcoin, stored as satoshis.
+///
+/// Arithmetic is checked: amounts never silently overflow, and validation
+/// rejects any value above [`MAX_MONEY`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Amount(pub u64);
+
+impl Amount {
+    /// Zero satoshis.
+    pub const ZERO: Amount = Amount(0);
+
+    /// Builds from whole bitcoins.
+    pub const fn from_btc(btc: u64) -> Amount {
+        Amount(btc * COIN)
+    }
+
+    /// Builds from satoshis.
+    pub const fn from_sat(sat: u64) -> Amount {
+        Amount(sat)
+    }
+
+    /// The value in satoshis.
+    pub const fn to_sat(self) -> u64 {
+        self.0
+    }
+
+    /// The value in (floating-point) bitcoins, for display only.
+    pub fn to_btc(self) -> f64 {
+        self.0 as f64 / COIN as f64
+    }
+
+    /// True if the amount is within `[0, MAX_MONEY]`.
+    pub fn is_valid(self) -> bool {
+        self.0 <= MAX_MONEY
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, other: Amount) -> Option<Amount> {
+        self.0.checked_add(other.0).map(Amount)
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, other: Amount) -> Option<Amount> {
+        self.0.checked_sub(other.0).map(Amount)
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    pub fn saturating_sub(self, other: Amount) -> Amount {
+        Amount(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies by a scalar, checked.
+    pub fn checked_mul(self, k: u64) -> Option<Amount> {
+        self.0.checked_mul(k).map(Amount)
+    }
+
+    /// Divides by a scalar (integer division).
+    pub fn div(self, k: u64) -> Amount {
+        Amount(self.0 / k)
+    }
+}
+
+impl Sum for Amount {
+    fn sum<I: Iterator<Item = Amount>>(iter: I) -> Amount {
+        iter.fold(Amount::ZERO, |acc, a| {
+            acc.checked_add(a).expect("amount sum overflow")
+        })
+    }
+}
+
+impl fmt::Display for Amount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let whole = self.0 / COIN;
+        let frac = self.0 % COIN;
+        if frac == 0 {
+            write!(f, "{whole} BTC")
+        } else {
+            // Trim trailing zeros from the fractional part.
+            let mut frac_str = format!("{frac:08}");
+            while frac_str.ends_with('0') {
+                frac_str.pop();
+            }
+            write!(f, "{whole}.{frac_str} BTC")
+        }
+    }
+}
+
+impl fmt::Debug for Amount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Amount({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn btc_conversion() {
+        assert_eq!(Amount::from_btc(50).to_sat(), 5_000_000_000);
+        assert_eq!(Amount::from_btc(1).to_btc(), 1.0);
+    }
+
+    #[test]
+    fn checked_arithmetic() {
+        let a = Amount::from_btc(10);
+        let b = Amount::from_btc(3);
+        assert_eq!(a.checked_add(b), Some(Amount::from_btc(13)));
+        assert_eq!(a.checked_sub(b), Some(Amount::from_btc(7)));
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(Amount(u64::MAX).checked_add(Amount(1)), None);
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        assert_eq!(Amount(5).saturating_sub(Amount(10)), Amount::ZERO);
+    }
+
+    #[test]
+    fn validity_bounds() {
+        assert!(Amount(MAX_MONEY).is_valid());
+        assert!(!Amount(MAX_MONEY + 1).is_valid());
+        assert!(Amount::ZERO.is_valid());
+    }
+
+    #[test]
+    fn display_formatting() {
+        assert_eq!(Amount::from_btc(25).to_string(), "25 BTC");
+        assert_eq!(Amount(150_000_000).to_string(), "1.5 BTC");
+        assert_eq!(Amount(1).to_string(), "0.00000001 BTC");
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Amount = [Amount(1), Amount(2), Amount(3)].into_iter().sum();
+        assert_eq!(total, Amount(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "amount sum overflow")]
+    fn sum_overflow_panics() {
+        let _: Amount = [Amount(u64::MAX), Amount(1)].into_iter().sum();
+    }
+}

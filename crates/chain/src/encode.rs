@@ -1,0 +1,350 @@
+//! Consensus-style binary encoding.
+//!
+//! Mirrors Bitcoin's wire format conventions: little-endian fixed-width
+//! integers, `CompactSize` variable-length counts, and length-prefixed
+//! vectors. Every chain type implements [`Encodable`] and [`Decodable`];
+//! txids and block hashes are double-SHA-256 over this encoding.
+
+use fistful_crypto::hash::Hash256;
+
+/// Errors from decoding a byte stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The input ended before the value was complete.
+    UnexpectedEnd,
+    /// A `CompactSize` used a longer-than-necessary form.
+    NonCanonicalCompactSize,
+    /// A count exceeded the sanity limit.
+    OversizedCount(u64),
+    /// An enum discriminant or flag byte had an unknown value.
+    InvalidValue(u8),
+    /// Trailing bytes remained after a complete decode.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            DecodeError::NonCanonicalCompactSize => write!(f, "non-canonical compactsize"),
+            DecodeError::OversizedCount(n) => write!(f, "oversized count {n}"),
+            DecodeError::InvalidValue(v) => write!(f, "invalid value byte {v:#x}"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after decode"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Maximum element count accepted for any decoded vector; prevents
+/// pathological allocations from corrupt input.
+pub const MAX_VEC_LEN: u64 = 1 << 22;
+
+/// A byte reader with position tracking.
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Reads exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEnd);
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a single byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u16.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a Bitcoin `CompactSize`, enforcing canonical encoding.
+    pub fn compact_size(&mut self) -> Result<u64, DecodeError> {
+        let tag = self.u8()?;
+        let value = match tag {
+            0..=0xfc => tag as u64,
+            0xfd => {
+                let v = self.u16()? as u64;
+                if v < 0xfd {
+                    return Err(DecodeError::NonCanonicalCompactSize);
+                }
+                v
+            }
+            0xfe => {
+                let v = self.u32()? as u64;
+                if v <= u16::MAX as u64 {
+                    return Err(DecodeError::NonCanonicalCompactSize);
+                }
+                v
+            }
+            0xff => {
+                let v = self.u64()?;
+                if v <= u32::MAX as u64 {
+                    return Err(DecodeError::NonCanonicalCompactSize);
+                }
+                v
+            }
+        };
+        Ok(value)
+    }
+
+    /// Reads a 32-byte hash.
+    pub fn hash256(&mut self) -> Result<Hash256, DecodeError> {
+        let bytes = self.take(32)?;
+        let mut out = [0u8; 32];
+        out.copy_from_slice(bytes);
+        Ok(Hash256(out))
+    }
+
+    /// Errors if any bytes remain.
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes)
+        }
+    }
+}
+
+/// A byte writer.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    /// Consumes the writer, returning the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Appends a byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a canonical Bitcoin `CompactSize`.
+    pub fn compact_size(&mut self, v: u64) {
+        match v {
+            0..=0xfc => self.u8(v as u8),
+            0xfd..=0xffff => {
+                self.u8(0xfd);
+                self.u16(v as u16);
+            }
+            0x1_0000..=0xffff_ffff => {
+                self.u8(0xfe);
+                self.u32(v as u32);
+            }
+            _ => {
+                self.u8(0xff);
+                self.u64(v);
+            }
+        }
+    }
+
+    /// Appends a 32-byte hash.
+    pub fn hash256(&mut self, h: &Hash256) {
+        self.buf.extend_from_slice(&h.0);
+    }
+}
+
+/// A type with a canonical consensus encoding.
+pub trait Encodable {
+    /// Writes the canonical encoding.
+    fn encode(&self, w: &mut Writer);
+
+    /// Convenience: the canonical encoding as bytes.
+    fn encode_to_vec(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+}
+
+/// A type decodable from its consensus encoding.
+pub trait Decodable: Sized {
+    /// Reads a value; leaves the reader positioned after it.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+
+    /// Decodes an entire buffer, rejecting trailing bytes.
+    fn decode_all(data: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(data);
+        let v = Self::decode(&mut r)?;
+        r.finish()?;
+        Ok(v)
+    }
+}
+
+/// Encodes a slice as `CompactSize` count followed by each element.
+pub fn encode_vec<T: Encodable>(w: &mut Writer, items: &[T]) {
+    w.compact_size(items.len() as u64);
+    for item in items {
+        item.encode(w);
+    }
+}
+
+/// Decodes a `CompactSize`-prefixed vector with a sanity bound.
+pub fn decode_vec<T: Decodable>(r: &mut Reader<'_>) -> Result<Vec<T>, DecodeError> {
+    let count = r.compact_size()?;
+    if count > MAX_VEC_LEN {
+        return Err(DecodeError::OversizedCount(count));
+    }
+    let mut out = Vec::with_capacity(count.min(1024) as usize);
+    for _ in 0..count {
+        out.push(T::decode(r)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_size_canonical_forms() {
+        let cases: [(u64, usize); 6] = [
+            (0, 1),
+            (0xfc, 1),
+            (0xfd, 3),
+            (0xffff, 3),
+            (0x10000, 5),
+            (0x1_0000_0000, 9),
+        ];
+        for (v, len) in cases {
+            let mut w = Writer::new();
+            w.compact_size(v);
+            let bytes = w.into_bytes();
+            assert_eq!(bytes.len(), len, "value {v}");
+            let mut r = Reader::new(&bytes);
+            assert_eq!(r.compact_size().unwrap(), v);
+            r.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn compact_size_rejects_non_canonical() {
+        // 0xfc encoded with the 0xfd prefix.
+        let bytes = [0xfdu8, 0xfc, 0x00];
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.compact_size(), Err(DecodeError::NonCanonicalCompactSize));
+    }
+
+    #[test]
+    fn reader_bounds() {
+        let mut r = Reader::new(&[1, 2]);
+        assert_eq!(r.u16().unwrap(), 0x0201);
+        assert_eq!(r.u8(), Err(DecodeError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let r = Reader::new(&[1]);
+        assert_eq!(r.finish(), Err(DecodeError::TrailingBytes));
+    }
+
+    #[test]
+    fn little_endian_round_trip() {
+        let mut w = Writer::new();
+        w.u8(0xab);
+        w.u16(0x1234);
+        w.u32(0xdeadbeef);
+        w.u64(0x0123456789abcdef);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xab);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xdeadbeef);
+        assert_eq!(r.u64().unwrap(), 0x0123456789abcdef);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn oversized_vector_rejected() {
+        let mut w = Writer::new();
+        w.compact_size(MAX_VEC_LEN + 1);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            decode_vec::<TestByte>(&mut r),
+            Err(DecodeError::OversizedCount(_))
+        ));
+    }
+
+    struct TestByte(u8);
+    impl Encodable for TestByte {
+        fn encode(&self, w: &mut Writer) {
+            w.u8(self.0);
+        }
+    }
+    impl Decodable for TestByte {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            Ok(TestByte(r.u8()?))
+        }
+    }
+
+    #[test]
+    fn vec_round_trip() {
+        let items = vec![TestByte(1), TestByte(2), TestByte(3)];
+        let mut w = Writer::new();
+        encode_vec(&mut w, &items);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let decoded = decode_vec::<TestByte>(&mut r).unwrap();
+        assert_eq!(decoded.len(), 3);
+        assert_eq!(decoded[2].0, 3);
+    }
+}

@@ -1,0 +1,311 @@
+//! The analysis-friendly view of the chain.
+//!
+//! Clustering and flow analysis need resolved transactions — inputs carrying
+//! the address and value of the output they spend — plus fast per-address
+//! history. [`ResolvedChain`] interns addresses into dense [`AddressId`]s
+//! and transactions into dense [`TxId`]s, and maintains spent-by backlinks
+//! (which peeling-chain traversal follows) and per-address event lists
+//! (which Heuristic 2's "has the address appeared before?" conditions and
+//! the false-positive estimator consume).
+
+use crate::address::Address;
+use crate::amount::Amount;
+use crate::transaction::Transaction;
+use crate::utxo::UtxoSet;
+use fistful_crypto::hash::Hash256;
+use std::collections::HashMap;
+
+/// Dense index of an address within a [`ResolvedChain`].
+pub type AddressId = u32;
+
+/// Dense index of a transaction within a [`ResolvedChain`]
+/// (chain order: by block, then by position within the block).
+pub type TxId = u32;
+
+/// A resolved input: the output being spent, with owner and value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResolvedInput {
+    /// The address that owned the spent output.
+    pub address: AddressId,
+    /// The value of the spent output.
+    pub value: Amount,
+    /// The transaction that created the spent output.
+    pub prev_tx: TxId,
+    /// The output index within `prev_tx`.
+    pub prev_vout: u32,
+}
+
+/// A resolved output, with a backlink to its spender once spent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResolvedOutput {
+    /// The receiving address.
+    pub address: AddressId,
+    /// The value.
+    pub value: Amount,
+    /// The transaction that later spends this output, if any.
+    pub spent_by: Option<TxId>,
+}
+
+/// A fully resolved transaction.
+#[derive(Clone, Debug)]
+pub struct ResolvedTx {
+    /// The transaction id.
+    pub txid: Hash256,
+    /// Height of the containing block.
+    pub height: u64,
+    /// Timestamp of the containing block.
+    pub time: u64,
+    /// True for coin generations.
+    pub is_coinbase: bool,
+    /// Resolved inputs (empty for coinbase).
+    pub inputs: Vec<ResolvedInput>,
+    /// Outputs.
+    pub outputs: Vec<ResolvedOutput>,
+}
+
+impl ResolvedTx {
+    /// Total input value.
+    pub fn input_value(&self) -> Amount {
+        self.inputs.iter().map(|i| i.value).sum()
+    }
+
+    /// Total output value.
+    pub fn output_value(&self) -> Amount {
+        self.outputs.iter().map(|o| o.value).sum()
+    }
+
+    /// Fee paid (zero for coinbase).
+    pub fn fee(&self) -> Amount {
+        if self.is_coinbase {
+            Amount::ZERO
+        } else {
+            self.input_value().saturating_sub(self.output_value())
+        }
+    }
+}
+
+/// The resolved, interned view of an entire chain.
+#[derive(Clone, Default)]
+pub struct ResolvedChain {
+    /// All transactions in chain order.
+    pub txs: Vec<ResolvedTx>,
+    addresses: Vec<Address>,
+    address_index: HashMap<Address, AddressId>,
+    txid_index: HashMap<Hash256, TxId>,
+    /// Per address: the first transaction (chain order) in which the address
+    /// appeared at all (as input or output).
+    first_seen: Vec<TxId>,
+    /// Per address: transactions in which the address received an output.
+    received_in: Vec<Vec<TxId>>,
+    /// Per address: transactions in which the address spent an input.
+    spent_in: Vec<Vec<TxId>>,
+}
+
+impl ResolvedChain {
+    /// An empty chain view.
+    pub fn new() -> ResolvedChain {
+        ResolvedChain::default()
+    }
+
+    /// Number of transactions.
+    pub fn tx_count(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Number of distinct addresses seen.
+    pub fn address_count(&self) -> usize {
+        self.addresses.len()
+    }
+
+    /// The address for an id. Panics on out-of-range ids.
+    pub fn address(&self, id: AddressId) -> Address {
+        self.addresses[id as usize]
+    }
+
+    /// Looks up the id of an address, if it has appeared.
+    pub fn address_id(&self, addr: &Address) -> Option<AddressId> {
+        self.address_index.get(addr).copied()
+    }
+
+    /// Looks up a transaction by txid.
+    pub fn tx_by_txid(&self, txid: &Hash256) -> Option<(TxId, &ResolvedTx)> {
+        let id = *self.txid_index.get(txid)?;
+        Some((id, &self.txs[id as usize]))
+    }
+
+    /// The first transaction in which `addr` appeared.
+    pub fn first_seen(&self, addr: AddressId) -> TxId {
+        self.first_seen[addr as usize]
+    }
+
+    /// Transactions in which `addr` received outputs, in chain order.
+    pub fn received_in(&self, addr: AddressId) -> &[TxId] {
+        &self.received_in[addr as usize]
+    }
+
+    /// Transactions in which `addr` spent inputs, in chain order.
+    pub fn spent_in(&self, addr: AddressId) -> &[TxId] {
+        &self.spent_in[addr as usize]
+    }
+
+    /// True if `addr` never spent any output ("sink" address in the paper's
+    /// terminology).
+    pub fn is_sink(&self, addr: AddressId) -> bool {
+        self.spent_in[addr as usize].is_empty()
+    }
+
+    fn intern(&mut self, addr: Address) -> AddressId {
+        if let Some(&id) = self.address_index.get(&addr) {
+            return id;
+        }
+        let id = self.addresses.len() as AddressId;
+        self.addresses.push(addr);
+        self.address_index.insert(addr, id);
+        self.first_seen.push(TxId::MAX);
+        self.received_in.push(Vec::new());
+        self.spent_in.push(Vec::new());
+        id
+    }
+
+    fn note_seen(&mut self, addr: AddressId, tx: TxId) {
+        let slot = &mut self.first_seen[addr as usize];
+        if *slot == TxId::MAX {
+            *slot = tx;
+        }
+    }
+
+    /// Appends a validated transaction. `utxos` must reflect the state
+    /// *before* this transaction is applied (inputs still present).
+    ///
+    /// Panics if a non-coinbase input is missing from `utxos` or references
+    /// an unknown txid — validation must run first.
+    pub fn add_tx(&mut self, tx: &Transaction, utxos: &UtxoSet, height: u64, time: u64) -> TxId {
+        let id = self.txs.len() as TxId;
+        let txid = tx.txid();
+        let is_coinbase = tx.is_coinbase();
+
+        let mut inputs = Vec::with_capacity(if is_coinbase { 0 } else { tx.inputs.len() });
+        if !is_coinbase {
+            for input in &tx.inputs {
+                let entry = utxos
+                    .get(&input.prevout)
+                    .expect("resolving tx with missing input; validate first");
+                let prev_tx = *self
+                    .txid_index
+                    .get(&input.prevout.txid)
+                    .expect("input references unknown txid");
+                let address = self.intern(entry.address);
+                inputs.push(ResolvedInput {
+                    address,
+                    value: entry.value,
+                    prev_tx,
+                    prev_vout: input.prevout.vout,
+                });
+                // Mark the spent output's backlink.
+                let prev = &mut self.txs[prev_tx as usize];
+                prev.outputs[input.prevout.vout as usize].spent_by = Some(id);
+                self.spent_in[address as usize].push(id);
+                self.note_seen(address, id);
+            }
+        }
+
+        let mut outputs = Vec::with_capacity(tx.outputs.len());
+        for out in &tx.outputs {
+            let address = self.intern(out.address);
+            outputs.push(ResolvedOutput { address, value: out.value, spent_by: None });
+            self.received_in[address as usize].push(id);
+            self.note_seen(address, id);
+        }
+
+        self.txid_index.insert(txid, id);
+        self.txs.push(ResolvedTx { txid, height, time, is_coinbase, inputs, outputs });
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::{OutPoint, TxIn, TxOut};
+
+    fn cb(tag: u64, value: Amount, addr: Address) -> Transaction {
+        Transaction {
+            version: 1,
+            inputs: vec![TxIn { prevout: OutPoint::null(), witness: tag.to_le_bytes().to_vec() }],
+            outputs: vec![TxOut { value, address: addr }],
+            lock_time: 0,
+        }
+    }
+
+    #[test]
+    fn resolves_inputs_and_backlinks() {
+        let mut utxos = UtxoSet::new();
+        let mut rc = ResolvedChain::new();
+        let a = Address::from_seed(1);
+        let b = Address::from_seed(2);
+
+        let funding = cb(0, Amount::from_btc(50), a);
+        rc.add_tx(&funding, &utxos, 0, 100);
+        utxos.apply(&funding, 0);
+
+        let spend = Transaction {
+            version: 1,
+            inputs: vec![TxIn::unsigned(OutPoint { txid: funding.txid(), vout: 0 })],
+            outputs: vec![
+                TxOut { value: Amount::from_btc(30), address: b },
+                TxOut { value: Amount::from_btc(19), address: a },
+            ],
+            lock_time: 0,
+        };
+        rc.add_tx(&spend, &utxos, 1, 200);
+        utxos.apply(&spend, 1);
+
+        assert_eq!(rc.tx_count(), 2);
+        assert_eq!(rc.address_count(), 2);
+        let a_id = rc.address_id(&a).unwrap();
+        let b_id = rc.address_id(&b).unwrap();
+
+        // Input resolution.
+        let spend_rtx = &rc.txs[1];
+        assert_eq!(spend_rtx.inputs[0].address, a_id);
+        assert_eq!(spend_rtx.inputs[0].value, Amount::from_btc(50));
+        assert_eq!(spend_rtx.inputs[0].prev_tx, 0);
+        assert_eq!(spend_rtx.fee(), Amount::from_btc(1));
+
+        // Backlink on the funding output.
+        assert_eq!(rc.txs[0].outputs[0].spent_by, Some(1));
+        // b's output unspent.
+        assert_eq!(rc.txs[1].outputs[0].spent_by, None);
+
+        // Event lists.
+        assert_eq!(rc.first_seen(a_id), 0);
+        assert_eq!(rc.first_seen(b_id), 1);
+        assert_eq!(rc.received_in(a_id), &[0, 1]);
+        assert_eq!(rc.spent_in(a_id), &[1]);
+        assert!(rc.is_sink(b_id));
+        assert!(!rc.is_sink(a_id));
+    }
+
+    #[test]
+    fn txid_lookup() {
+        let mut utxos = UtxoSet::new();
+        let mut rc = ResolvedChain::new();
+        let funding = cb(7, Amount::from_btc(50), Address::from_seed(1));
+        let id = rc.add_tx(&funding, &utxos, 0, 0);
+        utxos.apply(&funding, 0);
+        let (found, rtx) = rc.tx_by_txid(&funding.txid()).unwrap();
+        assert_eq!(found, id);
+        assert!(rtx.is_coinbase);
+        assert!(rc.tx_by_txid(&Hash256::ZERO).is_none());
+    }
+
+    #[test]
+    fn coinbase_has_no_inputs() {
+        let utxos = UtxoSet::new();
+        let mut rc = ResolvedChain::new();
+        let funding = cb(7, Amount::from_btc(50), Address::from_seed(1));
+        rc.add_tx(&funding, &utxos, 0, 0);
+        assert!(rc.txs[0].inputs.is_empty());
+        assert_eq!(rc.txs[0].fee(), Amount::ZERO);
+    }
+}

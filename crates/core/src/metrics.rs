@@ -1,0 +1,276 @@
+//! Scoring clustering output against simulator ground truth.
+//!
+//! The paper could only *estimate* Heuristic 2's error rate by observing
+//! behaviour over time; our synthetic chain knows the true owner of every
+//! address and the true change output of every transaction, so precision
+//! and recall can be measured exactly — and compared against the paper's
+//! observational estimator.
+
+use crate::change::ChangeLabels;
+use crate::cluster::Clustering;
+use fistful_chain::resolve::ResolvedChain;
+use std::collections::HashMap;
+
+/// Exact precision/recall of change labels against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ChangeScore {
+    /// Labels whose transaction has ground-truth information.
+    pub scored_labels: usize,
+    /// Labels matching the true change output.
+    pub correct: usize,
+    /// Transactions that truly had a change output (the recall base).
+    pub true_changes: usize,
+}
+
+impl ChangeScore {
+    /// Fraction of labels that are correct.
+    pub fn precision(&self) -> f64 {
+        if self.scored_labels == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.scored_labels as f64
+        }
+    }
+
+    /// Fraction of true change outputs recovered.
+    pub fn recall(&self) -> f64 {
+        if self.true_changes == 0 {
+            1.0
+        } else {
+            self.correct as f64 / self.true_changes as f64
+        }
+    }
+}
+
+/// Scores change labels against per-transaction ground truth
+/// (`true_change[tx] = Some(vout)` when the transaction really created a
+/// change output).
+pub fn score_change_labels(
+    chain: &ResolvedChain,
+    labels: &ChangeLabels,
+    true_change: &[Option<u32>],
+) -> ChangeScore {
+    assert_eq!(true_change.len(), chain.tx_count(), "ground truth length");
+    let mut score = ChangeScore::default();
+    for (t, truth) in true_change.iter().enumerate() {
+        if truth.is_some() {
+            score.true_changes += 1;
+        }
+        if let Some(labelled) = labels.change_vout(t as u32) {
+            score.scored_labels += 1;
+            if *truth == Some(labelled) {
+                score.correct += 1;
+            }
+        }
+    }
+    score
+}
+
+/// Cluster quality against true owners.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClusterScore {
+    /// Addresses with a known owner.
+    pub scored_addresses: usize,
+    /// Addresses in their cluster's majority-owner set.
+    pub majority_addresses: usize,
+    /// Clusters containing more than one true owner (false merges).
+    pub impure_clusters: usize,
+    /// Clusters evaluated (those with at least one known-owner address).
+    pub evaluated_clusters: usize,
+    /// Number of distinct owners split across more than one cluster.
+    pub split_owners: usize,
+    /// Owners observed.
+    pub owners_seen: usize,
+}
+
+impl ClusterScore {
+    /// Weighted purity: fraction of known-owner addresses that sit with
+    /// their cluster's majority owner. 1.0 = no false merges at all.
+    pub fn purity(&self) -> f64 {
+        if self.scored_addresses == 0 {
+            1.0
+        } else {
+            self.majority_addresses as f64 / self.scored_addresses as f64
+        }
+    }
+}
+
+/// Scores a clustering against per-address true owners
+/// (`owner_of[address] = Some(owner id)`).
+pub fn score_clustering(clustering: &Clustering, owner_of: &[Option<u32>]) -> ClusterScore {
+    let mut per_cluster: HashMap<u32, HashMap<u32, usize>> = HashMap::new();
+    let mut clusters_per_owner: HashMap<u32, std::collections::HashSet<u32>> = HashMap::new();
+    let mut score = ClusterScore::default();
+
+    for (addr, owner) in owner_of.iter().enumerate() {
+        let Some(owner) = owner else { continue };
+        if addr >= clustering.assignment.len() {
+            continue;
+        }
+        let cluster = clustering.assignment[addr];
+        *per_cluster.entry(cluster).or_default().entry(*owner).or_default() += 1;
+        clusters_per_owner.entry(*owner).or_default().insert(cluster);
+        score.scored_addresses += 1;
+    }
+
+    score.evaluated_clusters = per_cluster.len();
+    for owners in per_cluster.values() {
+        let majority = owners.values().copied().max().unwrap_or(0);
+        score.majority_addresses += majority;
+        if owners.len() > 1 {
+            score.impure_clusters += 1;
+        }
+    }
+    score.owners_seen = clusters_per_owner.len();
+    score.split_owners = clusters_per_owner.values().filter(|c| c.len() > 1).count();
+    score
+}
+
+/// The paper's amplification factor: addresses named via clustering per
+/// hand-tagged address (they report ≈1,600×).
+pub fn amplification(hand_tagged: usize, named_addresses: u64) -> f64 {
+    if hand_tagged == 0 {
+        0.0
+    } else {
+        named_addresses as f64 / hand_tagged as f64
+    }
+}
+
+/// Concentration of value or activity across entities — the paper's
+/// conclusion rests on "the increasing dominance of a small number of
+/// Bitcoin institutions". Given per-entity weights (e.g. balance per named
+/// cluster), reports the share held by the top-k entities and the
+/// Herfindahl–Hirschman index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Concentration {
+    /// Share of the total held by the single largest entity.
+    pub top1: f64,
+    /// Share held by the five largest.
+    pub top5: f64,
+    /// Share held by the ten largest.
+    pub top10: f64,
+    /// Herfindahl–Hirschman index (sum of squared shares) in [0, 1].
+    pub hhi: f64,
+}
+
+/// Computes concentration statistics over non-negative weights.
+pub fn concentration(weights: &[u64]) -> Concentration {
+    let total: u128 = weights.iter().map(|&w| w as u128).sum();
+    if total == 0 {
+        return Concentration { top1: 0.0, top5: 0.0, top10: 0.0, hhi: 0.0 };
+    }
+    let mut sorted: Vec<u64> = weights.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let share_of = |k: usize| -> f64 {
+        let s: u128 = sorted.iter().take(k).map(|&w| w as u128).sum();
+        s as f64 / total as f64
+    };
+    let hhi = sorted
+        .iter()
+        .map(|&w| {
+            let s = w as f64 / total as f64;
+            s * s
+        })
+        .sum();
+    Concentration { top1: share_of(1), top5: share_of(5), top10: share_of(10), hhi }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::change::{identify, ChangeConfig};
+    use crate::cluster::Clusterer;
+    use crate::testutil::TestChain;
+
+    #[test]
+    fn change_scoring_counts_matches() {
+        let mut t = TestChain::new();
+        let cb1 = t.coinbase(1, 50);
+        let _cb2 = t.coinbase(2, 50);
+        let spend = t.tx(&[(cb1, 0)], &[(2, 30), (3, 20)]);
+        let labels = identify(&t.chain, &ChangeConfig::naive());
+
+        // Ground truth agrees: vout 1 is change.
+        let mut truth = vec![None; t.chain.tx_count()];
+        truth[spend] = Some(1);
+        let s = score_change_labels(&t.chain, &labels, &truth);
+        assert_eq!(s.scored_labels, 1);
+        assert_eq!(s.correct, 1);
+        assert_eq!(s.true_changes, 1);
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+
+        // Ground truth disagrees.
+        truth[spend] = Some(0);
+        let s = score_change_labels(&t.chain, &labels, &truth);
+        assert_eq!(s.correct, 0);
+        assert_eq!(s.precision(), 0.0);
+    }
+
+    #[test]
+    fn recall_counts_missed_changes() {
+        let mut t = TestChain::new();
+        let cb1 = t.coinbase(1, 50);
+        // Ambiguous: two fresh outputs → no label, but truth says vout 1.
+        let spend = t.tx(&[(cb1, 0)], &[(2, 30), (3, 20)]);
+        let labels = identify(&t.chain, &ChangeConfig::naive());
+        let mut truth = vec![None; t.chain.tx_count()];
+        truth[spend] = Some(1);
+        let s = score_change_labels(&t.chain, &labels, &truth);
+        assert_eq!(s.scored_labels, 0);
+        assert_eq!(s.recall(), 0.0);
+        assert_eq!(s.precision(), 1.0); // vacuous
+    }
+
+    #[test]
+    fn purity_flags_false_merges() {
+        let mut t = TestChain::new();
+        let cb1 = t.coinbase(1, 50);
+        let cb2 = t.coinbase(2, 50);
+        // Co-spend 1+2 — but ground truth says they're different owners
+        // (an H1 violation, e.g. a CoinJoin-style transaction).
+        t.tx(&[(cb1, 0), (cb2, 0)], &[(3, 100)]);
+        let clustering = Clusterer::h1_only().run(&t.chain);
+        let owner_of = vec![Some(10), Some(20), None];
+        let s = score_clustering(&clustering, &owner_of);
+        assert_eq!(s.scored_addresses, 2);
+        assert_eq!(s.majority_addresses, 1);
+        assert_eq!(s.impure_clusters, 1);
+        assert!((s.purity() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_owner_detection() {
+        let mut t = TestChain::new();
+        let _cb1 = t.coinbase(1, 50);
+        let _cb2 = t.coinbase(2, 50);
+        // No linking at all: owner 10 owns both addresses but they stay in
+        // separate clusters.
+        let clustering = Clusterer::h1_only().run(&t.chain);
+        let owner_of = vec![Some(10), Some(10)];
+        let s = score_clustering(&clustering, &owner_of);
+        assert_eq!(s.split_owners, 1);
+        assert_eq!(s.impure_clusters, 0);
+        assert_eq!(s.purity(), 1.0);
+    }
+
+    #[test]
+    fn concentration_math() {
+        let c = concentration(&[50, 30, 10, 5, 5]);
+        assert!((c.top1 - 0.5).abs() < 1e-9);
+        assert!((c.top5 - 1.0).abs() < 1e-9);
+        assert!((c.hhi - (0.25 + 0.09 + 0.01 + 0.0025 + 0.0025)).abs() < 1e-9);
+        // Degenerate cases.
+        assert_eq!(concentration(&[]).hhi, 0.0);
+        assert_eq!(concentration(&[0, 0]).top1, 0.0);
+        let mono = concentration(&[7]);
+        assert_eq!(mono.top1, 1.0);
+        assert_eq!(mono.hhi, 1.0);
+    }
+
+    #[test]
+    fn amplification_math() {
+        assert_eq!(amplification(0, 100), 0.0);
+        assert!((amplification(1_070, 1_800_000) - 1682.2429906542056).abs() < 1e-6);
+    }
+}

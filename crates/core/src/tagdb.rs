@@ -1,0 +1,171 @@
+//! Ground-truth address tags.
+//!
+//! Tags label an address as belonging to a named real-world service. The
+//! paper obtained them three ways, in decreasing reliability: by transacting
+//! with services directly (§3.1), from self-submitted collections such as
+//! `blockchain.info/tags`, and by scraping forums (§3.2).
+
+use fistful_chain::resolve::AddressId;
+use std::collections::{HashMap, HashSet};
+
+/// Where a tag came from; determines its reliability weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TagSource {
+    /// We transacted with the service ourselves and observed the address.
+    OwnTransaction,
+    /// Self-submitted (e.g. a signature on a forum, blockchain.info/tags).
+    SelfSubmitted,
+    /// Scraped from forum threads; requires due diligence.
+    Forum,
+}
+
+impl TagSource {
+    /// Voting weight used by cluster naming.
+    pub fn reliability(self) -> f64 {
+        match self {
+            TagSource::OwnTransaction => 1.0,
+            TagSource::SelfSubmitted => 0.6,
+            TagSource::Forum => 0.4,
+        }
+    }
+}
+
+/// A single address tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tag {
+    /// The tagged address.
+    pub address: AddressId,
+    /// The service name (e.g. "Mt. Gox").
+    pub service: String,
+    /// The service category (e.g. "exchange", "gambling").
+    pub category: String,
+    /// Provenance.
+    pub source: TagSource,
+}
+
+/// An indexed collection of tags.
+#[derive(Debug, Clone, Default)]
+pub struct TagDb {
+    tags: Vec<Tag>,
+    by_address: HashMap<AddressId, Vec<usize>>,
+}
+
+impl TagDb {
+    /// An empty database.
+    pub fn new() -> TagDb {
+        TagDb::default()
+    }
+
+    /// Adds a tag.
+    pub fn add(&mut self, tag: Tag) {
+        self.by_address.entry(tag.address).or_default().push(self.tags.len());
+        self.tags.push(tag);
+    }
+
+    /// Number of tags.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// True if no tags are present.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// All tags.
+    pub fn tags(&self) -> &[Tag] {
+        &self.tags
+    }
+
+    /// Tags attached to an address.
+    pub fn tags_for(&self, addr: AddressId) -> impl Iterator<Item = &Tag> {
+        self.by_address
+            .get(&addr)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.tags[i])
+    }
+
+    /// Number of distinct tagged addresses.
+    pub fn tagged_address_count(&self) -> usize {
+        self.by_address.len()
+    }
+
+    /// Distinct service names present.
+    pub fn services(&self) -> HashSet<&str> {
+        self.tags.iter().map(|t| t.service.as_str()).collect()
+    }
+
+    /// All addresses tagged with a given category (e.g. "gambling" for the
+    /// Satoshi-Dice exception).
+    pub fn addresses_in_category(&self, category: &str) -> HashSet<AddressId> {
+        self.tags
+            .iter()
+            .filter(|t| t.category == category)
+            .map(|t| t.address)
+            .collect()
+    }
+
+    /// All addresses tagged with a given service name.
+    pub fn addresses_of_service(&self, service: &str) -> HashSet<AddressId> {
+        self.tags
+            .iter()
+            .filter(|t| t.service == service)
+            .map(|t| t.address)
+            .collect()
+    }
+
+    /// Tags restricted to a source.
+    pub fn tags_from(&self, source: TagSource) -> impl Iterator<Item = &Tag> {
+        self.tags.iter().filter(move |t| t.source == source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(addr: AddressId, service: &str, category: &str, source: TagSource) -> Tag {
+        Tag { address: addr, service: service.into(), category: category.into(), source }
+    }
+
+    #[test]
+    fn add_and_query() {
+        let mut db = TagDb::new();
+        db.add(tag(1, "Mt. Gox", "exchange", TagSource::OwnTransaction));
+        db.add(tag(1, "Mt. Gox", "exchange", TagSource::Forum));
+        db.add(tag(2, "Satoshi Dice", "gambling", TagSource::OwnTransaction));
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.tagged_address_count(), 2);
+        assert_eq!(db.tags_for(1).count(), 2);
+        assert_eq!(db.tags_for(99).count(), 0);
+        assert_eq!(db.services().len(), 2);
+    }
+
+    #[test]
+    fn category_and_service_lookups() {
+        let mut db = TagDb::new();
+        db.add(tag(1, "Satoshi Dice", "gambling", TagSource::OwnTransaction));
+        db.add(tag(2, "Satoshi Dice", "gambling", TagSource::OwnTransaction));
+        db.add(tag(3, "Mt. Gox", "exchange", TagSource::OwnTransaction));
+        let dice = db.addresses_in_category("gambling");
+        assert_eq!(dice, HashSet::from([1, 2]));
+        assert_eq!(db.addresses_of_service("Mt. Gox"), HashSet::from([3]));
+    }
+
+    #[test]
+    fn reliability_ordering() {
+        assert!(TagSource::OwnTransaction.reliability() > TagSource::SelfSubmitted.reliability());
+        assert!(TagSource::SelfSubmitted.reliability() > TagSource::Forum.reliability());
+    }
+
+    #[test]
+    fn source_filter() {
+        let mut db = TagDb::new();
+        db.add(tag(1, "A", "wallet", TagSource::OwnTransaction));
+        db.add(tag(2, "B", "wallet", TagSource::Forum));
+        assert_eq!(db.tags_from(TagSource::Forum).count(), 1);
+        assert_eq!(db.tags_from(TagSource::OwnTransaction).count(), 1);
+        assert_eq!(db.tags_from(TagSource::SelfSubmitted).count(), 0);
+    }
+}

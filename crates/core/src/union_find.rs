@@ -1,0 +1,302 @@
+//! Disjoint-set (union-find) structures.
+//!
+//! [`UnionFind`] is the sequential workhorse (path halving + union by rank).
+//! [`AtomicUnionFind`] is a lock-free variant (union by minimum root, CAS
+//! path compression) used by the parallel clustering ablation bench.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Sequential disjoint-set forest with path halving and union by rank.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Finds the representative of `x`, halving the path as it goes.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+    }
+
+    /// Finds without mutating (no compression); useful behind `&self`.
+    pub fn find_immutable(&self, mut x: u32) -> u32 {
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return x;
+            }
+            x = p;
+        }
+    }
+
+    /// Merges the sets containing `a` and `b`. Returns `true` if they were
+    /// previously disjoint.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Produces a dense labelling: element → cluster id in `0..k`, plus the
+    /// size of each cluster.
+    pub fn assignments(&mut self) -> (Vec<u32>, Vec<u32>) {
+        let n = self.parent.len();
+        let mut label = vec![u32::MAX; n];
+        let mut assignment = vec![0u32; n];
+        let mut sizes: Vec<u32> = Vec::new();
+        for x in 0..n as u32 {
+            let root = self.find(x);
+            let slot = &mut label[root as usize];
+            if *slot == u32::MAX {
+                *slot = sizes.len() as u32;
+                sizes.push(0);
+            }
+            assignment[x as usize] = *slot;
+            sizes[*slot as usize] += 1;
+        }
+        (assignment, sizes)
+    }
+}
+
+/// Lock-free disjoint-set forest: union by minimum root with CAS.
+///
+/// Concurrent `union`/`find` calls are linearizable; ranks are not used, so
+/// tree depth is kept acceptable by aggressive path compression.
+pub struct AtomicUnionFind {
+    parent: Vec<AtomicU32>,
+}
+
+impl AtomicUnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> AtomicUnionFind {
+        AtomicUnionFind {
+            parent: (0..n as u32).map(AtomicU32::new).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Finds the current representative of `x`, compressing as it goes.
+    pub fn find(&self, mut x: u32) -> u32 {
+        loop {
+            let p = self.parent[x as usize].load(Ordering::Acquire);
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize].load(Ordering::Acquire);
+            if gp != p {
+                // Path halving; failure is benign.
+                let _ = self.parent[x as usize].compare_exchange(
+                    p,
+                    gp,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                );
+            }
+            x = p;
+        }
+    }
+
+    /// Merges the sets containing `a` and `b` (smaller root wins).
+    pub fn union(&self, a: u32, b: u32) {
+        let mut ra = self.find(a);
+        let mut rb = self.find(b);
+        loop {
+            if ra == rb {
+                return;
+            }
+            // Attach the larger root under the smaller (deterministic
+            // tie-break keeps the structure canonical).
+            let (hi, lo) = if ra > rb { (ra, rb) } else { (rb, ra) };
+            match self.parent[hi as usize].compare_exchange(
+                hi,
+                lo,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(_) => {
+                    ra = self.find(hi);
+                    rb = self.find(lo);
+                }
+            }
+        }
+    }
+
+    /// Snapshots into a sequential [`UnionFind`]-style assignment.
+    pub fn assignments(&self) -> Vec<u32> {
+        (0..self.parent.len() as u32).map(|x| self.find(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        for i in 0..5 {
+            assert_eq!(uf.find(i), i);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.component_count(), 3);
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(0, 2));
+        assert!(uf.union(1, 3));
+        assert!(uf.same(0, 2));
+        assert_eq!(uf.component_count(), 2);
+    }
+
+    #[test]
+    fn transitivity_over_long_chain() {
+        let n = 10_000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n as u32 - 1 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.component_count(), 1);
+        assert!(uf.same(0, n as u32 - 1));
+    }
+
+    #[test]
+    fn assignments_are_dense_and_consistent() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 3);
+        uf.union(1, 4);
+        let (assign, sizes) = uf.assignments();
+        assert_eq!(assign.len(), 6);
+        assert_eq!(sizes.iter().sum::<u32>(), 6);
+        assert_eq!(assign[0], assign[3]);
+        assert_eq!(assign[1], assign[4]);
+        assert_ne!(assign[0], assign[1]);
+        assert_eq!(sizes.len(), 4); // {0,3} {1,4} {2} {5}
+        // Labels are dense 0..k.
+        let max = *assign.iter().max().unwrap();
+        assert_eq!(max as usize + 1, sizes.len());
+    }
+
+    #[test]
+    fn atomic_matches_sequential() {
+        use std::collections::HashMap;
+        let n = 1000usize;
+        let edges: Vec<(u32, u32)> = (0..n as u32)
+            .map(|i| (i, (i.wrapping_mul(7919) % n as u32)))
+            .collect();
+
+        let mut seq = UnionFind::new(n);
+        let atomic = AtomicUnionFind::new(n);
+        for &(a, b) in &edges {
+            seq.union(a, b);
+            atomic.union(a, b);
+        }
+        // Same partition: build canonical keys and compare.
+        let mut seq_key = HashMap::new();
+        let mut atom_key = HashMap::new();
+        for x in 0..n as u32 {
+            let s = seq.find(x);
+            let a = atomic.find(x);
+            let sk = *seq_key.entry(s).or_insert(x);
+            let ak = *atom_key.entry(a).or_insert(x);
+            assert_eq!(sk, ak, "element {x} disagrees");
+        }
+    }
+
+    #[test]
+    fn atomic_concurrent_unions() {
+        use std::sync::Arc;
+        let n = 10_000usize;
+        let uf = Arc::new(AtomicUnionFind::new(n));
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let uf = Arc::clone(&uf);
+                std::thread::spawn(move || {
+                    // Each thread links a strided chain; combined they form
+                    // one component.
+                    let mut i = t as u32;
+                    while (i as usize) < n - 4 {
+                        uf.union(i, i + 4);
+                        uf.union(i, i + 1);
+                        i += 4;
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let root = uf.find(0);
+        for x in 0..n as u32 {
+            assert_eq!(uf.find(x), root);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Base58 and Base58Check encoding, as used for Bitcoin addresses.
+
+use crate::sha256::sha256d;
+
+/// The Bitcoin Base58 alphabet (no `0`, `O`, `I`, `l`).
+const ALPHABET: &[u8; 58] = b"123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+
+/// Errors from Base58(Check) decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Base58Error {
+    /// A character outside the Base58 alphabet was encountered.
+    InvalidCharacter(char),
+    /// The payload was shorter than the 4-byte checksum.
+    TooShort,
+    /// The trailing 4-byte double-SHA-256 checksum did not match.
+    BadChecksum,
+}
+
+impl std::fmt::Display for Base58Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Base58Error::InvalidCharacter(c) => write!(f, "invalid base58 character {c:?}"),
+            Base58Error::TooShort => write!(f, "base58check payload shorter than checksum"),
+            Base58Error::BadChecksum => write!(f, "base58check checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for Base58Error {}
+
+/// Encodes raw bytes as Base58.
+pub fn encode(data: &[u8]) -> String {
+    // Count leading zero bytes: they encode as leading '1's.
+    let zeros = data.iter().take_while(|&&b| b == 0).count();
+
+    // Repeated division of the big-endian number by 58.
+    let mut digits: Vec<u8> = Vec::with_capacity(data.len() * 138 / 100 + 1);
+    let mut num: Vec<u8> = data[zeros..].to_vec();
+    while !num.is_empty() {
+        let mut rem: u32 = 0;
+        let mut next = Vec::with_capacity(num.len());
+        for &byte in &num {
+            let acc = (rem << 8) | byte as u32;
+            let q = acc / 58;
+            rem = acc % 58;
+            if !next.is_empty() || q != 0 {
+                next.push(q as u8);
+            }
+        }
+        digits.push(rem as u8);
+        num = next;
+    }
+
+    let mut out = String::with_capacity(zeros + digits.len());
+    for _ in 0..zeros {
+        out.push('1');
+    }
+    for &d in digits.iter().rev() {
+        out.push(ALPHABET[d as usize] as char);
+    }
+    out
+}
+
+/// Decodes a Base58 string into raw bytes.
+pub fn decode(s: &str) -> Result<Vec<u8>, Base58Error> {
+    let ones = s.bytes().take_while(|&b| b == b'1').count();
+
+    let mut num: Vec<u8> = Vec::new();
+    for c in s.bytes().skip(ones) {
+        let digit = ALPHABET
+            .iter()
+            .position(|&a| a == c)
+            .ok_or(Base58Error::InvalidCharacter(c as char))? as u32;
+        // num = num * 58 + digit, big-endian.
+        let mut carry = digit;
+        for byte in num.iter_mut().rev() {
+            let acc = *byte as u32 * 58 + carry;
+            *byte = (acc & 0xff) as u8;
+            carry = acc >> 8;
+        }
+        while carry > 0 {
+            num.insert(0, (carry & 0xff) as u8);
+            carry >>= 8;
+        }
+    }
+
+    let mut out = vec![0u8; ones];
+    out.extend_from_slice(&num);
+    Ok(out)
+}
+
+/// Encodes `payload` with a version byte and 4-byte double-SHA-256 checksum.
+pub fn check_encode(version: u8, payload: &[u8]) -> String {
+    let mut data = Vec::with_capacity(1 + payload.len() + 4);
+    data.push(version);
+    data.extend_from_slice(payload);
+    let checksum = sha256d(&data);
+    data.extend_from_slice(&checksum.0[..4]);
+    encode(&data)
+}
+
+/// Decodes a Base58Check string, returning `(version, payload)`.
+pub fn check_decode(s: &str) -> Result<(u8, Vec<u8>), Base58Error> {
+    let data = decode(s)?;
+    if data.len() < 5 {
+        return Err(Base58Error::TooShort);
+    }
+    let (body, checksum) = data.split_at(data.len() - 4);
+    let expect = sha256d(body);
+    if checksum != &expect.0[..4] {
+        return Err(Base58Error::BadChecksum);
+    }
+    Ok((body[0], body[1..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_known_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(&[0x00]), "1");
+        assert_eq!(encode(&[0x00, 0x00]), "11");
+        assert_eq!(encode(b"hello world"), "StV1DL6CwTryKyV");
+        // 0x61 = 97 = 1·58 + 39 → digits [1, 39] → "2g", plus one leading '1'.
+        assert_eq!(encode(&[0x00, 0x61]), "12g");
+    }
+
+    #[test]
+    fn decode_known_vectors() {
+        assert_eq!(decode("StV1DL6CwTryKyV").unwrap(), b"hello world");
+        assert_eq!(decode("1").unwrap(), vec![0]);
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn decode_rejects_invalid_characters() {
+        assert_eq!(
+            decode("0OIl"),
+            Err(Base58Error::InvalidCharacter('0'))
+        );
+    }
+
+    #[test]
+    fn genesis_address_vector() {
+        // hash160 of the genesis coinbase pubkey, version 0x00, must produce
+        // the famous first Bitcoin address.
+        let h160_hex = "62e907b15cbf27d5425399ebf6f0fb50ebb88f18";
+        let payload: Vec<u8> = (0..h160_hex.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&h160_hex[i..i + 2], 16).unwrap())
+            .collect();
+        assert_eq!(
+            check_encode(0x00, &payload),
+            "1A1zP1eP5QGefi2DMPTfTL5SLmv7DivfNa"
+        );
+    }
+
+    #[test]
+    fn check_round_trip() {
+        let payload = [0xde, 0xad, 0xbe, 0xef, 0x42];
+        let s = check_encode(0x05, &payload);
+        let (version, decoded) = check_decode(&s).unwrap();
+        assert_eq!(version, 0x05);
+        assert_eq!(decoded, payload);
+    }
+
+    #[test]
+    fn check_detects_corruption() {
+        let s = check_encode(0x00, &[1, 2, 3, 4]);
+        // Flip one character (choose a replacement that stays in-alphabet).
+        let mut corrupted: Vec<char> = s.chars().collect();
+        let i = corrupted.len() / 2;
+        corrupted[i] = if corrupted[i] == '2' { '3' } else { '2' };
+        let corrupted: String = corrupted.into_iter().collect();
+        assert!(matches!(
+            check_decode(&corrupted),
+            Err(Base58Error::BadChecksum) | Err(Base58Error::TooShort)
+        ));
+    }
+
+    #[test]
+    fn round_trip_random_payloads() {
+        // Deterministic pseudo-random payloads without pulling in rand here.
+        let mut x: u64 = 0x1234_5678_9abc_def0;
+        for len in 0..64 {
+            let mut payload = Vec::with_capacity(len);
+            for _ in 0..len {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                payload.push((x >> 56) as u8);
+            }
+            let encoded = encode(&payload);
+            assert_eq!(decode(&encoded).unwrap(), payload, "len {len}");
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Arithmetic in the secp256k1 base field GF(p), where
+//! `p = 2^256 - 2^32 - 977`.
+//!
+//! Multiplication uses the standard fast reduction exploiting
+//! `2^256 ≡ 2^32 + 977 (mod p)`; the property tests cross-check it against
+//! the generic binary-division remainder in [`crate::u256`].
+
+use crate::u256::U256;
+
+/// `2^32 + 977`, the "small" part of the secp256k1 prime.
+const C: u64 = 0x1_0000_03D1;
+
+/// The field prime `p`.
+pub const P: U256 = U256 {
+    limbs: [
+        0xFFFF_FFFE_FFFF_FC2F,
+        0xFFFF_FFFF_FFFF_FFFF,
+        0xFFFF_FFFF_FFFF_FFFF,
+        0xFFFF_FFFF_FFFF_FFFF,
+    ],
+};
+
+/// An element of GF(p), kept reduced (< p) at all times.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Fe(U256);
+
+impl Fe {
+    /// Zero.
+    pub const ZERO: Fe = Fe(U256::ZERO);
+    /// One.
+    pub const ONE: Fe = Fe(U256::ONE);
+
+    /// Builds from an integer, reducing mod p.
+    pub fn from_u256(v: U256) -> Fe {
+        if v >= P {
+            let (r, _) = v.overflowing_sub(&P);
+            Fe(r)
+        } else {
+            Fe(v)
+        }
+    }
+
+    /// Builds from a small value.
+    pub fn from_u64(v: u64) -> Fe {
+        Fe(U256::from_u64(v))
+    }
+
+    /// Builds from 32 big-endian bytes (reduced mod p).
+    pub fn from_be_bytes(b: &[u8; 32]) -> Fe {
+        Fe::from_u256(U256::from_be_bytes(b))
+    }
+
+    /// Parses a hex string, reducing mod p.
+    pub fn from_hex(s: &str) -> Option<Fe> {
+        U256::from_hex(s).map(Fe::from_u256)
+    }
+
+    /// Serializes to 32 big-endian bytes.
+    pub fn to_be_bytes(&self) -> [u8; 32] {
+        self.0.to_be_bytes()
+    }
+
+    /// The underlying reduced integer.
+    pub fn to_u256(&self) -> U256 {
+        self.0
+    }
+
+    /// True if the element is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// True if the underlying integer is odd.
+    pub fn is_odd(&self) -> bool {
+        self.0.bit(0)
+    }
+
+    /// Field addition.
+    pub fn add(&self, other: &Fe) -> Fe {
+        let (sum, carry) = self.0.overflowing_add(&other.0);
+        if carry || sum >= P {
+            let (r, _) = sum.overflowing_sub(&P);
+            Fe(r)
+        } else {
+            Fe(sum)
+        }
+    }
+
+    /// Field subtraction.
+    pub fn sub(&self, other: &Fe) -> Fe {
+        let (diff, borrow) = self.0.overflowing_sub(&other.0);
+        if borrow {
+            let (r, _) = diff.overflowing_add(&P);
+            Fe(r)
+        } else {
+            Fe(diff)
+        }
+    }
+
+    /// Field negation.
+    pub fn neg(&self) -> Fe {
+        if self.is_zero() {
+            *self
+        } else {
+            let (r, _) = P.overflowing_sub(&self.0);
+            Fe(r)
+        }
+    }
+
+    /// Field multiplication with fast secp256k1 reduction.
+    pub fn mul(&self, other: &Fe) -> Fe {
+        let wide = self.0.mul_wide(&other.0);
+        let (lo, hi) = wide.split();
+
+        // 2^256 ≡ C (mod p): fold the high half down once.
+        let (hic_lo, hic_hi) = hi.mul_u64(C); // hi * C, 5 limbs
+        let (sum, carry1) = lo.overflowing_add(&hic_lo);
+        // Total overflow above 2^256: hic_hi plus the addition carry.
+        let overflow = hic_hi + carry1 as u64; // < 2^34, no wrap possible
+
+        // Fold the small overflow down: overflow * 2^256 ≡ overflow * C.
+        // overflow * C < 2^34 * 2^33 = 2^67, so it spans two limbs.
+        let of_lo = (overflow as u128 * C as u128) as u64;
+        let of_hi = ((overflow as u128 * C as u128) >> 64) as u64;
+        let fold = U256 { limbs: [of_lo, of_hi, 0, 0] };
+        let (sum2, carry2) = sum.overflowing_add(&fold);
+
+        let mut r = sum2;
+        if carry2 {
+            // One final wrap: add C once more (cannot carry again because
+            // sum2 < C after a wrap at this magnitude, but handle generally).
+            let (r3, carry3) = r.overflowing_add(&U256::from_u64(C));
+            debug_assert!(!carry3);
+            r = r3;
+        }
+        while r >= P {
+            let (d, _) = r.overflowing_sub(&P);
+            r = d;
+        }
+        Fe(r)
+    }
+
+    /// Field squaring.
+    pub fn square(&self) -> Fe {
+        self.mul(self)
+    }
+
+    /// Exponentiation by square-and-multiply.
+    pub fn pow(&self, exp: &U256) -> Fe {
+        let mut result = Fe::ONE;
+        let bits = exp.bits();
+        for i in (0..bits).rev() {
+            result = result.square();
+            if exp.bit(i) {
+                result = result.mul(self);
+            }
+        }
+        result
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem (`a^(p-2)`).
+    /// Panics on zero.
+    pub fn inv(&self) -> Fe {
+        assert!(!self.is_zero(), "inverse of zero field element");
+        let (pm2, _) = P.overflowing_sub(&U256::from_u64(2));
+        self.pow(&pm2)
+    }
+
+    /// Multiplies by a small constant.
+    pub fn mul_u64(&self, k: u64) -> Fe {
+        self.mul(&Fe::from_u64(k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fe(s: &str) -> Fe {
+        Fe::from_hex(s).unwrap()
+    }
+
+    #[test]
+    fn add_wraps_at_p() {
+        let pm1 = Fe::from_u256({
+            let (r, _) = P.overflowing_sub(&U256::ONE);
+            r
+        });
+        assert_eq!(pm1.add(&Fe::ONE), Fe::ZERO);
+        assert_eq!(pm1.add(&Fe::from_u64(2)), Fe::ONE);
+    }
+
+    #[test]
+    fn sub_wraps_below_zero() {
+        let r = Fe::ZERO.sub(&Fe::ONE);
+        let pm1 = {
+            let (v, _) = P.overflowing_sub(&U256::ONE);
+            Fe::from_u256(v)
+        };
+        assert_eq!(r, pm1);
+    }
+
+    #[test]
+    fn neg_roundtrip() {
+        let x = fe("deadbeef12345678");
+        assert_eq!(x.neg().neg(), x);
+        assert_eq!(x.add(&x.neg()), Fe::ZERO);
+        assert_eq!(Fe::ZERO.neg(), Fe::ZERO);
+    }
+
+    #[test]
+    fn mul_matches_generic_reduction() {
+        // Cross-check the fast reduction against binary long division.
+        let samples = [
+            "1",
+            "2",
+            "fffffffefffffc2e", // p-1 low limb pattern
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2e",
+            "8000000000000000000000000000000000000000000000000000000000000001",
+            "deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef",
+        ];
+        for a_hex in samples {
+            for b_hex in samples {
+                let a = fe(a_hex);
+                let b = fe(b_hex);
+                let fast = a.mul(&b);
+                let slow = Fe::from_u256(a.to_u256().mul_wide(&b.to_u256()).rem(&P));
+                assert_eq!(fast, slow, "a={a_hex} b={b_hex}");
+            }
+        }
+    }
+
+    #[test]
+    fn square_matches_mul() {
+        let x = fe("123456789abcdef0fedcba9876543210aaaaaaaabbbbbbbbccccccccdddddddd");
+        assert_eq!(x.square(), x.mul(&x));
+    }
+
+    #[test]
+    fn inverse() {
+        let x = fe("deadbeef");
+        assert_eq!(x.mul(&x.inv()), Fe::ONE);
+        assert_eq!(Fe::ONE.inv(), Fe::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse of zero")]
+    fn inverse_of_zero_panics() {
+        let _ = Fe::ZERO.inv();
+    }
+
+    #[test]
+    fn pow_small() {
+        let three = Fe::from_u64(3);
+        assert_eq!(three.pow(&U256::from_u64(4)), Fe::from_u64(81));
+        assert_eq!(three.pow(&U256::ZERO), Fe::ONE);
+    }
+
+    #[test]
+    fn from_u256_reduces() {
+        // P itself reduces to zero.
+        assert_eq!(Fe::from_u256(P), Fe::ZERO);
+    }
+
+    #[test]
+    fn curve_constant_b_is_seven() {
+        // sanity: y^2 = x^3 + 7 on G (checked fully in secp256k1 tests).
+        let b = Fe::from_u64(7);
+        assert!(!b.is_zero());
+    }
+}

@@ -1,0 +1,152 @@
+//! Fixed-size hash digests used throughout the workspace.
+//!
+//! [`Hash256`] is the 32-byte output of double-SHA-256 (transaction ids,
+//! block hashes); [`Hash160`] is the 20-byte output of
+//! RIPEMD-160∘SHA-256 (address payloads).
+
+use std::fmt;
+
+/// A 32-byte digest, displayed in the conventional reversed-hex form used by
+/// Bitcoin for txids and block hashes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Hash256(pub [u8; 32]);
+
+impl Hash256 {
+    /// The all-zero digest, used as the previous-block reference of a genesis
+    /// block and as the outpoint of a coin generation.
+    pub const ZERO: Hash256 = Hash256([0u8; 32]);
+
+    /// Returns the raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Builds a digest from raw bytes.
+    pub fn from_bytes(b: [u8; 32]) -> Self {
+        Hash256(b)
+    }
+
+    /// Interprets the digest as a big-endian 256-bit integer and compares it
+    /// against `target`, as proof-of-work validation does.
+    pub fn meets_target(&self, target: &Hash256) -> bool {
+        // Big-endian lexicographic comparison equals numeric comparison.
+        self.0 <= target.0
+    }
+
+    /// Parses from a 64-character hex string (byte order as written).
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Hash256(out))
+    }
+
+    /// Lower-case hex of the bytes in natural (stored) order.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+}
+
+impl fmt::Debug for Hash256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Hash256({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Hash256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+/// A 20-byte digest (RIPEMD-160 of SHA-256), the payload of a
+/// pay-to-pubkey-hash address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Hash160(pub [u8; 20]);
+
+impl Hash160 {
+    /// Returns the raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 20] {
+        &self.0
+    }
+
+    /// Builds a digest from raw bytes.
+    pub fn from_bytes(b: [u8; 20]) -> Self {
+        Hash160(b)
+    }
+
+    /// Lower-case hex of the bytes.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(40);
+        for b in self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+}
+
+impl fmt::Debug for Hash160 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Hash160({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for Hash160 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trip() {
+        let h = Hash256::from_hex(
+            "00000000000000000000000000000000000000000000000000000000000000ff",
+        )
+        .unwrap();
+        assert_eq!(h.0[31], 0xff);
+        assert_eq!(
+            h.to_hex(),
+            "00000000000000000000000000000000000000000000000000000000000000ff"
+        );
+    }
+
+    #[test]
+    fn from_hex_rejects_bad_input() {
+        assert!(Hash256::from_hex("abcd").is_none());
+        assert!(Hash256::from_hex(&"zz".repeat(32)).is_none());
+    }
+
+    #[test]
+    fn target_comparison_is_numeric() {
+        let small = Hash256::from_hex(
+            "0000000000000000000000000000000000000000000000000000000000000001",
+        )
+        .unwrap();
+        let big = Hash256::from_hex(
+            "1000000000000000000000000000000000000000000000000000000000000000",
+        )
+        .unwrap();
+        assert!(small.meets_target(&big));
+        assert!(!big.meets_target(&small));
+        assert!(small.meets_target(&small));
+    }
+
+    #[test]
+    fn zero_constant() {
+        assert_eq!(Hash256::ZERO.0, [0u8; 32]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Key pairs and pay-to-pubkey-hash address derivation.
+//!
+//! Keys are derived deterministically from 64-bit seeds so that every actor
+//! in the simulated economy is reproducible. The address payload is
+//! `hash160(compressed pubkey)` encoded with Base58Check version `0x00`,
+//! exactly as Bitcoin mainnet does.
+
+use crate::base58;
+use crate::hash::{Hash160, Hash256};
+use crate::scalar::Scalar;
+use crate::secp256k1::{self, Affine, Signature};
+use crate::sha256::{hash160, sha256};
+
+/// The Base58Check version byte for pay-to-pubkey-hash addresses.
+pub const ADDRESS_VERSION: u8 = 0x00;
+
+/// A secp256k1 public key.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PublicKey(pub Affine);
+
+impl PublicKey {
+    /// The 20-byte address payload: `hash160(compressed encoding)`.
+    pub fn address_hash(&self) -> Hash160 {
+        hash160(&self.0.encode_compressed())
+    }
+
+    /// The human-readable Base58Check address.
+    pub fn address_string(&self) -> String {
+        base58::check_encode(ADDRESS_VERSION, &self.address_hash().0)
+    }
+
+    /// Verifies a signature over a 32-byte message hash.
+    pub fn verify(&self, msg_hash: &Hash256, sig: &Signature) -> bool {
+        secp256k1::verify(&self.0, msg_hash.as_bytes(), sig)
+    }
+
+    /// Compressed SEC1 encoding.
+    pub fn to_bytes(&self) -> [u8; 33] {
+        self.0.encode_compressed()
+    }
+}
+
+/// A private/public key pair.
+#[derive(Clone, Copy, Debug)]
+pub struct KeyPair {
+    secret: Scalar,
+    public: PublicKey,
+}
+
+impl KeyPair {
+    /// Derives a key pair deterministically from a 64-bit seed.
+    ///
+    /// The secret is `sha256("fistful-key" || seed)` reduced mod n, with a
+    /// deterministic nudge in the (cryptographically unreachable) zero case.
+    pub fn from_seed(seed: u64) -> KeyPair {
+        let mut preimage = Vec::with_capacity(19);
+        preimage.extend_from_slice(b"fistful-key");
+        preimage.extend_from_slice(&seed.to_be_bytes());
+        let digest = sha256(&preimage);
+        let mut secret = Scalar::from_be_bytes(&digest);
+        if secret.is_zero() {
+            secret = Scalar::ONE;
+        }
+        Self::from_secret(secret)
+    }
+
+    /// Builds a key pair from an explicit secret scalar. Panics on zero.
+    pub fn from_secret(secret: Scalar) -> KeyPair {
+        assert!(!secret.is_zero(), "zero private key");
+        let public = PublicKey(secp256k1::mul(&secp256k1::generator(), &secret));
+        KeyPair { secret, public }
+    }
+
+    /// The public half.
+    pub fn public(&self) -> &PublicKey {
+        &self.public
+    }
+
+    /// Signs a 32-byte message hash.
+    pub fn sign(&self, msg_hash: &Hash256) -> Signature {
+        secp256k1::sign(&self.secret, msg_hash.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256d;
+
+    #[test]
+    fn seed_determinism() {
+        let a = KeyPair::from_seed(42);
+        let b = KeyPair::from_seed(42);
+        assert_eq!(a.public(), b.public());
+        let c = KeyPair::from_seed(43);
+        assert_ne!(a.public(), c.public());
+    }
+
+    #[test]
+    fn address_round_trip() {
+        let kp = KeyPair::from_seed(7);
+        let addr = kp.public().address_string();
+        let (version, payload) = base58::check_decode(&addr).unwrap();
+        assert_eq!(version, ADDRESS_VERSION);
+        assert_eq!(payload, kp.public().address_hash().0.to_vec());
+        assert!(addr.starts_with('1'));
+    }
+
+    #[test]
+    fn sign_and_verify() {
+        let kp = KeyPair::from_seed(1234);
+        let msg = sha256d(b"pay to the order of");
+        let sig = kp.sign(&msg);
+        assert!(kp.public().verify(&msg, &sig));
+        let other = sha256d(b"different message");
+        assert!(!kp.public().verify(&other, &sig));
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_addresses() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..50u64 {
+            let kp = KeyPair::from_seed(seed);
+            assert!(seen.insert(kp.public().address_hash()), "collision at {seed}");
+        }
+    }
+
+    #[test]
+    fn public_key_on_curve() {
+        for seed in [0u64, 1, u64::MAX] {
+            assert!(KeyPair::from_seed(seed).public().0.is_on_curve());
+        }
+    }
+}

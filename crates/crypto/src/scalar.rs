@@ -1,0 +1,202 @@
+//! Arithmetic modulo the secp256k1 group order `n`.
+//!
+//! Scalars appear a handful of times per signature, so the generic
+//! binary-division reduction from [`crate::u256`] is fast enough here; the
+//! hot path (field multiplication inside point arithmetic) has its own
+//! specialised reduction in [`crate::field`].
+
+use crate::u256::U256;
+
+/// The secp256k1 group order `n`.
+pub const N: U256 = U256 {
+    limbs: [
+        0xBFD2_5E8C_D036_4141,
+        0xBAAE_DCE6_AF48_A03B,
+        0xFFFF_FFFF_FFFF_FFFE,
+        0xFFFF_FFFF_FFFF_FFFF,
+    ],
+};
+
+/// An integer modulo `n`, kept reduced at all times.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Scalar(U256);
+
+impl Scalar {
+    /// Zero.
+    pub const ZERO: Scalar = Scalar(U256::ZERO);
+    /// One.
+    pub const ONE: Scalar = Scalar(U256::ONE);
+
+    /// Builds from an integer, reducing mod n.
+    pub fn from_u256(v: U256) -> Scalar {
+        if v >= N {
+            let (r, _) = v.overflowing_sub(&N);
+            // A single subtraction suffices for v < 2^256 < 2n.
+            Scalar(r)
+        } else {
+            Scalar(v)
+        }
+    }
+
+    /// Builds from a small value.
+    pub fn from_u64(v: u64) -> Scalar {
+        Scalar(U256::from_u64(v))
+    }
+
+    /// Builds from 32 big-endian bytes, reducing mod n.
+    pub fn from_be_bytes(b: &[u8; 32]) -> Scalar {
+        Scalar::from_u256(U256::from_be_bytes(b))
+    }
+
+    /// Parses a hex string, reducing mod n.
+    pub fn from_hex(s: &str) -> Option<Scalar> {
+        U256::from_hex(s).map(Scalar::from_u256)
+    }
+
+    /// Serializes to 32 big-endian bytes.
+    pub fn to_be_bytes(&self) -> [u8; 32] {
+        self.0.to_be_bytes()
+    }
+
+    /// The underlying reduced integer.
+    pub fn to_u256(&self) -> U256 {
+        self.0
+    }
+
+    /// True if zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// Addition mod n.
+    pub fn add(&self, other: &Scalar) -> Scalar {
+        let (sum, carry) = self.0.overflowing_add(&other.0);
+        if carry || sum >= N {
+            let (r, _) = sum.overflowing_sub(&N);
+            Scalar(r)
+        } else {
+            Scalar(sum)
+        }
+    }
+
+    /// Negation mod n.
+    pub fn neg(&self) -> Scalar {
+        if self.is_zero() {
+            *self
+        } else {
+            let (r, _) = N.overflowing_sub(&self.0);
+            Scalar(r)
+        }
+    }
+
+    /// Subtraction mod n.
+    pub fn sub(&self, other: &Scalar) -> Scalar {
+        self.add(&other.neg())
+    }
+
+    /// Multiplication mod n (widening multiply + generic reduction).
+    pub fn mul(&self, other: &Scalar) -> Scalar {
+        Scalar(self.0.mul_wide(&other.0).rem(&N))
+    }
+
+    /// Exponentiation by square-and-multiply.
+    pub fn pow(&self, exp: &U256) -> Scalar {
+        let mut result = Scalar::ONE;
+        let bits = exp.bits();
+        for i in (0..bits).rev() {
+            result = result.mul(&result);
+            if exp.bit(i) {
+                result = result.mul(self);
+            }
+        }
+        result
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem (`a^(n-2)`).
+    /// Panics on zero.
+    pub fn inv(&self) -> Scalar {
+        assert!(!self.is_zero(), "inverse of zero scalar");
+        let (nm2, _) = N.overflowing_sub(&U256::from_u64(2));
+        self.pow(&nm2)
+    }
+
+    /// True if the scalar is greater than n/2 (a "high-s" signature value).
+    pub fn is_high(&self) -> bool {
+        // n/2, rounded down.
+        const HALF_N: U256 = U256 {
+            limbs: [
+                0xDFE9_2F46_681B_20A0,
+                0x5D57_6E73_57A4_501D,
+                0xFFFF_FFFF_FFFF_FFFF,
+                0x7FFF_FFFF_FFFF_FFFF,
+            ],
+        };
+        self.0 > HALF_N
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n_reduces_to_zero() {
+        assert_eq!(Scalar::from_u256(N), Scalar::ZERO);
+    }
+
+    #[test]
+    fn add_wraps_at_n() {
+        let nm1 = {
+            let (r, _) = N.overflowing_sub(&U256::ONE);
+            Scalar::from_u256(r)
+        };
+        assert_eq!(nm1.add(&Scalar::ONE), Scalar::ZERO);
+    }
+
+    #[test]
+    fn mul_matches_small_values() {
+        let a = Scalar::from_u64(1 << 32);
+        let b = Scalar::from_u64(1 << 20);
+        // 2^32 · 2^20 = 2^52
+        assert_eq!(a.mul(&b), Scalar::from_u256(U256::from_hex("10000000000000").unwrap()));
+    }
+
+    #[test]
+    fn inverse() {
+        let x = Scalar::from_hex("deadbeefcafebabe").unwrap();
+        assert_eq!(x.mul(&x.inv()), Scalar::ONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverse of zero")]
+    fn inverse_of_zero_panics() {
+        let _ = Scalar::ZERO.inv();
+    }
+
+    #[test]
+    fn neg_adds_to_zero() {
+        let x = Scalar::from_hex("123456789abcdef").unwrap();
+        assert_eq!(x.add(&x.neg()), Scalar::ZERO);
+        assert_eq!(Scalar::ZERO.neg(), Scalar::ZERO);
+    }
+
+    #[test]
+    fn high_s_detection() {
+        assert!(!Scalar::ONE.is_high());
+        let nm1 = {
+            let (r, _) = N.overflowing_sub(&U256::ONE);
+            Scalar::from_u256(r)
+        };
+        assert!(nm1.is_high());
+        // neg of a low scalar is high and vice versa
+        assert!(Scalar::from_u64(5).neg().is_high());
+    }
+
+    #[test]
+    fn sub_consistency() {
+        let a = Scalar::from_u64(100);
+        let b = Scalar::from_u64(42);
+        assert_eq!(a.sub(&b), Scalar::from_u64(58));
+        assert_eq!(b.sub(&a), Scalar::from_u64(58).neg());
+    }
+}

@@ -1,0 +1,504 @@
+//! The secp256k1 elliptic-curve group and ECDSA, from scratch.
+//!
+//! The curve is `y² = x³ + 7` over GF(p). Point arithmetic uses Jacobian
+//! projective coordinates; signing uses deterministic nonces per RFC 6979
+//! (HMAC-SHA-256 construction) so the whole workspace stays reproducible
+//! without an entropy source.
+
+use crate::field::Fe;
+use crate::hmac::hmac_sha256;
+use crate::scalar::{Scalar, N};
+use crate::u256::U256;
+
+/// A point on the curve in affine coordinates, or the point at infinity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Affine {
+    pub x: Fe,
+    pub y: Fe,
+    pub infinity: bool,
+}
+
+/// A point in Jacobian projective coordinates `(X/Z², Y/Z³)`.
+#[derive(Clone, Copy, Debug)]
+pub struct Jacobian {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+}
+
+/// The generator point G.
+pub fn generator() -> Affine {
+    Affine {
+        x: Fe::from_hex("79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798")
+            .unwrap(),
+        y: Fe::from_hex("483ADA7726A3C4655DA4FBFC0E1108A8FD17B448A68554199C47D08FFB10D4B8")
+            .unwrap(),
+        infinity: false,
+    }
+}
+
+impl Affine {
+    /// The point at infinity (group identity).
+    pub fn infinity() -> Affine {
+        Affine { x: Fe::ZERO, y: Fe::ZERO, infinity: true }
+    }
+
+    /// True if the coordinates satisfy the curve equation.
+    pub fn is_on_curve(&self) -> bool {
+        if self.infinity {
+            return true;
+        }
+        let lhs = self.y.square();
+        let rhs = self.x.square().mul(&self.x).add(&Fe::from_u64(7));
+        lhs == rhs
+    }
+
+    /// Converts to Jacobian coordinates.
+    pub fn to_jacobian(&self) -> Jacobian {
+        if self.infinity {
+            Jacobian::infinity()
+        } else {
+            Jacobian { x: self.x, y: self.y, z: Fe::ONE }
+        }
+    }
+
+    /// Uncompressed SEC1 encoding: `0x04 || x || y` (65 bytes).
+    /// Panics on the point at infinity.
+    pub fn encode_uncompressed(&self) -> [u8; 65] {
+        assert!(!self.infinity, "cannot encode the point at infinity");
+        let mut out = [0u8; 65];
+        out[0] = 0x04;
+        out[1..33].copy_from_slice(&self.x.to_be_bytes());
+        out[33..65].copy_from_slice(&self.y.to_be_bytes());
+        out
+    }
+
+    /// Compressed SEC1 encoding: `0x02/0x03 || x` (33 bytes).
+    /// Panics on the point at infinity.
+    pub fn encode_compressed(&self) -> [u8; 33] {
+        assert!(!self.infinity, "cannot encode the point at infinity");
+        let mut out = [0u8; 33];
+        out[0] = if self.y.is_odd() { 0x03 } else { 0x02 };
+        out[1..33].copy_from_slice(&self.x.to_be_bytes());
+        out
+    }
+}
+
+impl Jacobian {
+    /// The point at infinity, represented with Z = 0.
+    pub fn infinity() -> Jacobian {
+        Jacobian { x: Fe::ONE, y: Fe::ONE, z: Fe::ZERO }
+    }
+
+    /// True if this is the identity.
+    pub fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Converts back to affine coordinates (one field inversion).
+    pub fn to_affine(&self) -> Affine {
+        if self.is_infinity() {
+            return Affine::infinity();
+        }
+        let zinv = self.z.inv();
+        let zinv2 = zinv.square();
+        let zinv3 = zinv2.mul(&zinv);
+        Affine {
+            x: self.x.mul(&zinv2),
+            y: self.y.mul(&zinv3),
+            infinity: false,
+        }
+    }
+
+    /// Point doubling (curve has a = 0, so the simplified formula applies).
+    pub fn double(&self) -> Jacobian {
+        if self.is_infinity() || self.y.is_zero() {
+            return Jacobian::infinity();
+        }
+        let a = self.x.square();
+        let b = self.y.square();
+        let c = b.square();
+        // D = 2·((X+B)² − A − C)
+        let d = self.x.add(&b).square().sub(&a).sub(&c).mul_u64(2);
+        let e = a.mul_u64(3);
+        let f = e.square();
+        let x3 = f.sub(&d.mul_u64(2));
+        let y3 = e.mul(&d.sub(&x3)).sub(&c.mul_u64(8));
+        let z3 = self.y.mul(&self.z).mul_u64(2);
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+
+    /// General point addition.
+    pub fn add(&self, other: &Jacobian) -> Jacobian {
+        if self.is_infinity() {
+            return *other;
+        }
+        if other.is_infinity() {
+            return *self;
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = other.z.square();
+        let u1 = self.x.mul(&z2z2);
+        let u2 = other.x.mul(&z1z1);
+        let s1 = self.y.mul(&z2z2).mul(&other.z);
+        let s2 = other.y.mul(&z1z1).mul(&self.z);
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Jacobian::infinity();
+        }
+        let h = u2.sub(&u1);
+        let i = h.mul_u64(2).square();
+        let j = h.mul(&i);
+        let r = s2.sub(&s1).mul_u64(2);
+        let v = u1.mul(&i);
+        let x3 = r.square().sub(&j).sub(&v.mul_u64(2));
+        let y3 = r.mul(&v.sub(&x3)).sub(&s1.mul(&j).mul_u64(2));
+        let z3 = self.z.mul(&other.z).mul(&h).mul_u64(2);
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+
+    /// Adds an affine point (slightly cheaper; used in double-and-add).
+    pub fn add_affine(&self, other: &Affine) -> Jacobian {
+        if other.infinity {
+            return *self;
+        }
+        self.add(&other.to_jacobian())
+    }
+}
+
+/// Scalar multiplication `k·P` by MSB-first double-and-add.
+pub fn mul(point: &Affine, k: &Scalar) -> Affine {
+    if k.is_zero() || point.infinity {
+        return Affine::infinity();
+    }
+    let kk = k.to_u256();
+    let bits = kk.bits();
+    let mut acc = Jacobian::infinity();
+    for i in (0..bits).rev() {
+        acc = acc.double();
+        if kk.bit(i) {
+            acc = acc.add_affine(point);
+        }
+    }
+    acc.to_affine()
+}
+
+/// Computes `a·G + b·Q` (the ECDSA verification combination).
+pub fn mul_double(a: &Scalar, q: &Affine, b: &Scalar) -> Affine {
+    // Shamir's trick: one shared doubling chain.
+    let g = generator();
+    let gq = g.to_jacobian().add_affine(q).to_affine();
+    let aa = a.to_u256();
+    let bb = b.to_u256();
+    let bits = aa.bits().max(bb.bits());
+    let mut acc = Jacobian::infinity();
+    for i in (0..bits).rev() {
+        acc = acc.double();
+        match (aa.bit(i), bb.bit(i)) {
+            (true, true) => acc = acc.add_affine(&gq),
+            (true, false) => acc = acc.add_affine(&g),
+            (false, true) => acc = acc.add_affine(q),
+            (false, false) => {}
+        }
+    }
+    acc.to_affine()
+}
+
+/// An ECDSA signature `(r, s)`, normalized to low-s.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Signature {
+    pub r: Scalar,
+    pub s: Scalar,
+}
+
+impl Signature {
+    /// Serializes as 64 bytes `r || s` (big-endian).
+    pub fn to_bytes(&self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.r.to_be_bytes());
+        out[32..].copy_from_slice(&self.s.to_be_bytes());
+        out
+    }
+
+    /// Parses from 64 bytes `r || s`.
+    pub fn from_bytes(b: &[u8; 64]) -> Signature {
+        let mut rb = [0u8; 32];
+        let mut sb = [0u8; 32];
+        rb.copy_from_slice(&b[..32]);
+        sb.copy_from_slice(&b[32..]);
+        Signature {
+            r: Scalar::from_be_bytes(&rb),
+            s: Scalar::from_be_bytes(&sb),
+        }
+    }
+}
+
+/// Derives the RFC 6979 deterministic nonce for `(key, msg_hash)`.
+///
+/// Exposed for testing against published vectors.
+pub fn rfc6979_nonce(key: &Scalar, msg_hash: &[u8; 32]) -> Scalar {
+    let x = key.to_be_bytes();
+    // bits2octets: reduce the hash mod n, then serialize.
+    let h_reduced = Scalar::from_be_bytes(msg_hash).to_be_bytes();
+
+    let mut v = [0x01u8; 32];
+    let mut k = [0x00u8; 32];
+
+    let mut data = Vec::with_capacity(32 + 1 + 32 + 32);
+    data.extend_from_slice(&v);
+    data.push(0x00);
+    data.extend_from_slice(&x);
+    data.extend_from_slice(&h_reduced);
+    k = hmac_sha256(&k, &data);
+    v = hmac_sha256(&k, &v);
+
+    let mut data = Vec::with_capacity(32 + 1 + 32 + 32);
+    data.extend_from_slice(&v);
+    data.push(0x01);
+    data.extend_from_slice(&x);
+    data.extend_from_slice(&h_reduced);
+    k = hmac_sha256(&k, &data);
+    v = hmac_sha256(&k, &v);
+
+    loop {
+        v = hmac_sha256(&k, &v);
+        let candidate = U256::from_be_bytes(&v);
+        if !candidate.is_zero() && candidate < N {
+            return Scalar::from_u256(candidate);
+        }
+        let mut data = Vec::with_capacity(33);
+        data.extend_from_slice(&v);
+        data.push(0x00);
+        k = hmac_sha256(&k, &data);
+        v = hmac_sha256(&k, &v);
+    }
+}
+
+/// Signs a 32-byte message hash with the private key `d`.
+///
+/// Deterministic (RFC 6979 nonce) and low-s normalized. Panics if `d` is
+/// zero.
+pub fn sign(d: &Scalar, msg_hash: &[u8; 32]) -> Signature {
+    assert!(!d.is_zero(), "cannot sign with a zero key");
+    let z = Scalar::from_be_bytes(msg_hash);
+    let mut k = rfc6979_nonce(d, msg_hash);
+    loop {
+        let rp = mul(&generator(), &k);
+        let r = Scalar::from_u256(rp.x.to_u256());
+        if !r.is_zero() {
+            let s = k.inv().mul(&z.add(&r.mul(d)));
+            if !s.is_zero() {
+                let s = if s.is_high() { s.neg() } else { s };
+                return Signature { r, s };
+            }
+        }
+        // Vanishingly unlikely; perturb the nonce deterministically.
+        k = k.add(&Scalar::ONE);
+    }
+}
+
+/// Verifies an ECDSA signature on a 32-byte message hash.
+pub fn verify(q: &Affine, msg_hash: &[u8; 32], sig: &Signature) -> bool {
+    if q.infinity || !q.is_on_curve() {
+        return false;
+    }
+    if sig.r.is_zero() || sig.s.is_zero() {
+        return false;
+    }
+    let z = Scalar::from_be_bytes(msg_hash);
+    let w = sig.s.inv();
+    let u1 = z.mul(&w);
+    let u2 = sig.r.mul(&w);
+    let point = mul_double(&u1, q, &u2);
+    if point.infinity {
+        return false;
+    }
+    Scalar::from_u256(point.x.to_u256()) == sig.r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::sha256;
+
+    #[test]
+    fn generator_is_on_curve() {
+        assert!(generator().is_on_curve());
+    }
+
+    #[test]
+    fn double_g_matches_vector() {
+        let g2 = mul(&generator(), &Scalar::from_u64(2));
+        assert_eq!(
+            g2.x,
+            Fe::from_hex("C6047F9441ED7D6D3045406E95C07CD85C778E4B8CEF3CA7ABAC09B95C709EE5")
+                .unwrap()
+        );
+        assert_eq!(
+            g2.y,
+            Fe::from_hex("1AE168FEA63DC339A3C58419466CEAEEF7F632653266D0E1236431A950CFE52A")
+                .unwrap()
+        );
+        assert!(g2.is_on_curve());
+    }
+
+    #[test]
+    fn triple_g_matches_vector() {
+        let g3 = mul(&generator(), &Scalar::from_u64(3));
+        assert_eq!(
+            g3.x,
+            Fe::from_hex("F9308A019258C31049344F85F89D5229B531C845836F99B08601F113BCE036F9")
+                .unwrap()
+        );
+        assert!(g3.is_on_curve());
+    }
+
+    #[test]
+    fn add_commutes_with_mul() {
+        let g = generator();
+        let g2 = mul(&g, &Scalar::from_u64(2));
+        let g3 = mul(&g, &Scalar::from_u64(3));
+        let g5a = mul(&g, &Scalar::from_u64(5));
+        let g5b = g2.to_jacobian().add_affine(&g3).to_affine();
+        assert_eq!(g5a, g5b);
+    }
+
+    #[test]
+    fn mul_by_group_order_is_infinity() {
+        let n_scalar = Scalar::from_u256(N); // reduces to zero
+        assert!(mul(&generator(), &n_scalar).infinity);
+    }
+
+    #[test]
+    fn mul_by_n_minus_one_negates() {
+        let (nm1, _) = N.overflowing_sub(&crate::u256::U256::ONE);
+        let p = mul(&generator(), &Scalar::from_u256(nm1));
+        let g = generator();
+        assert_eq!(p.x, g.x);
+        assert_eq!(p.y, g.y.neg());
+    }
+
+    #[test]
+    fn rfc6979_vector_satoshi() {
+        // Well-known secp256k1/SHA-256 RFC6979 vector (key = 1).
+        let d = Scalar::from_u64(1);
+        let h = sha256(b"Satoshi Nakamoto");
+        let k = rfc6979_nonce(&d, &h);
+        assert_eq!(
+            k,
+            Scalar::from_hex("8F8A276C19F4149656B280621E358CCE24F5F52542772691EE69063B74F15D15")
+                .unwrap()
+        );
+        let sig = sign(&d, &h);
+        assert_eq!(
+            sig.r,
+            Scalar::from_hex("934B1EA10A4B3C1757E2B0C017D0B6143CE3C9A7E6A4A49860D7A6AB210EE3D8")
+                .unwrap()
+        );
+        assert_eq!(
+            sig.s,
+            Scalar::from_hex("2442CE9D2B916064108014783E923EC36B49743E2FFA1C4496F01A512AAFD9E5")
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn rfc6979_vector_tears_in_rain() {
+        let d = Scalar::from_u64(1);
+        let h = sha256(b"All those moments will be lost in time, like tears in rain. Time to die...");
+        // Vector from the widely-used trezor test set.
+        let sig = sign(&d, &h);
+        assert!(verify(&mul(&generator(), &d), &h, &sig));
+    }
+
+    #[test]
+    fn sign_verify_round_trip() {
+        let d = Scalar::from_hex("deadbeef12345678deadbeef12345678deadbeef12345678deadbeef1234")
+            .unwrap();
+        let q = mul(&generator(), &d);
+        let h = sha256(b"a fistful of bitcoins");
+        let sig = sign(&d, &h);
+        assert!(verify(&q, &h, &sig));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_message() {
+        let d = Scalar::from_u64(7);
+        let q = mul(&generator(), &d);
+        let sig = sign(&d, &sha256(b"original"));
+        assert!(!verify(&q, &sha256(b"tampered"), &sig));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key() {
+        let d1 = Scalar::from_u64(7);
+        let d2 = Scalar::from_u64(8);
+        let q2 = mul(&generator(), &d2);
+        let h = sha256(b"message");
+        let sig = sign(&d1, &h);
+        assert!(!verify(&q2, &h, &sig));
+    }
+
+    #[test]
+    fn verify_rejects_zero_signature() {
+        let q = mul(&generator(), &Scalar::from_u64(7));
+        let h = sha256(b"message");
+        assert!(!verify(&q, &h, &Signature { r: Scalar::ZERO, s: Scalar::ONE }));
+        assert!(!verify(&q, &h, &Signature { r: Scalar::ONE, s: Scalar::ZERO }));
+    }
+
+    #[test]
+    fn verify_rejects_off_curve_key() {
+        let bogus = Affine { x: Fe::from_u64(1), y: Fe::from_u64(1), infinity: false };
+        let h = sha256(b"message");
+        let sig = sign(&Scalar::from_u64(7), &h);
+        assert!(!verify(&bogus, &h, &sig));
+    }
+
+    #[test]
+    fn signatures_are_low_s() {
+        for seed in 1u64..20 {
+            let d = Scalar::from_u64(seed);
+            let h = sha256(&seed.to_be_bytes());
+            let sig = sign(&d, &h);
+            assert!(!sig.s.is_high(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn signature_byte_round_trip() {
+        let d = Scalar::from_u64(99);
+        let h = sha256(b"serialize me");
+        let sig = sign(&d, &h);
+        assert_eq!(Signature::from_bytes(&sig.to_bytes()), sig);
+    }
+
+    #[test]
+    fn encodings() {
+        let g = generator();
+        let unc = g.encode_uncompressed();
+        assert_eq!(unc[0], 0x04);
+        let cmp = g.encode_compressed();
+        // G's y is even, so the prefix must be 0x02.
+        assert_eq!(cmp[0], 0x02);
+        assert_eq!(&unc[1..33], &cmp[1..33]);
+    }
+
+    #[test]
+    fn jacobian_identity_laws() {
+        let g = generator().to_jacobian();
+        let inf = Jacobian::infinity();
+        assert_eq!(g.add(&inf).to_affine(), generator());
+        assert_eq!(inf.add(&g).to_affine(), generator());
+        assert!(inf.double().is_infinity());
+    }
+
+    #[test]
+    fn point_plus_negation_is_infinity() {
+        let g = generator();
+        let neg_g = Affine { x: g.x, y: g.y.neg(), infinity: false };
+        assert!(g.to_jacobian().add_affine(&neg_g).is_infinity());
+    }
+}

@@ -1,0 +1,214 @@
+//! Per-category balance time series — Figure 2 of the paper.
+//!
+//! "The balance of each major category, represented as a percentage of
+//! total active bitcoins; i.e., the bitcoins that are not held in sink
+//! addresses." A *sink* address is one that has never spent (over the
+//! whole observation window).
+
+use crate::categories::AddressDirectory;
+use fistful_chain::amount::Amount;
+use fistful_chain::resolve::{AddressId, ResolvedChain};
+use std::collections::BTreeMap;
+
+/// One sampled point of the balance series.
+#[derive(Debug, Clone)]
+pub struct BalancePoint {
+    /// Block height of the sample.
+    pub height: u64,
+    /// Unix time of the sample.
+    pub time: u64,
+    /// Balance per category (absolute).
+    pub balances: BTreeMap<String, Amount>,
+    /// Total supply at the sample.
+    pub supply: Amount,
+    /// Supply held by sink addresses at the sample.
+    pub sink_held: Amount,
+}
+
+impl BalancePoint {
+    /// Active supply: total minus sink-held.
+    pub fn active(&self) -> Amount {
+        self.supply.saturating_sub(self.sink_held)
+    }
+
+    /// A category's balance as a percentage of active supply.
+    pub fn percent_of_active(&self, category: &str) -> f64 {
+        let active = self.active().to_sat();
+        if active == 0 {
+            return 0.0;
+        }
+        let bal = self
+            .balances
+            .get(category)
+            .copied()
+            .unwrap_or(Amount::ZERO)
+            .to_sat();
+        bal as f64 * 100.0 / active as f64
+    }
+}
+
+/// Computes the balance series, sampling every `every` blocks.
+///
+/// `directory` assigns addresses to categories (via cluster naming, as the
+/// paper did, or via ground truth). Category balances count only *active*
+/// coins — coins on addresses that spend at some point in the window —
+/// making them directly comparable to the active-supply denominator
+/// (sink-held coins are excluded from both).
+pub fn balance_series(
+    chain: &ResolvedChain,
+    directory: &AddressDirectory,
+    every: u64,
+) -> Vec<BalancePoint> {
+    assert!(every > 0, "sampling interval must be positive");
+
+    // Sink flags: addresses that never spend over the whole window.
+    let n = chain.address_count();
+    let sink: Vec<bool> = (0..n as AddressId).map(|a| chain.is_sink(a)).collect();
+
+    let mut balances: Vec<u64> = vec![0; n]; // per-address, in satoshis
+    let mut per_category: BTreeMap<String, u64> = BTreeMap::new();
+    let mut supply: u64 = 0;
+    let mut sink_held: u64 = 0;
+
+    let mut out = Vec::new();
+    let mut last_height: Option<u64> = None;
+
+    let mut push_sample = |height: u64,
+                           time: u64,
+                           per_category: &BTreeMap<String, u64>,
+                           supply: u64,
+                           sink_held: u64| {
+        out.push(BalancePoint {
+            height,
+            time,
+            balances: per_category
+                .iter()
+                .map(|(k, &v)| (k.clone(), Amount::from_sat(v)))
+                .collect(),
+            supply: Amount::from_sat(supply),
+            sink_held: Amount::from_sat(sink_held),
+        });
+    };
+
+    for tx in &chain.txs {
+        // Sample boundary crossings before applying this tx.
+        if let Some(prev) = last_height {
+            if tx.height / every != prev / every {
+                push_sample(prev, tx.time, &per_category, supply, sink_held);
+            }
+        }
+        last_height = Some(tx.height);
+
+        for input in &tx.inputs {
+            let a = input.address as usize;
+            let v = input.value.to_sat();
+            balances[a] -= v;
+            supply -= v;
+            debug_assert!(!sink[a], "sinks never spend");
+            if let Some(cat) = directory.category(input.address) {
+                *per_category.get_mut(cat).expect("category seen before") -= v;
+            }
+        }
+        for out_ in &tx.outputs {
+            let a = out_.address as usize;
+            let v = out_.value.to_sat();
+            balances[a] += v;
+            supply += v;
+            if sink[a] {
+                sink_held += v;
+            } else if let Some(cat) = directory.category(out_.address) {
+                *per_category.entry(cat.to_string()).or_insert(0) += v;
+            }
+        }
+    }
+    if let Some(h) = last_height {
+        let t = chain.txs.last().map(|t| t.time).unwrap_or(0);
+        push_sample(h, t, &per_category, supply, sink_held);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fistful_core::testutil::TestChain;
+
+    #[test]
+    fn tracks_category_balances_over_time() {
+        let mut t = TestChain::new();
+        // addr 1 = "Mt. Gox" (exchange), addr 2 = user (uncategorized).
+        let cb = t.coinbase(1, 50);
+        let _cb2 = t.coinbase(2, 50);
+        // Exchange pays 20 to the user at height 2, keeps 29 change at
+        // address 3 (also Mt. Gox's).
+        t.tx(&[(cb, 0)], &[(2, 20), (3, 29)]);
+
+        let n = t.chain.address_count();
+        let mut pairs = vec![(None, None); n];
+        pairs[t.id(1) as usize] = (Some("Mt. Gox".into()), Some("exchange".into()));
+        pairs[t.id(3) as usize] = (Some("Mt. Gox".into()), Some("exchange".into()));
+        let dir = AddressDirectory::from_pairs(pairs);
+
+        let series = balance_series(&t.chain, &dir, 1);
+        assert!(!series.is_empty());
+        let last = series.last().unwrap();
+        // Address 3 never spends, so its 29 BTC is sink-held and excluded
+        // from the category balance (consistent with the active-supply
+        // denominator).
+        assert_eq!(
+            last.balances.get("exchange").copied().unwrap_or(Amount::ZERO),
+            Amount::ZERO
+        );
+        assert!(last.sink_held >= Amount::from_btc(29));
+        // Outputs sum to 49 vs 50 input: 1 BTC went to fees → supply 99.
+        assert_eq!(last.supply, Amount::from_btc(99));
+    }
+
+    #[test]
+    fn sink_exclusion() {
+        let mut t = TestChain::new();
+        let cb1 = t.coinbase(1, 50);
+        let _cb2 = t.coinbase(2, 50); // addr 2 never spends → sink
+        t.tx(&[(cb1, 0)], &[(3, 50)]); // addr 3 never spends → sink too
+
+        let dir = AddressDirectory::from_pairs(vec![(None, None); t.chain.address_count()]);
+        let series = balance_series(&t.chain, &dir, 1);
+        let last = series.last().unwrap();
+        // addr 1 spent (not a sink); addrs 2, 3 are sinks holding 100.
+        assert_eq!(last.sink_held, Amount::from_btc(100));
+        assert_eq!(last.active(), Amount::ZERO);
+    }
+
+    #[test]
+    fn percent_of_active() {
+        let mut t = TestChain::new();
+        let cb1 = t.coinbase(1, 50);
+        let cb2 = t.coinbase(2, 50);
+        // Both spend so neither is a sink; addr 1's funds move to 4 (gox),
+        // addr 2's to 5 (user). 4 and 5 then churn once so they are not
+        // sinks either.
+        let t1 = t.tx(&[(cb1, 0)], &[(4, 50)]);
+        let t2 = t.tx(&[(cb2, 0)], &[(5, 50)]);
+        let _t3 = t.tx(&[(t1, 0)], &[(4, 25), (5, 25)]);
+        let _t4 = t.tx(&[(t2, 0)], &[(5, 50)]);
+
+        let n = t.chain.address_count();
+        let mut pairs = vec![(None, None); n];
+        pairs[t.id(4) as usize] = (Some("Mt. Gox".into()), Some("exchange".into()));
+        let dir = AddressDirectory::from_pairs(pairs);
+        let series = balance_series(&t.chain, &dir, 1);
+        let last = series.last().unwrap();
+        // Every address spent at least once, so nothing is a sink: active
+        // supply is the full 100 BTC, of which Mt. Gox (addr 4) holds 25.
+        assert_eq!(last.active(), Amount::from_btc(100));
+        assert!((last.percent_of_active("exchange") - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling interval")]
+    fn zero_interval_rejected() {
+        let t = TestChain::new();
+        let dir = AddressDirectory::default();
+        balance_series(&t.chain, &dir, 0);
+    }
+}

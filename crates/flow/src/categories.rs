@@ -1,0 +1,87 @@
+//! Address → service/category resolution.
+//!
+//! Flow analysis needs to answer "who received this output?". The paper
+//! answers via cluster naming; the simulator can also answer from ground
+//! truth. [`AddressDirectory`] abstracts both.
+
+use fistful_chain::resolve::AddressId;
+use fistful_core::cluster::Clustering;
+use fistful_core::naming::NamingReport;
+
+/// Per-address service name and category, resolved once up front.
+#[derive(Debug, Clone, Default)]
+pub struct AddressDirectory {
+    service: Vec<Option<String>>,
+    category: Vec<Option<String>>,
+}
+
+impl AddressDirectory {
+    /// Builds from a clustering plus its naming report — the paper's
+    /// pipeline: an address inherits its cluster's name.
+    pub fn from_naming(clustering: &Clustering, names: &NamingReport) -> AddressDirectory {
+        let n = clustering.assignment.len();
+        let mut dir = AddressDirectory {
+            service: vec![None; n],
+            category: vec![None; n],
+        };
+        for (addr, &cluster) in clustering.assignment.iter().enumerate() {
+            if let Some(name) = names.names.get(&cluster) {
+                dir.service[addr] = Some(name.clone());
+                dir.category[addr] = names.categories.get(&cluster).cloned();
+            }
+        }
+        dir
+    }
+
+    /// Builds from explicit per-address `(service, category)` pairs
+    /// (e.g. simulator ground truth).
+    pub fn from_pairs(pairs: Vec<(Option<String>, Option<String>)>) -> AddressDirectory {
+        let (service, category) = pairs.into_iter().unzip();
+        AddressDirectory { service, category }
+    }
+
+    /// The service name an address resolves to, if any.
+    pub fn service(&self, addr: AddressId) -> Option<&str> {
+        self.service.get(addr as usize)?.as_deref()
+    }
+
+    /// The category an address resolves to, if any.
+    pub fn category(&self, addr: AddressId) -> Option<&str> {
+        self.category.get(addr as usize)?.as_deref()
+    }
+
+    /// Number of addresses covered.
+    pub fn len(&self) -> usize {
+        self.service.len()
+    }
+
+    /// True if no addresses are covered.
+    pub fn is_empty(&self) -> bool {
+        self.service.is_empty()
+    }
+
+    /// Count of addresses with a resolved service.
+    pub fn resolved_count(&self) -> usize {
+        self.service.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_pairs_lookup() {
+        let dir = AddressDirectory::from_pairs(vec![
+            (Some("Mt. Gox".into()), Some("exchange".into())),
+            (None, None),
+        ]);
+        assert_eq!(dir.service(0), Some("Mt. Gox"));
+        assert_eq!(dir.category(0), Some("exchange"));
+        assert_eq!(dir.service(1), None);
+        assert_eq!(dir.resolved_count(), 1);
+        assert_eq!(dir.len(), 2);
+        // Out of range is None, not a panic.
+        assert_eq!(dir.service(99), None);
+    }
+}

@@ -1,0 +1,30 @@
+//! Flow analysis: following money through the transaction graph.
+//!
+//! Implements §5 of the paper:
+//!
+//! * [`peel`] — systematic traversal of *peeling chains* by following
+//!   Heuristic-2 change links hop by hop;
+//! * [`track`] — attributing the "peels" to named services
+//!   (Table 2: tracking the Silk Road `1DkyBEKt` dissolution);
+//! * [`movement`] — classifying how stolen money moves: aggregation,
+//!   peeling, splits, folding (Table 3's A/P/S/F notation);
+//! * [`theft`] — end-to-end theft tracking: did the loot reach an
+//!   exchange? (Table 3);
+//! * [`balance`] — per-category balance time series as a percentage of
+//!   active (non-sink) bitcoins (Figure 2);
+//! * [`categories`] — address → category/service resolution, either from
+//!   cluster naming (as the paper had to) or from simulator ground truth.
+
+pub mod balance;
+pub mod categories;
+pub mod movement;
+pub mod peel;
+pub mod theft;
+pub mod track;
+
+pub use balance::{balance_series, BalancePoint};
+pub use categories::AddressDirectory;
+pub use movement::{classify_movements, MovementKind};
+pub use peel::{follow_chain, FollowStrategy, Hop, PeelChain};
+pub use theft::{track_theft, TheftTrace};
+pub use track::{service_arrivals, ArrivalRow};

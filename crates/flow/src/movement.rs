@@ -1,0 +1,303 @@
+//! Movement classification for stolen funds (Table 3's A/P/S/F notation).
+//!
+//! The paper manually classified how loot moved after each theft:
+//! *aggregations* (many addresses into one), *peeling chains*, *splits*
+//! (one amount over several addresses), and *folding* (aggregations mixing
+//! in coins not clearly associated with the theft). This module re-derives
+//! the classification automatically by walking forward from the loot
+//! outputs.
+//!
+//! Taint propagation follows the *thief-controlled* side of each
+//! transaction, as the paper's manual analysis did: through every output
+//! of aggregations and splits (the thief shuffling their own coins), but
+//! only through the change side of a peeling hop — the peel itself has
+//! left the thief's control and is recorded as a recipient, not followed.
+
+use fistful_chain::amount::Amount;
+use fistful_chain::resolve::{AddressId, ResolvedChain, TxId};
+use fistful_core::change::ChangeLabels;
+use std::collections::{HashSet, VecDeque};
+
+/// One movement kind, as in Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MovementKind {
+    /// Aggregation: several tainted inputs into one or two outputs.
+    Aggregation,
+    /// Peeling chain: a run of small-fan-out hops spending prior change.
+    Peel,
+    /// Split: one or two inputs fanned out over ≥3 outputs.
+    Split,
+    /// Folding: an aggregation whose inputs are not all tainted.
+    Fold,
+    /// Anything else (simple transfers).
+    Transfer,
+}
+
+impl MovementKind {
+    /// The paper's single-letter notation.
+    pub fn letter(self) -> &'static str {
+        match self {
+            MovementKind::Aggregation => "A",
+            MovementKind::Peel => "P",
+            MovementKind::Split => "S",
+            MovementKind::Fold => "F",
+            MovementKind::Transfer => "T",
+        }
+    }
+}
+
+/// The taint walk's per-transaction record.
+#[derive(Debug, Clone)]
+pub struct TaintedTx {
+    /// The transaction.
+    pub tx: TxId,
+    /// Classification.
+    pub kind: MovementKind,
+    /// Number of tainted inputs.
+    pub tainted_inputs: usize,
+    /// Total inputs.
+    pub total_inputs: usize,
+    /// Value that left the thief's control at this hop
+    /// (peel outputs), as `(address, value)`.
+    pub departures: Vec<(AddressId, Amount)>,
+}
+
+/// Classifies a single transaction given which of its inputs are tainted.
+pub fn classify_tx(chain: &ResolvedChain, tx: TxId, tainted_inputs: usize) -> MovementKind {
+    let t = &chain.txs[tx as usize];
+    let ins = t.inputs.len();
+    let outs = t.outputs.len();
+    if ins >= 3 && outs <= 2 {
+        if tainted_inputs < ins {
+            MovementKind::Fold
+        } else {
+            MovementKind::Aggregation
+        }
+    } else if ins <= 2 && outs >= 3 {
+        MovementKind::Split
+    } else if ins == 1 && outs == 2 {
+        MovementKind::Peel
+    } else {
+        MovementKind::Transfer
+    }
+}
+
+/// Walks forward from specific loot outputs (`(tx, vout)` pairs) for up to
+/// `max_txs` transactions, classifying each and recording departures.
+///
+/// `labels` (Heuristic 2) picks the change side at peeling hops; when a hop
+/// is unlabelled, the largest output is followed (the remainder).
+pub fn classify_movements(
+    chain: &ResolvedChain,
+    loot: &[(TxId, u32)],
+    labels: &ChangeLabels,
+    max_txs: usize,
+) -> Vec<TaintedTx> {
+    // Tainted outpoints, as (tx, vout).
+    let mut tainted: HashSet<(TxId, u32)> = loot.iter().copied().collect();
+    let mut queue: VecDeque<(TxId, u32)> = loot.iter().copied().collect();
+    let mut visited_txs: HashSet<TxId> = HashSet::new();
+    let mut out = Vec::new();
+
+    while let Some((tx, vout)) = queue.pop_front() {
+        if out.len() >= max_txs {
+            break;
+        }
+        // Who spends this tainted output?
+        let Some(next) = chain.txs[tx as usize].outputs[vout as usize].spent_by else {
+            continue;
+        };
+        if !visited_txs.insert(next) {
+            continue;
+        }
+        let t = &chain.txs[next as usize];
+        let tainted_inputs = t
+            .inputs
+            .iter()
+            .filter(|i| tainted.contains(&(i.prev_tx, i.prev_vout)))
+            .count();
+        let kind = classify_tx(chain, next, tainted_inputs);
+
+        // Decide which outputs stay under the thief's control.
+        let followed: Vec<u32> = match kind {
+            MovementKind::Aggregation | MovementKind::Fold | MovementKind::Split
+            | MovementKind::Transfer => (0..t.outputs.len() as u32).collect(),
+            MovementKind::Peel => {
+                let change = labels.change_vout(next).unwrap_or_else(|| {
+                    // Fall back to the largest output (the remainder).
+                    t.outputs
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, o)| o.value)
+                        .map(|(v, _)| v as u32)
+                        .unwrap_or(0)
+                });
+                vec![change]
+            }
+        };
+        let departures: Vec<(AddressId, Amount)> = (0..t.outputs.len() as u32)
+            .filter(|v| !followed.contains(v))
+            .map(|v| {
+                let o = &t.outputs[v as usize];
+                (o.address, o.value)
+            })
+            .collect();
+
+        for v in followed {
+            tainted.insert((next, v));
+            queue.push_back((next, v));
+        }
+        out.push(TaintedTx {
+            tx: next,
+            kind,
+            tainted_inputs,
+            total_inputs: t.inputs.len(),
+            departures,
+        });
+    }
+    // Chain order for a readable narrative.
+    out.sort_by_key(|t| t.tx);
+    out
+}
+
+/// Collapses a movement list into the paper's pattern string, e.g. "A/P/S".
+/// Transfers are skipped; consecutive identical kinds collapse.
+pub fn pattern_string(movements: &[TaintedTx]) -> String {
+    let mut letters: Vec<&str> = Vec::new();
+    for m in movements {
+        if m.kind == MovementKind::Transfer {
+            continue;
+        }
+        let l = m.kind.letter();
+        if letters.last() != Some(&l) {
+            letters.push(l);
+        }
+    }
+    letters.join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fistful_core::change::{identify, ChangeConfig};
+    use fistful_core::testutil::TestChain;
+
+    fn labels_for(t: &TestChain) -> ChangeLabels {
+        identify(&t.chain, &ChangeConfig::naive())
+    }
+
+    #[test]
+    fn classify_shapes() {
+        let mut t = TestChain::new();
+        let c1 = t.coinbase(1, 50);
+        let c2 = t.coinbase(2, 50);
+        let c3 = t.coinbase(3, 50);
+        // Aggregation: 3 inputs → 1 output.
+        let agg = t.tx(&[(c1, 0), (c2, 0), (c3, 0)], &[(4, 150)]);
+        assert_eq!(classify_tx(&t.chain, agg as u32, 3), MovementKind::Aggregation);
+        assert_eq!(classify_tx(&t.chain, agg as u32, 2), MovementKind::Fold);
+
+        // Split: 1 input → 3 outputs.
+        let split = t.tx(&[(agg, 0)], &[(5, 50), (6, 50), (7, 50)]);
+        assert_eq!(classify_tx(&t.chain, split as u32, 1), MovementKind::Split);
+
+        // Peel: 1 input → 2 outputs.
+        let peel = t.tx(&[(split, 0)], &[(8, 10), (9, 40)]);
+        assert_eq!(classify_tx(&t.chain, peel as u32, 1), MovementKind::Peel);
+    }
+
+    #[test]
+    fn taint_walk_follows_thief_side_only() {
+        let mut t = TestChain::new();
+        let c1 = t.coinbase(1, 50);
+        let c2 = t.coinbase(2, 50);
+        let c3 = t.coinbase(3, 50);
+        let _r = t.coinbase(100, 5);
+        // The "theft": victim pays the thief (vout 0), keeps change.
+        let theft = t.tx(&[(c1, 0)], &[(10, 30), (1, 20)]);
+        // Thief folds with other funds.
+        let agg = t.tx(&[(theft, 0), (c2, 0), (c3, 0)], &[(11, 130)]);
+        // Then peels: recipient 100 (seen), change cascades.
+        let p1 = t.tx(&[(agg, 0)], &[(100, 10), (12, 120)]);
+        let p2 = t.tx(&[(p1, 1)], &[(100, 10), (13, 110)]);
+        // The VICTIM's change also moves — must NOT be followed.
+        let _victim_spend = t.tx(&[(theft, 1)], &[(100, 10), (14, 10)]);
+
+        let victim_spend = t.chain.tx_count() as u32 - 1;
+        let labels = labels_for(&t);
+        let movements = classify_movements(&t.chain, &[(theft as u32, 0)], &labels, 100);
+        let txs: Vec<u32> = movements.iter().map(|m| m.tx).collect();
+        assert!(txs.contains(&(agg as u32)));
+        assert!(txs.contains(&(p1 as u32)));
+        assert!(txs.contains(&(p2 as u32)));
+        assert!(
+            !txs.contains(&victim_spend),
+            "victim change spend not followed: {txs:?}"
+        );
+        assert_eq!(movements.len(), 3);
+        assert_eq!(pattern_string(&movements), "F/P");
+
+        // Departures recorded at the peel hops.
+        let p1_m = movements.iter().find(|m| m.tx == p1 as u32).unwrap();
+        assert_eq!(p1_m.departures.len(), 1);
+        assert_eq!(p1_m.departures[0].0, t.id(100));
+    }
+
+    #[test]
+    fn peel_follows_change_label_not_peel() {
+        let mut t = TestChain::new();
+        let c1 = t.coinbase(1, 1000);
+        let _r = t.coinbase(100, 5);
+        let theft = t.tx(&[(c1, 0)], &[(10, 900), (1, 100)]);
+        // Peel hop: recipient 100 seen, change fresh (labelled).
+        let p1 = t.tx(&[(theft, 0)], &[(100, 10), (11, 890)]);
+        // The recipient spends their peel — NOT part of the thief walk.
+        let _recipient_spend = t.tx(&[(p1, 0)], &[(100, 10)]);
+        // The thief continues from the change.
+        let p2 = t.tx(&[(p1, 1)], &[(100, 10), (12, 880)]);
+
+        let labels = labels_for(&t);
+        let movements = classify_movements(&t.chain, &[(theft as u32, 0)], &labels, 100);
+        let txs: Vec<u32> = movements.iter().map(|m| m.tx).collect();
+        assert!(txs.contains(&(p1 as u32)));
+        assert!(txs.contains(&(p2 as u32)));
+        assert_eq!(movements.len(), 2, "recipient's spend excluded: {txs:?}");
+    }
+
+    #[test]
+    fn pattern_collapses_runs() {
+        let mut t = TestChain::new();
+        let c1 = t.coinbase(1, 1000);
+        let _r = t.coinbase(100, 5);
+        let theft = t.tx(&[(c1, 0)], &[(10, 900), (1, 100)]);
+        let mut prev = (theft, 0u32);
+        let mut rem = 900;
+        for _ in 0..5 {
+            rem -= 10;
+            let h = t.tx(&[(prev.0, prev.1)], &[(100, 10), (11, rem)]);
+            prev = (h, 1);
+        }
+        let labels = labels_for(&t);
+        let movements = classify_movements(&t.chain, &[(theft as u32, 0)], &labels, 100);
+        assert_eq!(pattern_string(&movements), "P");
+        assert_eq!(movements.len(), 5);
+    }
+
+    #[test]
+    fn max_txs_bounds_walk() {
+        let mut t = TestChain::new();
+        let c1 = t.coinbase(1, 1000);
+        let _r = t.coinbase(100, 5);
+        let theft = t.tx(&[(c1, 0)], &[(10, 900), (1, 100)]);
+        let mut prev = (theft, 0u32);
+        let mut rem = 900;
+        for _ in 0..10 {
+            rem -= 10;
+            let h = t.tx(&[(prev.0, prev.1)], &[(100, 10), (11, rem)]);
+            prev = (h, 1);
+        }
+        let labels = labels_for(&t);
+        let movements = classify_movements(&t.chain, &[(theft as u32, 0)], &labels, 3);
+        assert!(movements.len() <= 4);
+    }
+}

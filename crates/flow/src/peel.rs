@@ -1,0 +1,228 @@
+//! Peeling-chain traversal.
+//!
+//! §5 of the paper: "at each hop, we look at the two output addresses in
+//! the transaction. If one of these output addresses is a change address,
+//! we can follow the chain to the next hop by following the change address
+//! (i.e., the next hop is the transaction in which this change address
+//! spends its bitcoins), and can identify the meaningful recipient in the
+//! transaction as the other output address (the 'peel')."
+
+use fistful_chain::amount::Amount;
+use fistful_chain::resolve::{AddressId, ResolvedChain, TxId};
+use fistful_core::change::ChangeLabels;
+
+/// How to pick the change output at each hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FollowStrategy {
+    /// Only follow Heuristic-2 change labels; stop at unlabelled hops.
+    Strict,
+    /// Follow H2 labels; when a hop is unlabelled (e.g. both outputs
+    /// fresh), fall back to the largest output — peels are small relative
+    /// to the remainder. Fallback hops are flagged in the result.
+    LargestFallback,
+}
+
+/// One hop of a peeling chain.
+#[derive(Debug, Clone)]
+pub struct Hop {
+    /// The transaction at this hop.
+    pub tx: TxId,
+    /// The change output index followed to the next hop.
+    pub change_vout: u32,
+    /// The peel outputs: everything except the change.
+    pub peels: Vec<(AddressId, Amount)>,
+    /// True if this hop used the largest-output fallback.
+    pub fallback: bool,
+}
+
+/// A traversed peeling chain.
+#[derive(Debug, Clone, Default)]
+pub struct PeelChain {
+    /// Hops in order.
+    pub hops: Vec<Hop>,
+    /// Why the traversal stopped.
+    pub stopped: StopReason,
+}
+
+/// Why a chain traversal ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StopReason {
+    /// The hop limit was reached.
+    #[default]
+    HopLimit,
+    /// The change output is unspent (chain still live / parked).
+    UnspentChange,
+    /// No change output could be identified (strict mode).
+    NoChangeIdentified,
+    /// The transaction had no outputs to follow (should not happen on a
+    /// validated chain).
+    Malformed,
+}
+
+impl PeelChain {
+    /// Total value peeled off across all hops.
+    pub fn total_peeled(&self) -> Amount {
+        self.hops
+            .iter()
+            .flat_map(|h| h.peels.iter().map(|(_, v)| *v))
+            .sum()
+    }
+
+    /// Number of hops that needed the fallback.
+    pub fn fallback_hops(&self) -> usize {
+        self.hops.iter().filter(|h| h.fallback).count()
+    }
+}
+
+/// Follows a peeling chain starting at transaction `start`, for at most
+/// `max_hops` hops.
+pub fn follow_chain(
+    chain: &ResolvedChain,
+    labels: &ChangeLabels,
+    start: TxId,
+    max_hops: usize,
+    strategy: FollowStrategy,
+) -> PeelChain {
+    let mut out = PeelChain::default();
+    let mut tx_id = start;
+    for _ in 0..max_hops {
+        let tx = &chain.txs[tx_id as usize];
+        if tx.outputs.is_empty() {
+            out.stopped = StopReason::Malformed;
+            return out;
+        }
+        // Identify the change output.
+        let (change_vout, fallback) = match labels.change_vout(tx_id) {
+            Some(v) => (v, false),
+            None => match strategy {
+                FollowStrategy::Strict => {
+                    out.stopped = StopReason::NoChangeIdentified;
+                    return out;
+                }
+                FollowStrategy::LargestFallback => {
+                    let (v, _) = tx
+                        .outputs
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, o)| o.value)
+                        .expect("non-empty outputs");
+                    (v as u32, true)
+                }
+            },
+        };
+        let peels = tx
+            .outputs
+            .iter()
+            .enumerate()
+            .filter(|(v, _)| *v as u32 != change_vout)
+            .map(|(_, o)| (o.address, o.value))
+            .collect();
+        out.hops.push(Hop { tx: tx_id, change_vout, peels, fallback });
+
+        // Next hop: the transaction in which the change is spent.
+        match tx.outputs[change_vout as usize].spent_by {
+            Some(next) => tx_id = next,
+            None => {
+                out.stopped = StopReason::UnspentChange;
+                return out;
+            }
+        }
+    }
+    out.stopped = StopReason::HopLimit;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fistful_core::change::{identify, ChangeConfig};
+    use fistful_core::testutil::TestChain;
+
+    /// Builds a 3-hop peeling chain: 1000 → peel 10 → peel 20 → peel 30.
+    /// Recipients are pre-seeded (seen) addresses 100-102; change cascades
+    /// through fresh addresses.
+    fn peeling_chain() -> (TestChain, usize) {
+        let mut t = TestChain::new();
+        let funding = t.coinbase(1, 1000);
+        let _r0 = t.coinbase(100, 5);
+        let _r1 = t.coinbase(101, 5);
+        let _r2 = t.coinbase(102, 5);
+        let hop1 = t.tx(&[(funding, 0)], &[(100, 10), (10, 990)]);
+        let hop2 = t.tx(&[(hop1, 1)], &[(101, 20), (11, 970)]);
+        let _hop3 = t.tx(&[(hop2, 1)], &[(102, 30), (12, 940)]);
+        (t, hop1)
+    }
+
+    #[test]
+    fn follows_labelled_chain() {
+        let (t, start) = peeling_chain();
+        let labels = identify(&t.chain, &ChangeConfig::naive());
+        let chain = follow_chain(&t.chain, &labels, start as u32, 100, FollowStrategy::Strict);
+        assert_eq!(chain.hops.len(), 3);
+        assert_eq!(chain.stopped, StopReason::UnspentChange);
+        assert_eq!(chain.fallback_hops(), 0);
+        // Peels: 10 + 20 + 30 BTC.
+        assert_eq!(chain.total_peeled(), fistful_chain::amount::Amount::from_btc(60));
+        // Each hop's peel recipient is the seen address.
+        assert_eq!(chain.hops[0].peels[0].0, t.id(100));
+        assert_eq!(chain.hops[1].peels[0].0, t.id(101));
+        assert_eq!(chain.hops[2].peels[0].0, t.id(102));
+    }
+
+    #[test]
+    fn hop_limit_respected() {
+        let (t, start) = peeling_chain();
+        let labels = identify(&t.chain, &ChangeConfig::naive());
+        let chain = follow_chain(&t.chain, &labels, start as u32, 2, FollowStrategy::Strict);
+        assert_eq!(chain.hops.len(), 2);
+        assert_eq!(chain.stopped, StopReason::HopLimit);
+    }
+
+    #[test]
+    fn strict_stops_at_ambiguous_hop() {
+        let mut t = TestChain::new();
+        let funding = t.coinbase(1, 1000);
+        let _r0 = t.coinbase(100, 5);
+        let hop1 = t.tx(&[(funding, 0)], &[(100, 10), (10, 990)]);
+        // Ambiguous hop: both outputs fresh.
+        let hop2 = t.tx(&[(hop1, 1)], &[(200, 20), (11, 970)]);
+        let _ = hop2;
+        let labels = identify(&t.chain, &ChangeConfig::naive());
+        let chain = follow_chain(&t.chain, &labels, hop1 as u32, 100, FollowStrategy::Strict);
+        assert_eq!(chain.hops.len(), 1);
+        assert_eq!(chain.stopped, StopReason::NoChangeIdentified);
+    }
+
+    #[test]
+    fn fallback_follows_largest_output() {
+        let mut t = TestChain::new();
+        let funding = t.coinbase(1, 1000);
+        let _r0 = t.coinbase(100, 5);
+        let hop1 = t.tx(&[(funding, 0)], &[(100, 10), (10, 990)]);
+        // Ambiguous hop (both fresh), remainder is larger.
+        let hop2 = t.tx(&[(hop1, 1)], &[(200, 20), (11, 970)]);
+        // Chain continues from the remainder.
+        let _hop3 = t.tx(&[(hop2, 1)], &[(100, 30), (12, 940)]);
+        let labels = identify(&t.chain, &ChangeConfig::naive());
+        let chain =
+            follow_chain(&t.chain, &labels, hop1 as u32, 100, FollowStrategy::LargestFallback);
+        assert_eq!(chain.hops.len(), 3);
+        assert_eq!(chain.fallback_hops(), 1);
+        assert!(chain.hops[1].fallback);
+        assert_eq!(chain.hops[1].peels[0].0, t.id(200));
+    }
+
+    #[test]
+    fn multi_output_peel_collects_all_non_change() {
+        let mut t = TestChain::new();
+        let funding = t.coinbase(1, 1000);
+        let _r0 = t.coinbase(100, 5);
+        let _r1 = t.coinbase(101, 5);
+        // One tx pays two seen recipients plus fresh change.
+        let hop1 = t.tx(&[(funding, 0)], &[(100, 10), (101, 15), (10, 975)]);
+        let labels = identify(&t.chain, &ChangeConfig::naive());
+        let chain = follow_chain(&t.chain, &labels, hop1 as u32, 100, FollowStrategy::Strict);
+        assert_eq!(chain.hops[0].peels.len(), 2);
+        assert_eq!(chain.total_peeled(), fistful_chain::amount::Amount::from_btc(25));
+    }
+}

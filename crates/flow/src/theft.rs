@@ -1,0 +1,150 @@
+//! End-to-end theft tracking: Table 3 of the paper.
+//!
+//! For each theft, the paper reports how much was stolen, how the money
+//! moved (A/P/S/F), and whether any of it reached a known exchange. This
+//! module derives all three from the chain, the loot outputs, and an
+//! address directory.
+
+use crate::categories::AddressDirectory;
+use crate::movement::{classify_movements, pattern_string, TaintedTx};
+use fistful_chain::amount::Amount;
+use fistful_chain::resolve::{ResolvedChain, TxId};
+use fistful_core::change::ChangeLabels;
+
+/// The derived trace of one theft.
+#[derive(Debug, Clone)]
+pub struct TheftTrace {
+    /// Transactions the walk visited, classified.
+    pub movements: Vec<TaintedTx>,
+    /// The paper-style pattern string, e.g. "A/P/S".
+    pub pattern: String,
+    /// Total value that departed to exchange-category addresses.
+    pub to_exchanges: Amount,
+    /// Number of distinct exchange services reached.
+    pub exchanges_reached: usize,
+    /// Value still sitting unspent in the loot outputs themselves
+    /// (never moved — the trojan case).
+    pub dormant: Amount,
+}
+
+impl TheftTrace {
+    /// Whether any loot reached an exchange (Table 3's last column).
+    pub fn reached_exchange(&self) -> bool {
+        self.exchanges_reached > 0
+    }
+}
+
+/// Tracks a theft from its loot outputs (`(tx, vout)` pairs).
+pub fn track_theft(
+    chain: &ResolvedChain,
+    loot: &[(TxId, u32)],
+    labels: &ChangeLabels,
+    directory: &AddressDirectory,
+    max_txs: usize,
+) -> TheftTrace {
+    let movements = classify_movements(chain, loot, labels, max_txs);
+    let pattern = pattern_string(&movements);
+
+    // Exchange arrivals: departures landing on exchange-category addresses.
+    let mut to_exchanges = Amount::ZERO;
+    let mut exchange_services = std::collections::HashSet::new();
+    for m in &movements {
+        for &(addr, value) in &m.departures {
+            if directory.category(addr) == Some("exchange") {
+                to_exchanges = to_exchanges.checked_add(value).expect("overflow");
+                if let Some(s) = directory.service(addr) {
+                    exchange_services.insert(s.to_string());
+                }
+            }
+        }
+    }
+
+    // Dormant loot: loot outputs never spent.
+    let mut dormant = Amount::ZERO;
+    for &(t, v) in loot {
+        let out = &chain.txs[t as usize].outputs[v as usize];
+        if out.spent_by.is_none() {
+            dormant = dormant.checked_add(out.value).expect("overflow");
+        }
+    }
+
+    TheftTrace {
+        movements,
+        pattern,
+        to_exchanges,
+        exchanges_reached: exchange_services.len(),
+        dormant,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fistful_core::change::{identify, ChangeConfig};
+    use fistful_core::testutil::TestChain;
+
+    /// Builds: two thefts → folding aggregation (one clean input) → a peel
+    /// to an exchange address (when `with_peel`).
+    fn theft_chain(with_peel: bool) -> (TestChain, (u32, u32), (u32, u32)) {
+        let mut t = TestChain::new();
+        let c1 = t.coinbase(1, 100);
+        let c2 = t.coinbase(2, 100);
+        let c3 = t.coinbase(3, 100); // thief's clean side funds
+        let _gox = t.coinbase(50, 5); // exchange address, pre-seeded
+        let theft = t.tx(&[(c1, 0)], &[(10, 80), (1, 20)]);
+        let theft2 = t.tx(&[(c2, 0)], &[(11, 90), (2, 10)]);
+        // Fold: both loots plus the clean funds.
+        let agg = t.tx(&[(theft, 0), (theft2, 0), (c3, 0)], &[(12, 270)]);
+        if with_peel {
+            let _peel = t.tx(&[(agg, 0)], &[(50, 30), (13, 240)]);
+        }
+        (t, (theft as u32, 0), (theft2 as u32, 0))
+    }
+
+    fn exchange_dir(t: &TestChain) -> AddressDirectory {
+        let n = t.chain.address_count();
+        let mut pairs = vec![(None, None); n];
+        pairs[t.id(50) as usize] = (Some("Mt. Gox".into()), Some("exchange".into()));
+        AddressDirectory::from_pairs(pairs)
+    }
+
+    #[test]
+    fn traces_theft_to_exchange() {
+        let (t, a, b) = theft_chain(true);
+        let dir = exchange_dir(&t);
+        let labels = identify(&t.chain, &ChangeConfig::naive());
+        let trace = track_theft(&t.chain, &[a, b], &labels, &dir, 100);
+        assert!(trace.reached_exchange());
+        assert_eq!(trace.to_exchanges, Amount::from_btc(30));
+        assert_eq!(trace.exchanges_reached, 1);
+        assert_eq!(trace.pattern, "F/P");
+    }
+
+    #[test]
+    fn no_exchange_without_peel() {
+        let (t, a, b) = theft_chain(false);
+        let dir = exchange_dir(&t);
+        let labels = identify(&t.chain, &ChangeConfig::naive());
+        let trace = track_theft(&t.chain, &[a, b], &labels, &dir, 100);
+        assert!(!trace.reached_exchange());
+        assert_eq!(trace.to_exchanges, Amount::ZERO);
+        assert_eq!(trace.pattern, "F");
+    }
+
+    #[test]
+    fn dormant_loot_counted() {
+        let mut t = TestChain::new();
+        let c1 = t.coinbase(1, 100);
+        let theft = t.tx(&[(c1, 0)], &[(10, 80), (1, 20)]);
+        // Nothing moves.
+        let dir = AddressDirectory::from_pairs(vec![(None, None); t.chain.address_count()]);
+        let labels = identify(&t.chain, &ChangeConfig::naive());
+        let trace = track_theft(&t.chain, &[(theft as u32, 0)], &labels, &dir, 100);
+        assert_eq!(trace.movements.len(), 0);
+        assert_eq!(trace.pattern, "");
+        // Only the loot output (80) counts as dormant; the victim's change
+        // is theirs.
+        assert_eq!(trace.dormant, Amount::from_btc(80));
+        assert!(!trace.reached_exchange());
+    }
+}

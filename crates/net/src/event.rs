@@ -1,0 +1,146 @@
+//! The deterministic event queue at the heart of the simulator.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Virtual time in microseconds.
+pub type Time = u64;
+
+/// A scheduled event carrying a payload.
+#[derive(Debug, Clone)]
+pub struct Event<T> {
+    /// Delivery time.
+    pub at: Time,
+    /// Tie-break sequence number (FIFO among simultaneous events).
+    pub seq: u64,
+    /// The payload.
+    pub payload: T,
+}
+
+impl<T> PartialEq for Event<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Event<T> {}
+
+impl<T> Ord for Event<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T> PartialOrd for Event<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A priority queue of timed events with FIFO tie-breaking.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Event<T>>,
+    next_seq: u64,
+    now: Time,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: 0 }
+    }
+
+    /// The current virtual time (time of the last popped event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedules `payload` for delivery at absolute time `at`. Events in
+    /// the past are clamped to "now".
+    pub fn schedule(&mut self, at: Time, payload: T) {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, payload });
+    }
+
+    /// Schedules `payload` after a relative delay.
+    pub fn schedule_in(&mut self, delay: Time, payload: T) {
+        self.schedule(self.now + delay, payload);
+    }
+
+    /// Pops the earliest event, advancing virtual time.
+    pub fn pop(&mut self) -> Option<Event<T>> {
+        let event = self.heap.pop()?;
+        self.now = event.at;
+        Some(event)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn earliest_first() {
+        let mut q = EventQueue::new();
+        q.schedule(30, "c");
+        q.schedule(10, "a");
+        q.schedule(20, "b");
+        assert_eq!(q.pop().unwrap().payload, "a");
+        assert_eq!(q.now(), 10);
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert_eq!(q.pop().unwrap().payload, "c");
+        assert!(q.pop().is_none());
+        assert_eq!(q.now(), 30);
+    }
+
+    #[test]
+    fn fifo_among_simultaneous() {
+        let mut q = EventQueue::new();
+        q.schedule(5, 1);
+        q.schedule(5, 2);
+        q.schedule(5, 3);
+        assert_eq!(q.pop().unwrap().payload, 1);
+        assert_eq!(q.pop().unwrap().payload, 2);
+        assert_eq!(q.pop().unwrap().payload, 3);
+    }
+
+    #[test]
+    fn past_events_clamped_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(100, "later");
+        q.pop();
+        q.schedule(50, "stale");
+        let e = q.pop().unwrap();
+        assert_eq!(e.at, 100, "clamped to now");
+    }
+
+    #[test]
+    fn relative_scheduling() {
+        let mut q = EventQueue::new();
+        q.schedule(100, ());
+        q.pop();
+        q.schedule_in(25, ());
+        assert_eq!(q.pop().unwrap().at, 125);
+    }
+}

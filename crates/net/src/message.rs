@@ -1,0 +1,73 @@
+//! Wire messages of the gossip protocol (a faithful subset of Bitcoin's:
+//! inv / getdata / tx / block).
+
+use fistful_chain::block::Block;
+use fistful_chain::transaction::Transaction;
+use fistful_crypto::hash::Hash256;
+use std::sync::Arc;
+
+/// A protocol message. Payloads are `Arc`-shared: the simulator models
+/// propagation, not serialization cost (sizes are accounted separately).
+#[derive(Debug, Clone)]
+pub enum Message {
+    /// "I have transaction `txid`."
+    InvTx(Hash256),
+    /// "Send me transaction `txid`."
+    GetTx(Hash256),
+    /// The transaction itself.
+    Tx(Arc<Transaction>),
+    /// "I have block `hash`."
+    InvBlock(Hash256),
+    /// "Send me block `hash`."
+    GetBlock(Hash256),
+    /// The block itself.
+    Block(Arc<Block>),
+}
+
+impl Message {
+    /// Approximate wire size in bytes (for bandwidth accounting).
+    pub fn wire_size(&self) -> usize {
+        use fistful_chain::encode::Encodable;
+        match self {
+            Message::InvTx(_) | Message::InvBlock(_) => 37,
+            Message::GetTx(_) | Message::GetBlock(_) => 37,
+            Message::Tx(tx) => tx.encode_to_vec().len() + 24,
+            Message::Block(b) => b.encode_to_vec().len() + 24,
+        }
+    }
+
+    /// Short label for tracing.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::InvTx(_) => "invtx",
+            Message::GetTx(_) => "gettx",
+            Message::Tx(_) => "tx",
+            Message::InvBlock(_) => "invblock",
+            Message::GetBlock(_) => "getblock",
+            Message::Block(_) => "block",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fistful_chain::address::Address;
+    use fistful_chain::amount::Amount;
+    use fistful_chain::transaction::{OutPoint, TxIn, TxOut};
+
+    #[test]
+    fn wire_sizes_ordered() {
+        let tx = Arc::new(Transaction {
+            version: 1,
+            inputs: vec![TxIn::unsigned(OutPoint::null())],
+            outputs: vec![TxOut { value: Amount::from_btc(1), address: Address::from_seed(1) }],
+            lock_time: 0,
+        });
+        let inv = Message::InvTx(tx.txid());
+        let full = Message::Tx(tx);
+        assert!(inv.wire_size() < full.wire_size());
+        assert_eq!(inv.kind(), "invtx");
+        assert_eq!(full.kind(), "tx");
+    }
+}

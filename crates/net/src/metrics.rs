@@ -1,0 +1,90 @@
+//! Propagation measurements.
+
+use crate::event::Time;
+
+/// How one item (transaction or block) spread through the network.
+#[derive(Debug, Clone)]
+pub struct PropagationReport {
+    /// First-seen time per node (None = never).
+    pub node_times: Vec<Option<Time>>,
+    /// Nodes reached.
+    pub reached: usize,
+    /// Injection time (minimum first-seen).
+    pub origin_time: Time,
+}
+
+impl PropagationReport {
+    /// Builds from a first-seen vector.
+    pub fn from_first_seen(seen: &[Option<Time>]) -> PropagationReport {
+        let reached = seen.iter().filter(|t| t.is_some()).count();
+        let origin_time = seen.iter().flatten().copied().min().unwrap_or(0);
+        PropagationReport { node_times: seen.to_vec(), reached, origin_time }
+    }
+
+    /// Time (relative to injection) until `fraction` of all nodes had the
+    /// item; `None` if coverage never reached it.
+    pub fn coverage_time(&self, fraction: f64) -> Option<Time> {
+        assert!((0.0..=1.0).contains(&fraction));
+        let needed = ((self.node_times.len() as f64) * fraction).ceil() as usize;
+        if needed == 0 {
+            return Some(0);
+        }
+        let mut times: Vec<Time> = self.node_times.iter().flatten().copied().collect();
+        if times.len() < needed {
+            return None;
+        }
+        times.sort_unstable();
+        Some(times[needed - 1] - self.origin_time)
+    }
+
+    /// Time until every node had the item.
+    pub fn full_coverage_time(&self) -> Option<Time> {
+        self.coverage_time(1.0)
+    }
+
+    /// The coverage curve: `(time since injection, fraction covered)`,
+    /// one point per node reached — the series behind Figure-1-style plots.
+    pub fn coverage_curve(&self) -> Vec<(Time, f64)> {
+        let mut times: Vec<Time> = self.node_times.iter().flatten().copied().collect();
+        times.sort_unstable();
+        let n = self.node_times.len() as f64;
+        times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t - self.origin_time, (i + 1) as f64 / n))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_math() {
+        let seen = vec![Some(100), Some(150), Some(200), None];
+        let r = PropagationReport::from_first_seen(&seen);
+        assert_eq!(r.reached, 3);
+        assert_eq!(r.origin_time, 100);
+        assert_eq!(r.coverage_time(0.5), Some(50)); // 2 of 4 nodes by t=150
+        assert_eq!(r.coverage_time(0.75), Some(100));
+        assert_eq!(r.full_coverage_time(), None); // one node never saw it
+    }
+
+    #[test]
+    fn curve_is_monotonic() {
+        let seen = vec![Some(10), Some(30), Some(20)];
+        let r = PropagationReport::from_first_seen(&seen);
+        let curve = r.coverage_curve();
+        assert_eq!(curve.len(), 3);
+        assert!(curve.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
+        assert_eq!(curve.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn empty_coverage() {
+        let r = PropagationReport::from_first_seen(&[]);
+        assert_eq!(r.reached, 0);
+        assert_eq!(r.coverage_time(1.0), Some(0));
+    }
+}

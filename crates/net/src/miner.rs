@@ -1,0 +1,181 @@
+//! Mining dynamics: Poisson block discovery over the gossip network.
+//!
+//! Drives a [`Network`] through a mining session: block discoveries arrive
+//! as a Poisson process split across miners proportionally to hash power;
+//! each discovery builds on the discovering node's current tip, so slow
+//! propagation produces real forks — the race Figure 1's step (5)–(6)
+//! glosses over, measured here.
+
+use crate::network::Network;
+use crate::node::NodeId;
+use fistful_chain::block::{Block, BlockHeader};
+use fistful_chain::transaction::Transaction;
+use fistful_crypto::hash::Hash256;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Outcome of a mining session.
+#[derive(Debug, Clone)]
+pub struct MiningReport {
+    /// Blocks discovered in total.
+    pub blocks_found: usize,
+    /// Height of the best chain at the end (on the first miner's view).
+    pub best_height: u64,
+    /// Discoveries that did not end up on the best chain (stale/orphaned).
+    pub stale_blocks: usize,
+    /// Stale rate in [0, 1].
+    pub stale_rate: f64,
+}
+
+/// Runs a mining session: `blocks` discoveries with exponential
+/// inter-arrival times (mean `mean_interval_us`), assigned to random
+/// miners. Returns the fork statistics.
+///
+/// Each block carries one unique marker transaction so hashes differ even
+/// when two miners race from the same parent.
+pub fn run_session(
+    net: &mut Network,
+    blocks: usize,
+    mean_interval_us: u64,
+    seed: u64,
+) -> MiningReport {
+    let miners = net.miners();
+    assert!(!miners.is_empty(), "network has no miners");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut found = Vec::with_capacity(blocks);
+
+    for i in 0..blocks {
+        // Exponential inter-arrival via inverse CDF.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let wait = (-u.ln() * mean_interval_us as f64) as u64;
+        // Let gossip progress until the discovery moment.
+        let until = net.now() + wait.max(1);
+        net.run(until);
+
+        let miner: NodeId = miners[rng.gen_range(0..miners.len())];
+        let parent = net.node(miner).tip.unwrap_or(Hash256::ZERO);
+        let marker = marker_tx(i as u64, seed);
+        let mut block = Block {
+            header: BlockHeader {
+                version: 1,
+                prev_hash: parent,
+                merkle_root: Hash256::ZERO,
+                time: net.now(),
+                nonce: i as u64,
+            },
+            transactions: vec![marker],
+        };
+        block.header.merkle_root = block.computed_merkle_root();
+        let hash = net.submit_block(miner, block);
+        found.push(hash);
+    }
+    net.run_to_quiescence();
+
+    // Walk the best chain back from the first miner's tip.
+    let view = net.node(miners[0]);
+    let mut on_chain: HashSet<Hash256> = HashSet::new();
+    let mut cursor = view.tip;
+    while let Some(h) = cursor {
+        on_chain.insert(h);
+        cursor = view
+            .blocks
+            .get(&h)
+            .map(|b| b.header.prev_hash)
+            .filter(|p| *p != Hash256::ZERO);
+    }
+    let stale = found.iter().filter(|h| !on_chain.contains(h)).count();
+    MiningReport {
+        blocks_found: blocks,
+        best_height: view.tip_height().unwrap_or(0),
+        stale_blocks: stale,
+        stale_rate: stale as f64 / blocks.max(1) as f64,
+    }
+}
+
+fn marker_tx(i: u64, seed: u64) -> Transaction {
+    use fistful_chain::address::Address;
+    use fistful_chain::amount::Amount;
+    use fistful_chain::transaction::{OutPoint, TxIn, TxOut};
+    let mut witness = Vec::with_capacity(16);
+    witness.extend_from_slice(&i.to_le_bytes());
+    witness.extend_from_slice(&seed.to_le_bytes());
+    Transaction {
+        version: 1,
+        inputs: vec![TxIn { prevout: OutPoint::null(), witness }],
+        outputs: vec![TxOut {
+            value: Amount::from_btc(50),
+            address: Address::from_seed2(seed, i),
+        }],
+        lock_time: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkConfig;
+
+    fn net(seed: u64) -> Network {
+        Network::new(NetworkConfig {
+            nodes: 60,
+            out_degree: 4,
+            latency_lo: 20_000,
+            latency_hi: 120_000,
+            miner_fraction: 0.2,
+            processing_delay: 1_000,
+            seed,
+        })
+    }
+
+    #[test]
+    fn slow_blocks_rarely_fork() {
+        let mut n = net(1);
+        // Mean interval 60 s >> propagation time: forks should be rare.
+        let report = run_session(&mut n, 30, 60_000_000, 7);
+        assert_eq!(report.blocks_found, 30);
+        assert!(
+            report.stale_rate < 0.2,
+            "stale rate {} too high for slow blocks",
+            report.stale_rate
+        );
+        assert!(report.best_height as usize >= 30 - report.stale_blocks - 1);
+    }
+
+    #[test]
+    fn fast_blocks_fork_more() {
+        let mut slow = net(2);
+        let slow_report = run_session(&mut slow, 40, 60_000_000, 9);
+        let mut fast = net(2);
+        // Mean interval comparable to propagation time: racing discoveries.
+        let fast_report = run_session(&mut fast, 40, 400_000, 9);
+        assert!(
+            fast_report.stale_rate >= slow_report.stale_rate,
+            "fast {} vs slow {}",
+            fast_report.stale_rate,
+            slow_report.stale_rate
+        );
+        assert!(fast_report.stale_blocks > 0, "fast blocks must race");
+    }
+
+    #[test]
+    fn all_nodes_converge_after_session() {
+        let mut n = net(3);
+        run_session(&mut n, 20, 10_000_000, 11);
+        let tip = n.node(0).tip;
+        assert!(tip.is_some());
+        for i in 0..60 {
+            assert_eq!(n.node(i).tip_height(), n.node(0).tip_height(), "node {i}");
+        }
+    }
+
+    #[test]
+    fn deterministic_sessions() {
+        let run = |seed| {
+            let mut n = net(4);
+            let r = run_session(&mut n, 15, 5_000_000, seed);
+            (r.best_height, r.stale_blocks)
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

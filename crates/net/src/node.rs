@@ -1,0 +1,261 @@
+//! A network node: mempool, block store, and gossip relay policy.
+
+use crate::message::Message;
+use fistful_chain::block::Block;
+use fistful_chain::transaction::Transaction;
+use fistful_crypto::hash::Hash256;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Node identifier (index into the network's node table).
+pub type NodeId = u32;
+
+/// An outbound action produced by a node's message handler.
+#[derive(Debug, Clone)]
+pub enum Action {
+    /// Send a message to one peer.
+    Send(NodeId, Message),
+    /// Announce to all peers except the given one (flood).
+    Broadcast(Option<NodeId>, Message),
+}
+
+/// A gossip node.
+pub struct Node {
+    /// This node's id.
+    pub id: NodeId,
+    /// Peers (filled from the topology).
+    pub peers: Vec<NodeId>,
+    /// Transactions known (in mempool or in blocks).
+    known_txs: HashSet<Hash256>,
+    /// The mempool: valid transactions not yet in a block.
+    pub mempool: HashMap<Hash256, Arc<Transaction>>,
+    /// Blocks known, by hash.
+    pub blocks: HashMap<Hash256, Arc<Block>>,
+    /// Height of each known block (genesis = 0).
+    heights: HashMap<Hash256, u64>,
+    /// The best (highest) block hash.
+    pub tip: Option<Hash256>,
+    /// True if this node mines.
+    pub is_miner: bool,
+}
+
+impl Node {
+    /// A fresh node with no knowledge.
+    pub fn new(id: NodeId, is_miner: bool) -> Node {
+        Node {
+            id,
+            peers: Vec::new(),
+            known_txs: HashSet::new(),
+            mempool: HashMap::new(),
+            blocks: HashMap::new(),
+            heights: HashMap::new(),
+            tip: None,
+            is_miner,
+        }
+    }
+
+    /// Height of the current tip (None before any block).
+    pub fn tip_height(&self) -> Option<u64> {
+        self.tip.map(|h| self.heights[&h])
+    }
+
+    /// True if the node has seen this transaction.
+    pub fn knows_tx(&self, txid: &Hash256) -> bool {
+        self.known_txs.contains(txid)
+    }
+
+    /// True if the node has this block.
+    pub fn knows_block(&self, hash: &Hash256) -> bool {
+        self.blocks.contains_key(hash)
+    }
+
+    /// Injects a locally-originated transaction (wallet broadcast).
+    /// Returns the announcement actions.
+    pub fn originate_tx(&mut self, tx: Arc<Transaction>) -> Vec<Action> {
+        let txid = tx.txid();
+        if !self.known_txs.insert(txid) {
+            return Vec::new();
+        }
+        self.mempool.insert(txid, tx);
+        vec![Action::Broadcast(None, Message::InvTx(txid))]
+    }
+
+    /// Accepts a locally-mined block. Returns announcement actions.
+    pub fn originate_block(&mut self, block: Arc<Block>) -> Vec<Action> {
+        let hash = block.hash();
+        self.store_block(block);
+        vec![Action::Broadcast(None, Message::InvBlock(hash))]
+    }
+
+    fn store_block(&mut self, block: Arc<Block>) {
+        let hash = block.hash();
+        if self.blocks.contains_key(&hash) {
+            return;
+        }
+        // Height = parent height + 1 (orphans treated as height 0 bases;
+        // the simulator delivers parents first in practice).
+        let height = self
+            .heights
+            .get(&block.header.prev_hash)
+            .map(|h| h + 1)
+            .unwrap_or(0);
+        self.heights.insert(hash, height);
+        // Remove included transactions from the mempool.
+        for tx in &block.transactions {
+            let txid = tx.txid();
+            self.known_txs.insert(txid);
+            self.mempool.remove(&txid);
+        }
+        self.blocks.insert(hash, block);
+        // Longest-chain rule (first-seen wins ties).
+        let better = match self.tip {
+            None => true,
+            Some(t) => height > self.heights[&t],
+        };
+        if better {
+            self.tip = Some(hash);
+        }
+    }
+
+    /// Handles an incoming message, returning follow-up actions.
+    pub fn handle(&mut self, from: NodeId, msg: Message) -> Vec<Action> {
+        match msg {
+            Message::InvTx(txid) => {
+                if self.knows_tx(&txid) {
+                    Vec::new()
+                } else {
+                    vec![Action::Send(from, Message::GetTx(txid))]
+                }
+            }
+            Message::GetTx(txid) => match self.mempool.get(&txid) {
+                Some(tx) => vec![Action::Send(from, Message::Tx(Arc::clone(tx)))],
+                None => Vec::new(),
+            },
+            Message::Tx(tx) => {
+                let txid = tx.txid();
+                if !self.known_txs.insert(txid) {
+                    return Vec::new();
+                }
+                self.mempool.insert(txid, tx);
+                vec![Action::Broadcast(Some(from), Message::InvTx(txid))]
+            }
+            Message::InvBlock(hash) => {
+                if self.knows_block(&hash) {
+                    Vec::new()
+                } else {
+                    vec![Action::Send(from, Message::GetBlock(hash))]
+                }
+            }
+            Message::GetBlock(hash) => match self.blocks.get(&hash) {
+                Some(b) => vec![Action::Send(from, Message::Block(Arc::clone(b)))],
+                None => Vec::new(),
+            },
+            Message::Block(block) => {
+                let hash = block.hash();
+                if self.knows_block(&hash) {
+                    return Vec::new();
+                }
+                self.store_block(block);
+                vec![Action::Broadcast(Some(from), Message::InvBlock(hash))]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fistful_chain::address::Address;
+    use fistful_chain::amount::Amount;
+    use fistful_chain::block::BlockHeader;
+    use fistful_chain::transaction::{OutPoint, TxIn, TxOut};
+
+    fn tx(tag: u64) -> Arc<Transaction> {
+        Arc::new(Transaction {
+            version: 1,
+            inputs: vec![TxIn { prevout: OutPoint::null(), witness: tag.to_le_bytes().to_vec() }],
+            outputs: vec![TxOut { value: Amount::from_btc(1), address: Address::from_seed(tag) }],
+            lock_time: 0,
+        })
+    }
+
+    fn block(prev: Hash256, tag: u64) -> Arc<Block> {
+        let mut b = Block {
+            header: BlockHeader {
+                version: 1,
+                prev_hash: prev,
+                merkle_root: Hash256::ZERO,
+                time: tag,
+                nonce: 0,
+            },
+            transactions: vec![(*tx(tag)).clone()],
+        };
+        b.header.merkle_root = b.computed_merkle_root();
+        Arc::new(b)
+    }
+
+    #[test]
+    fn inv_getdata_tx_dance() {
+        let mut n = Node::new(0, false);
+        let t = tx(1);
+        let txid = t.txid();
+
+        // Unknown inv → getdata.
+        let actions = n.handle(5, Message::InvTx(txid));
+        assert!(matches!(actions[0], Action::Send(5, Message::GetTx(h)) if h == txid));
+
+        // Receiving the tx → stores and floods.
+        let actions = n.handle(5, Message::Tx(Arc::clone(&t)));
+        assert!(n.knows_tx(&txid));
+        assert!(matches!(&actions[0], Action::Broadcast(Some(5), Message::InvTx(h)) if *h == txid));
+
+        // Duplicate inv → silence.
+        assert!(n.handle(6, Message::InvTx(txid)).is_empty());
+        // Duplicate tx → silence.
+        assert!(n.handle(6, Message::Tx(t)).is_empty());
+    }
+
+    #[test]
+    fn serves_mempool_txs() {
+        let mut n = Node::new(0, false);
+        let t = tx(2);
+        let txid = t.txid();
+        n.originate_tx(Arc::clone(&t));
+        let actions = n.handle(3, Message::GetTx(txid));
+        assert!(matches!(&actions[0], Action::Send(3, Message::Tx(_))));
+        // Unknown getdata → nothing.
+        assert!(n.handle(3, Message::GetTx(Hash256::ZERO)).is_empty());
+    }
+
+    #[test]
+    fn blocks_update_tip_and_clear_mempool() {
+        let mut n = Node::new(0, false);
+        let b0 = block(Hash256::ZERO, 1);
+        let contained_txid = b0.transactions[0].txid();
+        n.originate_tx(Arc::new(b0.transactions[0].clone()));
+        assert!(n.mempool.contains_key(&contained_txid));
+
+        n.handle(1, Message::Block(Arc::clone(&b0)));
+        assert_eq!(n.tip, Some(b0.hash()));
+        assert_eq!(n.tip_height(), Some(0));
+        assert!(!n.mempool.contains_key(&contained_txid), "mined tx evicted");
+
+        let b1 = block(b0.hash(), 2);
+        n.handle(1, Message::Block(Arc::clone(&b1)));
+        assert_eq!(n.tip, Some(b1.hash()));
+        assert_eq!(n.tip_height(), Some(1));
+    }
+
+    #[test]
+    fn longest_chain_wins_ties_first_seen() {
+        let mut n = Node::new(0, false);
+        let b0 = block(Hash256::ZERO, 1);
+        let fork_a = block(b0.hash(), 2);
+        let fork_b = block(b0.hash(), 3);
+        n.handle(1, Message::Block(b0));
+        n.handle(1, Message::Block(Arc::clone(&fork_a)));
+        n.handle(2, Message::Block(fork_b));
+        // Same height: first seen (fork_a) stays tip.
+        assert_eq!(n.tip, Some(fork_a.hash()));
+    }
+}

@@ -1,0 +1,134 @@
+//! Network topologies: who peers with whom, and at what latency.
+
+use crate::node::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// An undirected peer graph with per-edge latency.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    /// Adjacency lists (symmetric).
+    pub peers: Vec<Vec<NodeId>>,
+    /// Latency in microseconds for edge `(min(a,b), max(a,b))`.
+    latency: std::collections::HashMap<(NodeId, NodeId), u64>,
+}
+
+impl Topology {
+    /// Builds a random graph: every node initiates `out_degree` connections
+    /// to distinct random peers (like Bitcoin's 8 outbound connections);
+    /// latencies are uniform in `[lat_lo, lat_hi]` microseconds.
+    ///
+    /// Panics if `nodes < 2`.
+    pub fn random(nodes: usize, out_degree: usize, lat_lo: u64, lat_hi: u64, seed: u64) -> Topology {
+        assert!(nodes >= 2, "need at least two nodes");
+        assert!(lat_lo <= lat_hi);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut edge_set: HashSet<(NodeId, NodeId)> = HashSet::new();
+        for a in 0..nodes {
+            let mut made = 0;
+            let mut attempts = 0;
+            while made < out_degree.min(nodes - 1) && attempts < nodes * 10 {
+                attempts += 1;
+                let b = rng.gen_range(0..nodes);
+                if b == a {
+                    continue;
+                }
+                let key = (a.min(b) as NodeId, a.max(b) as NodeId);
+                if edge_set.insert(key) {
+                    made += 1;
+                }
+            }
+        }
+        // Ensure connectivity with a ring backbone (cheap and sufficient).
+        for a in 0..nodes {
+            let b = (a + 1) % nodes;
+            edge_set.insert((a.min(b) as NodeId, a.max(b) as NodeId));
+        }
+
+        // Sort the edges before drawing latencies: HashSet iteration order
+        // is randomized per process, and latencies must be a deterministic
+        // function of the seed alone.
+        let mut edges: Vec<(NodeId, NodeId)> = edge_set.into_iter().collect();
+        edges.sort_unstable();
+
+        let mut peers = vec![Vec::new(); nodes];
+        let mut latency = std::collections::HashMap::new();
+        for &(a, b) in &edges {
+            peers[a as usize].push(b);
+            peers[b as usize].push(a);
+            let l = if lat_lo == lat_hi { lat_lo } else { rng.gen_range(lat_lo..=lat_hi) };
+            latency.insert((a, b), l);
+        }
+        for p in &mut peers {
+            p.sort_unstable();
+        }
+        Topology { peers, latency }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// True if there are no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.peers.is_empty()
+    }
+
+    /// The latency of the edge between `a` and `b` (must be peers).
+    pub fn latency(&self, a: NodeId, b: NodeId) -> u64 {
+        self.latency[&(a.min(b), a.max(b))]
+    }
+
+    /// Total number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.latency.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_is_symmetric_and_connected() {
+        let t = Topology::random(50, 4, 10_000, 200_000, 7);
+        assert_eq!(t.len(), 50);
+        for (a, peers) in t.peers.iter().enumerate() {
+            for &b in peers {
+                assert!(t.peers[b as usize].contains(&(a as NodeId)), "symmetry");
+                assert!(t.latency(a as NodeId, b) >= 10_000);
+                assert!(t.latency(a as NodeId, b) <= 200_000);
+            }
+        }
+        // Connectivity via BFS.
+        let mut seen = vec![false; 50];
+        let mut queue = vec![0 as NodeId];
+        seen[0] = true;
+        while let Some(n) = queue.pop() {
+            for &p in &t.peers[n as usize] {
+                if !seen[p as usize] {
+                    seen[p as usize] = true;
+                    queue.push(p);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "connected");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = Topology::random(30, 3, 1000, 5000, 42);
+        let b = Topology::random(30, 3, 1000, 5000, 42);
+        assert_eq!(a.peers, b.peers);
+        let c = Topology::random(30, 3, 1000, 5000, 43);
+        assert_ne!(a.peers, c.peers);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_node() {
+        Topology::random(1, 2, 0, 0, 0);
+    }
+}

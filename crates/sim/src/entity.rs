@@ -1,0 +1,115 @@
+//! Identities: owners and service categories.
+
+/// A ground-truth owner of addresses (user, service, or thief).
+pub type OwnerId = u32;
+
+/// The service categories the paper studies (Table 1 / Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// Mining pools.
+    Mining,
+    /// Wallet services.
+    Wallet,
+    /// Real-time ("bank") exchanges.
+    Exchange,
+    /// Fixed-rate (non-bank) exchanges.
+    FixedExchange,
+    /// Online vendors.
+    Vendor,
+    /// Dice games, poker, lotteries.
+    Gambling,
+    /// Investment schemes (incl. Ponzis).
+    Investment,
+    /// Mix / laundry services.
+    Mix,
+    /// Everything else (faucets, advertisers, donation targets).
+    Misc,
+    /// Ordinary individual users.
+    User,
+    /// Thieves (theft case studies, Table 3).
+    Thief,
+}
+
+impl Category {
+    /// Canonical lower-case label, used in tags and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Mining => "mining",
+            Category::Wallet => "wallet",
+            Category::Exchange => "exchange",
+            Category::FixedExchange => "fixed",
+            Category::Vendor => "vendor",
+            Category::Gambling => "gambling",
+            Category::Investment => "investment",
+            Category::Mix => "mix",
+            Category::Misc => "misc",
+            Category::User => "user",
+            Category::Thief => "thief",
+        }
+    }
+
+    /// True for the named service categories (not users/thieves).
+    pub fn is_service(self) -> bool {
+        !matches!(self, Category::User | Category::Thief)
+    }
+
+    /// The categories shown in Figure 2's balance plot.
+    pub fn figure2_categories() -> [Category; 7] {
+        [
+            Category::Exchange,
+            Category::Mining,
+            Category::Wallet,
+            Category::Gambling,
+            Category::Vendor,
+            Category::FixedExchange,
+            Category::Investment,
+        ]
+    }
+}
+
+/// Descriptive record for an owner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OwnerInfo {
+    /// Display name ("Mt. Gox", "user-17", …).
+    pub name: String,
+    /// Category.
+    pub category: Category,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        use std::collections::HashSet;
+        let all = [
+            Category::Mining,
+            Category::Wallet,
+            Category::Exchange,
+            Category::FixedExchange,
+            Category::Vendor,
+            Category::Gambling,
+            Category::Investment,
+            Category::Mix,
+            Category::Misc,
+            Category::User,
+            Category::Thief,
+        ];
+        let labels: HashSet<_> = all.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), all.len());
+    }
+
+    #[test]
+    fn service_predicate() {
+        assert!(Category::Exchange.is_service());
+        assert!(Category::Mix.is_service());
+        assert!(!Category::User.is_service());
+        assert!(!Category::Thief.is_service());
+    }
+
+    #[test]
+    fn figure2_has_seven_categories() {
+        assert_eq!(Category::figure2_categories().len(), 7);
+    }
+}

@@ -1,0 +1,242 @@
+//! The service roster, mirroring Table 1 of the paper.
+//!
+//! Every service the authors transacted with is present, with the
+//! behavioural kind that drives its transaction idioms. A few extra
+//! services appear because the analysis needs them: the theft victims of
+//! Table 3 (MyBitcoin, Betcoin) and the investment schemes of Figure 2
+//! (Bitcoinica, Bitcoin Savings & Trust).
+
+use crate::entity::Category;
+
+/// Behavioural archetype of a service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KindSpec {
+    /// Mining pool: mines blocks, pays members in multi-output batches.
+    Pool,
+    /// Deposit-taking service (real-time exchange or wallet service):
+    /// fresh deposit addresses, consolidation sweeps, peeling-chain
+    /// withdrawals, spread over `subwallets` internal key groups.
+    Bank {
+        /// Number of internally disjoint key groups (Mt. Gox ≈ 20).
+        subwallets: usize,
+    },
+    /// Fixed-rate exchange: one-time conversions, no accounts.
+    FixedExchange,
+    /// Vendor selling goods; optionally paid via a gateway.
+    Vendor {
+        /// Index into the roster of the payment gateway, if any.
+        uses_gateway: bool,
+    },
+    /// Payment gateway (BitPay, WalletBit): receives on behalf of vendors,
+    /// settles in aggregated batches.
+    Gateway,
+    /// Satoshi-Dice-style game: instant bets, payout returned to the
+    /// betting address, heavily reused house addresses, self-change.
+    Dice,
+    /// Deposit-based gambling (poker sites): bank-lite mechanics.
+    Casino,
+    /// Mix/laundry: pays out unrelated coins after a delay. `honest: false`
+    /// models BitMix, which simply stole the coins.
+    Mix {
+        /// Whether deposits are ever paid back.
+        honest: bool,
+    },
+    /// Investment scheme: pays periodic "returns" from new deposits until
+    /// a collapse height (Ponzi dynamics).
+    Investment,
+    /// Miscellaneous: donation targets, faucets, advertisers.
+    Misc,
+}
+
+/// A service template.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceSpec {
+    /// Display name (as in Table 1).
+    pub name: &'static str,
+    /// Category for tags and Figure 2.
+    pub category: Category,
+    /// Behaviour.
+    pub kind: KindSpec,
+}
+
+const fn pool(name: &'static str) -> ServiceSpec {
+    ServiceSpec { name, category: Category::Mining, kind: KindSpec::Pool }
+}
+const fn bank(name: &'static str, subwallets: usize) -> ServiceSpec {
+    ServiceSpec { name, category: Category::Exchange, kind: KindSpec::Bank { subwallets } }
+}
+const fn wallet(name: &'static str, subwallets: usize) -> ServiceSpec {
+    ServiceSpec { name, category: Category::Wallet, kind: KindSpec::Bank { subwallets } }
+}
+const fn fixed(name: &'static str) -> ServiceSpec {
+    ServiceSpec { name, category: Category::FixedExchange, kind: KindSpec::FixedExchange }
+}
+const fn vendor(name: &'static str, uses_gateway: bool) -> ServiceSpec {
+    ServiceSpec { name, category: Category::Vendor, kind: KindSpec::Vendor { uses_gateway } }
+}
+const fn gateway(name: &'static str) -> ServiceSpec {
+    ServiceSpec { name, category: Category::Vendor, kind: KindSpec::Gateway }
+}
+const fn dice(name: &'static str) -> ServiceSpec {
+    ServiceSpec { name, category: Category::Gambling, kind: KindSpec::Dice }
+}
+const fn casino(name: &'static str) -> ServiceSpec {
+    ServiceSpec { name, category: Category::Gambling, kind: KindSpec::Casino }
+}
+const fn mix(name: &'static str, honest: bool) -> ServiceSpec {
+    ServiceSpec { name, category: Category::Mix, kind: KindSpec::Mix { honest } }
+}
+const fn investment(name: &'static str) -> ServiceSpec {
+    ServiceSpec { name, category: Category::Investment, kind: KindSpec::Investment }
+}
+const fn misc(name: &'static str) -> ServiceSpec {
+    ServiceSpec { name, category: Category::Misc, kind: KindSpec::Misc }
+}
+
+/// The full roster (Table 1, plus analysis-required extras).
+pub fn full_roster() -> Vec<ServiceSpec> {
+    vec![
+        // ---- Mining pools (11) ----
+        pool("50 BTC"),
+        pool("ABC Pool"),
+        pool("Bitclockers"),
+        pool("Bitminter"),
+        pool("BTC Guild"),
+        pool("Deepbit"),
+        pool("EclipseMC"),
+        pool("Eligius"),
+        pool("Itzod"),
+        pool("Ozcoin"),
+        pool("Slush"),
+        // ---- Wallet services (10) ----
+        wallet("Bitcoin Faucet", 1),
+        wallet("My Wallet", 2),
+        wallet("Coinbase", 2),
+        wallet("Easycoin", 1),
+        wallet("Easywallet", 1),
+        wallet("Flexcoin", 1),
+        wallet("Instawallet", 3),
+        wallet("Paytunia", 1),
+        wallet("Strongcoin", 1),
+        wallet("WalletBit Wallet", 1),
+        // ---- Bank exchanges (18) ----
+        bank("Bitcoin 24", 2),
+        bank("Bitcoin Central", 2),
+        bank("Bitcoin.de", 2),
+        bank("Bitcurex", 1),
+        bank("Bitfloor", 2),
+        bank("Bitmarket", 1),
+        bank("Bitme", 1),
+        bank("Bitstamp", 3),
+        bank("BTC China", 2),
+        bank("BTC-e", 3),
+        bank("CampBX", 1),
+        bank("CA VirtEx", 2),
+        bank("ICBit", 1),
+        bank("Mercado Bitcoin", 1),
+        bank("Mt. Gox", 20),
+        bank("The Rock", 1),
+        bank("Vircurex", 1),
+        bank("Virwox", 1),
+        // ---- Non-bank (fixed-rate) exchanges (8) ----
+        fixed("Aurum Xchange"),
+        fixed("BitInstant"),
+        fixed("Bitcoin Nordic"),
+        fixed("BTC Quick"),
+        fixed("FastCash4Bitcoins"),
+        fixed("Lilion Transfer"),
+        fixed("Nanaimo Gold"),
+        fixed("OKPay"),
+        // ---- Vendors & gateways (Table 1 vendors) ----
+        gateway("BitPay"),
+        gateway("WalletBit"),
+        vendor("ABU Games", false),
+        vendor("Bitbrew", true),
+        vendor("Bitdomain", false),
+        vendor("Bitmit", false),
+        vendor("Bit Usenet", true),
+        vendor("BTC Buy", false),
+        vendor("BTC Gadgets", true),
+        vendor("Casascius", false),
+        vendor("Coinabul", true),
+        vendor("CoinDL", false),
+        vendor("Etsy", true),
+        vendor("HealthRX", false),
+        vendor("JJ Games", true),
+        vendor("NZBs R Us", false),
+        vendor("Medsforbitcoin", false),
+        vendor("Silk Road", false),
+        vendor("Yoku", true),
+        // ---- Gambling (13) ----
+        dice("Satoshi Dice"),
+        dice("Clone Dice"),
+        dice("BTC Lucky"),
+        dice("BTC Griffin"),
+        dice("Gold Game Land"),
+        dice("Bit Elfin"),
+        casino("Bitcoin 24/7"),
+        casino("Bitcoin Darts"),
+        casino("Bitcoin Kamikaze"),
+        casino("Bitcoin Minefield"),
+        casino("BitZino"),
+        casino("BTC on Tilt"),
+        casino("Seals with Clubs"),
+        // ---- Mixes & miscellaneous ----
+        mix("Bitcoin Laundry", true),
+        mix("Bitlaundry", true),
+        mix("Bitfog", true),
+        mix("BitMix", false), // stole our deposit, per the paper
+        misc("Bit Visitor"),
+        misc("Bitcoin Advertisers"),
+        misc("CoinAd"),
+        misc("Coinapult"),
+        misc("Wikileaks"),
+        // ---- Analysis-required extras (thefts, Figure 2) ----
+        wallet("MyBitcoin", 1),
+        casino("Betcoin"),
+        investment("Bitcoinica"),
+        investment("Bitcoin Savings & Trust"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn roster_names_unique() {
+        let roster = full_roster();
+        let names: HashSet<_> = roster.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), roster.len());
+    }
+
+    #[test]
+    fn table1_counts() {
+        let roster = full_roster();
+        let count = |c: Category| roster.iter().filter(|s| s.category == c).count();
+        assert_eq!(count(Category::Mining), 11);
+        // 10 wallet services from Table 1 plus the MyBitcoin theft victim.
+        assert_eq!(count(Category::Wallet), 11);
+        assert_eq!(count(Category::Exchange), 18);
+        assert_eq!(count(Category::FixedExchange), 8);
+        assert_eq!(count(Category::Gambling), 14); // 13 + Betcoin
+        assert_eq!(count(Category::Mix), 4);
+        assert_eq!(count(Category::Investment), 2);
+    }
+
+    #[test]
+    fn mt_gox_has_many_subwallets() {
+        let roster = full_roster();
+        let gox = roster.iter().find(|s| s.name == "Mt. Gox").unwrap();
+        assert!(matches!(gox.kind, KindSpec::Bank { subwallets: 20 }));
+    }
+
+    #[test]
+    fn key_services_present() {
+        let roster = full_roster();
+        for name in ["Satoshi Dice", "Silk Road", "BitPay", "Instawallet", "Bitfloor", "Betcoin"] {
+            assert!(roster.iter().any(|s| s.name == name), "{name} missing");
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Simulated wallets: UTXO tracking, coin selection and change policy.
+
+use crate::entity::OwnerId;
+use fistful_chain::address::Address;
+use fistful_chain::amount::Amount;
+use fistful_chain::transaction::OutPoint;
+
+/// How a wallet handles change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangePolicy {
+    /// A fresh, internal, never-re-used change address — the client idiom
+    /// Heuristic 2 targets.
+    Fresh,
+    /// Change back to the first input address (the paper's "self-change",
+    /// 23% of 2013 transactions).
+    SelfChange,
+}
+
+/// An unspent output a wallet controls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OwnedUtxo {
+    /// The outpoint.
+    pub outpoint: OutPoint,
+    /// The value.
+    pub value: Amount,
+    /// The receiving address (one of the wallet's).
+    pub address: Address,
+}
+
+/// A wallet: a set of spendable outputs plus key-derivation state.
+///
+/// Wallets are deliberately dumb; the engine (which owns the RNG, ground
+/// truth and address routing) drives them.
+#[derive(Debug, Clone)]
+pub struct SimWallet {
+    /// The ground-truth owner.
+    pub owner: OwnerId,
+    /// Next key-derivation index.
+    next_key: u64,
+    /// Spendable outputs.
+    utxos: Vec<OwnedUtxo>,
+    /// The last change address handed out (for modelling sloppy reuse).
+    pub last_change: Option<Address>,
+    /// A stable receiving address for owners that reuse one.
+    pub reused_receive: Option<Address>,
+}
+
+impl SimWallet {
+    /// An empty wallet for `owner`.
+    pub fn new(owner: OwnerId) -> SimWallet {
+        SimWallet {
+            owner,
+            next_key: 0,
+            utxos: Vec::new(),
+            last_change: None,
+            reused_receive: None,
+        }
+    }
+
+    /// Derives the next address (deterministic in owner and index). The
+    /// caller must register it with ground truth and routing tables.
+    pub fn derive_address(&mut self, wallet_salt: u64) -> Address {
+        let a = Address::from_seed2(((self.owner as u64) << 20) | wallet_salt, self.next_key);
+        self.next_key += 1;
+        a
+    }
+
+    /// Total spendable balance.
+    pub fn balance(&self) -> Amount {
+        self.utxos.iter().map(|u| u.value).sum()
+    }
+
+    /// Number of spendable outputs.
+    pub fn utxo_count(&self) -> usize {
+        self.utxos.len()
+    }
+
+    /// Read-only view of the UTXOs.
+    pub fn utxos(&self) -> &[OwnedUtxo] {
+        &self.utxos
+    }
+
+    /// Adds a confirmed (or same-block) output.
+    pub fn credit(&mut self, utxo: OwnedUtxo) {
+        self.utxos.push(utxo);
+    }
+
+    /// Selects outputs worth at least `target`, largest-first (fewest
+    /// inputs). Returns `None` if the balance is insufficient; on success
+    /// the selected outputs are removed from the wallet.
+    pub fn select(&mut self, target: Amount) -> Option<Vec<OwnedUtxo>> {
+        if self.balance() < target {
+            return None;
+        }
+        // Largest-first keeps input counts small.
+        self.utxos.sort_by_key(|u| std::cmp::Reverse(u.value));
+        let mut picked = Vec::new();
+        let mut total = Amount::ZERO;
+        while total < target {
+            let u = self.utxos.remove(0);
+            total = total.checked_add(u.value).expect("wallet balance overflow");
+            picked.push(u);
+        }
+        Some(picked)
+    }
+
+    /// Removes and returns the single largest output, if any.
+    pub fn take_largest(&mut self) -> Option<OwnedUtxo> {
+        if self.utxos.is_empty() {
+            return None;
+        }
+        let (i, _) = self
+            .utxos
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, u)| u.value)?;
+        Some(self.utxos.swap_remove(i))
+    }
+
+    /// Removes and returns up to `max` smallest outputs (for consolidation
+    /// sweeps). Returns an empty vec if fewer than `min` are available.
+    pub fn take_small(&mut self, min: usize, max: usize) -> Vec<OwnedUtxo> {
+        if self.utxos.len() < min {
+            return Vec::new();
+        }
+        self.utxos.sort_by_key(|u| u.value);
+        let k = max.min(self.utxos.len());
+        self.utxos.drain(..k).collect()
+    }
+
+    /// Removes and returns every output.
+    pub fn take_all(&mut self) -> Vec<OwnedUtxo> {
+        std::mem::take(&mut self.utxos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fistful_crypto::hash::Hash256;
+
+    fn utxo(tag: u8, sat: u64) -> OwnedUtxo {
+        OwnedUtxo {
+            outpoint: OutPoint { txid: Hash256([tag; 32]), vout: 0 },
+            value: Amount::from_sat(sat),
+            address: Address::from_seed(tag as u64),
+        }
+    }
+
+    #[test]
+    fn balance_and_credit() {
+        let mut w = SimWallet::new(1);
+        assert_eq!(w.balance(), Amount::ZERO);
+        w.credit(utxo(1, 100));
+        w.credit(utxo(2, 250));
+        assert_eq!(w.balance(), Amount::from_sat(350));
+        assert_eq!(w.utxo_count(), 2);
+    }
+
+    #[test]
+    fn select_largest_first() {
+        let mut w = SimWallet::new(1);
+        w.credit(utxo(1, 100));
+        w.credit(utxo(2, 500));
+        w.credit(utxo(3, 50));
+        let picked = w.select(Amount::from_sat(450)).unwrap();
+        assert_eq!(picked.len(), 1);
+        assert_eq!(picked[0].value, Amount::from_sat(500));
+        assert_eq!(w.utxo_count(), 2);
+    }
+
+    #[test]
+    fn select_insufficient_returns_none_and_keeps_utxos() {
+        let mut w = SimWallet::new(1);
+        w.credit(utxo(1, 100));
+        assert!(w.select(Amount::from_sat(200)).is_none());
+        assert_eq!(w.utxo_count(), 1);
+    }
+
+    #[test]
+    fn select_accumulates_multiple() {
+        let mut w = SimWallet::new(1);
+        w.credit(utxo(1, 100));
+        w.credit(utxo(2, 100));
+        w.credit(utxo(3, 100));
+        let picked = w.select(Amount::from_sat(250)).unwrap();
+        assert_eq!(picked.len(), 3);
+        assert_eq!(w.utxo_count(), 0);
+    }
+
+    #[test]
+    fn take_small_respects_min() {
+        let mut w = SimWallet::new(1);
+        w.credit(utxo(1, 100));
+        assert!(w.take_small(2, 5).is_empty());
+        w.credit(utxo(2, 50));
+        w.credit(utxo(3, 70));
+        let taken = w.take_small(2, 2);
+        assert_eq!(taken.len(), 2);
+        // Smallest first: 50, 70.
+        assert_eq!(taken[0].value, Amount::from_sat(50));
+        assert_eq!(w.utxo_count(), 1);
+    }
+
+    #[test]
+    fn derive_addresses_unique() {
+        let mut w = SimWallet::new(7);
+        let a = w.derive_address(0);
+        let b = w.derive_address(0);
+        assert_ne!(a, b);
+        let mut w2 = SimWallet::new(8);
+        assert_ne!(w2.derive_address(0), a);
+    }
+
+    #[test]
+    fn take_largest() {
+        let mut w = SimWallet::new(1);
+        assert!(w.take_largest().is_none());
+        w.credit(utxo(1, 10));
+        w.credit(utxo(2, 99));
+        assert_eq!(w.take_largest().unwrap().value, Amount::from_sat(99));
+        assert_eq!(w.utxo_count(), 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Network propagation: the mechanics of Figure 1 — a payment floods the
+//! gossip network, a miner confirms it, and the block floods back.
+//!
+//! Run with: `cargo run --release --example network_propagation`
+
+use fistful::chain::address::Address;
+use fistful::chain::amount::Amount;
+use fistful::chain::block::{Block, BlockHeader};
+use fistful::chain::builder::TransactionBuilder;
+use fistful::chain::transaction::OutPoint;
+use fistful::crypto::hash::Hash256;
+use fistful::net::{Network, NetworkConfig};
+
+fn main() {
+    let mut net = Network::new(NetworkConfig {
+        nodes: 500,
+        out_degree: 8,
+        latency_lo: 10_000,
+        latency_hi: 250_000,
+        miner_fraction: 0.04,
+        processing_delay: 2_000,
+        seed: 2013,
+    });
+
+    // (1)-(4): the merchant hands the user an address; the user broadcasts
+    // the payment.
+    let merchant_addr = Address::from_seed(7);
+    let tx = TransactionBuilder::new()
+        .input(OutPoint::null())
+        .output(merchant_addr, Amount::from_sat(70_000_000))
+        .build_unsigned();
+    let txid = net.submit_tx(0, tx.clone());
+    net.run_to_quiescence();
+
+    let prop = net.propagation(&txid).unwrap();
+    println!("transaction {} flooded {} nodes", txid, prop.reached);
+    for (pct, label) in [(0.5, "50%"), (0.9, "90%"), (1.0, "100%")] {
+        println!(
+            "  {}: {:.0} ms",
+            label,
+            prop.coverage_time(pct).unwrap() as f64 / 1000.0
+        );
+    }
+
+    // (5)-(6): a miner incorporates the tx into a block, floods it.
+    let miner = net.miners()[0];
+    let mut block = Block {
+        header: BlockHeader {
+            version: 1,
+            prev_hash: Hash256::ZERO,
+            merkle_root: Hash256::ZERO,
+            time: 1,
+            nonce: 0,
+        },
+        transactions: vec![tx],
+    };
+    block.header.merkle_root = block.computed_merkle_root();
+    let hash = net.submit_block(miner, block);
+    net.run_to_quiescence();
+
+    let bprop = net.propagation(&hash).unwrap();
+    println!("block {} flooded {} nodes", hash, bprop.reached);
+    for (pct, label) in [(0.5, "50%"), (0.9, "90%"), (1.0, "100%")] {
+        println!(
+            "  {}: {:.0} ms",
+            label,
+            bprop.coverage_time(pct).unwrap() as f64 / 1000.0
+        );
+    }
+    println!(
+        "total: {} messages, {} kB of inv traffic",
+        net.messages_delivered,
+        net.bytes_sent.get("invtx").copied().unwrap_or(0) / 1000,
+    );
+    // Every node now agrees on the tip.
+    assert!((0..500).all(|i| net.node(i).tip == Some(hash)));
+    println!("all {} nodes converged on the new tip", 500);
+}

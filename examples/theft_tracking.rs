@@ -1,0 +1,67 @@
+//! Theft tracking: simulate the economy with its seven scripted thefts,
+//! then re-derive Table 3 — how the loot moved (A/P/S/F) and whether it
+//! reached an exchange.
+//!
+//! Run with: `cargo run --release --example theft_tracking`
+
+use fistful::core::change::{self, ChangeConfig};
+use fistful::core::cluster::Clusterer;
+use fistful::core::naming::name_clusters;
+use fistful::core::tagdb::{Tag, TagDb, TagSource};
+use fistful::flow::{track_theft, AddressDirectory};
+use fistful::sim::{generate_tags, Economy, RawTagSource, SimConfig};
+
+fn main() {
+    println!("simulating the economy ...");
+    let eco = Economy::run(SimConfig::default());
+    let chain = eco.chain.resolved();
+
+    let mut db = TagDb::new();
+    for raw in generate_tags(&eco) {
+        if let Some(address) = chain.address_id(&raw.address) {
+            let source = match raw.source {
+                RawTagSource::OwnTransaction => TagSource::OwnTransaction,
+                RawTagSource::SelfSubmitted => TagSource::SelfSubmitted,
+                RawTagSource::Forum => TagSource::Forum,
+            };
+            db.add(Tag { address, service: raw.service, category: raw.category, source });
+        }
+    }
+    let clustering = Clusterer::with_h2(ChangeConfig::naive()).run(chain);
+    let names = name_clusters(&clustering, &db);
+    let directory = AddressDirectory::from_naming(&clustering, &names);
+    let labels = change::identify(chain, &ChangeConfig::naive());
+
+    for theft in &eco.script_report.thefts {
+        let loot_ids: Vec<u32> = theft
+            .loot_addresses
+            .iter()
+            .filter_map(|a| chain.address_id(a))
+            .collect();
+        let mut loot = Vec::new();
+        for txid in &theft.theft_txids {
+            if let Some((t, rtx)) = chain.tx_by_txid(txid) {
+                for (v, o) in rtx.outputs.iter().enumerate() {
+                    if loot_ids.contains(&o.address) {
+                        loot.push((t, v as u32));
+                    }
+                }
+            }
+        }
+        if loot.is_empty() {
+            continue;
+        }
+        let trace = track_theft(chain, &loot, &labels, &directory, 5_000);
+        println!(
+            "{:<18} stole {:>14}  moved {:<8} reached exchanges: {}",
+            theft.name,
+            theft.stolen.to_string(),
+            trace.pattern,
+            if trace.reached_exchange() {
+                format!("yes, {} services ({})", trace.exchanges_reached, trace.to_exchanges)
+            } else {
+                format!("no ({} still dormant)", trace.dormant)
+            }
+        );
+    }
+}

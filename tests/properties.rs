@@ -1,0 +1,231 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! paper's invariants.
+
+use fistful::chain::address::Address;
+use fistful::chain::amount::Amount;
+use fistful::chain::encode::{Decodable, Encodable};
+use fistful::chain::merkle::{merkle_proof, merkle_root, verify_proof};
+use fistful::chain::transaction::{OutPoint, Transaction, TxIn, TxOut};
+use fistful::core::change::{self, ChangeConfig};
+use fistful::core::cluster::Clusterer;
+use fistful::core::metrics::score_clustering;
+use fistful::core::union_find::UnionFind;
+use fistful::crypto::base58;
+use fistful::crypto::sha256::sha256d;
+use fistful::crypto::u256::U256;
+use fistful::sim::{Economy, SimConfig};
+use proptest::prelude::*;
+
+// ---------- crypto ----------
+
+proptest! {
+    #[test]
+    fn base58_round_trips(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let encoded = base58::encode(&data);
+        prop_assert_eq!(base58::decode(&encoded).unwrap(), data);
+    }
+
+    #[test]
+    fn base58check_detects_any_version_payload(version in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let s = base58::check_encode(version, &payload);
+        let (v, p) = base58::check_decode(&s).unwrap();
+        prop_assert_eq!(v, version);
+        prop_assert_eq!(p, payload);
+    }
+
+    #[test]
+    fn u256_be_bytes_round_trip(bytes in any::<[u8; 32]>()) {
+        let x = U256::from_be_bytes(&bytes);
+        prop_assert_eq!(x.to_be_bytes(), bytes);
+    }
+
+    #[test]
+    fn u256_add_sub_inverse(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        let x = U256::from_be_bytes(&a);
+        let y = U256::from_be_bytes(&b);
+        let (sum, _) = x.overflowing_add(&y);
+        let (back, _) = sum.overflowing_sub(&y);
+        prop_assert_eq!(back, x);
+    }
+
+    #[test]
+    fn field_mul_matches_generic_reduction(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        use fistful::crypto::field::{Fe, P};
+        let x = Fe::from_be_bytes(&a);
+        let y = Fe::from_be_bytes(&b);
+        let fast = x.mul(&y);
+        let slow = Fe::from_u256(x.to_u256().mul_wide(&y.to_u256()).rem(&P));
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn scalar_mul_commutes(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        use fistful::crypto::scalar::Scalar;
+        let x = Scalar::from_be_bytes(&a);
+        let y = Scalar::from_be_bytes(&b);
+        prop_assert_eq!(x.mul(&y), y.mul(&x));
+    }
+}
+
+// ---------- chain encoding ----------
+
+fn arb_txout() -> impl Strategy<Value = TxOut> {
+    (any::<u64>(), any::<u64>()).prop_map(|(v, seed)| TxOut {
+        value: Amount::from_sat(v % fistful::chain::amount::MAX_MONEY),
+        address: Address::from_seed(seed),
+    })
+}
+
+fn arb_txin() -> impl Strategy<Value = TxIn> {
+    (any::<[u8; 32]>(), any::<u32>(), proptest::collection::vec(any::<u8>(), 0..100)).prop_map(
+        |(txid, vout, witness)| TxIn {
+            prevout: OutPoint { txid: fistful::crypto::hash::Hash256(txid), vout },
+            witness,
+        },
+    )
+}
+
+fn arb_tx() -> impl Strategy<Value = Transaction> {
+    (
+        proptest::collection::vec(arb_txin(), 1..8),
+        proptest::collection::vec(arb_txout(), 1..8),
+        any::<u32>(),
+    )
+        .prop_map(|(inputs, outputs, lock_time)| Transaction {
+            version: 1,
+            inputs,
+            outputs,
+            lock_time,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transaction_encoding_round_trips(tx in arb_tx()) {
+        let bytes = tx.encode_to_vec();
+        let decoded = Transaction::decode_all(&bytes).unwrap();
+        prop_assert_eq!(&decoded, &tx);
+        prop_assert_eq!(decoded.txid(), tx.txid());
+    }
+
+    #[test]
+    fn txid_is_injective_on_distinct_txs(a in arb_tx(), b in arb_tx()) {
+        if a != b {
+            prop_assert_ne!(a.txid(), b.txid());
+        }
+    }
+
+    #[test]
+    fn merkle_proofs_verify(n in 1usize..24, tamper in any::<bool>()) {
+        let txids: Vec<_> = (0..n as u64).map(|i| sha256d(&i.to_le_bytes())).collect();
+        let root = merkle_root(&txids);
+        for i in 0..n {
+            let proof = merkle_proof(&txids, i).unwrap();
+            prop_assert!(verify_proof(&txids[i], &proof, &root));
+            if tamper {
+                let wrong = sha256d(b"tampered");
+                prop_assert!(!verify_proof(&wrong, &proof, &root));
+            }
+        }
+    }
+}
+
+// ---------- union-find invariants ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn union_find_is_an_equivalence(
+        n in 2usize..200,
+        unions in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..400),
+    ) {
+        let mut uf = UnionFind::new(n);
+        for (a, b) in unions {
+            let a = a % n as u32;
+            let b = b % n as u32;
+            uf.union(a, b);
+            // Reflexive + symmetric + the union took effect.
+            prop_assert!(uf.same(a, a));
+            prop_assert!(uf.same(a, b));
+            prop_assert!(uf.same(b, a));
+        }
+        // Component count matches the number of distinct roots.
+        let (assignment, sizes) = uf.assignments();
+        prop_assert_eq!(sizes.iter().map(|&s| s as usize).sum::<usize>(), n);
+        prop_assert_eq!(uf.component_count(), sizes.len());
+        // Transitivity sample: same assignment label == same set.
+        for x in 0..n as u32 {
+            for y in 0..n as u32 {
+                prop_assert_eq!(
+                    uf.same(x, y),
+                    assignment[x as usize] == assignment[y as usize]
+                );
+            }
+        }
+    }
+}
+
+// ---------- heuristic safety on simulated economies ----------
+
+proptest! {
+    // Economies are expensive; a handful of seeds suffices.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn h1_never_merges_owners_across_seeds(seed in 0u64..1000) {
+        let mut cfg = SimConfig::tiny();
+        cfg.seed = seed;
+        cfg.blocks = 80;
+        cfg.users = 25;
+        let eco = Economy::run(cfg);
+        let chain = eco.chain.resolved();
+        let gt = eco.gt.to_id_space(chain);
+        let clustering = Clusterer::h1_only().run(chain);
+        let score = score_clustering(&clustering, &gt.owner_of);
+        // Heuristic 1 is an inherent protocol property: always pure.
+        prop_assert_eq!(score.impure_clusters, 0);
+    }
+
+    #[test]
+    fn h2_conditions_hold_for_every_label(seed in 0u64..1000) {
+        let mut cfg = SimConfig::tiny();
+        cfg.seed = seed;
+        cfg.blocks = 80;
+        cfg.users = 25;
+        let eco = Economy::run(cfg);
+        let chain = eco.chain.resolved();
+        let labels = change::identify(chain, &ChangeConfig::naive());
+        for (t, vout, addr) in labels.iter(chain) {
+            let tx = &chain.txs[t as usize];
+            // Condition 2: never a coinbase.
+            prop_assert!(!tx.is_coinbase);
+            // Condition 1: first appearance is this transaction.
+            prop_assert_eq!(chain.first_seen(addr), t);
+            // Condition 3: not a self-change output.
+            prop_assert!(tx.inputs.iter().all(|i| i.address != addr));
+            // Condition 4: every other output appeared strictly earlier.
+            for (v, o) in tx.outputs.iter().enumerate() {
+                if v as u32 != vout {
+                    prop_assert!(chain.first_seen(o.address) < t);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn supply_is_conserved_across_seeds(seed in 0u64..1000) {
+        let mut cfg = SimConfig::tiny();
+        cfg.seed = seed;
+        cfg.blocks = 60;
+        cfg.users = 20;
+        let eco = Economy::run(cfg);
+        let expected: Amount = (0..60u64)
+            .map(|h| eco.chain.params().subsidy_at(h))
+            .sum();
+        prop_assert_eq!(eco.chain.utxos().total_value(), expected);
+    }
+}
