@@ -14,6 +14,16 @@ use fistful_flow::{balance_series, follow_chain, service_arrivals, track_theft, 
 use fistful_net::{Network, NetworkConfig};
 use fistful_sim::{Category, SimConfig};
 
+const EXPERIMENTS: [&str; 9] = ["fig1", "tab1", "h1", "fp", "super", "h2", "fig2", "tab2", "tab3"];
+
+fn usage() -> String {
+    format!(
+        "usage: repro [--scale tiny|default|paper] [experiment...]\n\
+         experiments: all {} (default: all)",
+        EXPERIMENTS.join(" ")
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = "default".to_string();
@@ -21,8 +31,27 @@ fn main() {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--scale" => scale = it.next().cloned().unwrap_or(scale),
-            other => experiments.push(other.to_string()),
+            "--scale" => {
+                scale = match it.next() {
+                    Some(s) if ["tiny", "default", "paper"].contains(&s.as_str()) => s.clone(),
+                    other => {
+                        let got = other.map(String::as_str).unwrap_or("<missing>");
+                        eprintln!("repro: invalid --scale `{got}`\n{}", usage());
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return;
+            }
+            other => {
+                if other != "all" && !EXPERIMENTS.contains(&other) {
+                    eprintln!("repro: unknown experiment `{other}`\n{}", usage());
+                    std::process::exit(2);
+                }
+                experiments.push(other.to_string());
+            }
         }
     }
     if experiments.is_empty() {
@@ -42,10 +71,8 @@ fn main() {
         fig1();
     }
 
-    if ["tab1", "h1", "fp", "super", "h2", "fig2", "tab2", "tab3"]
-        .iter()
-        .any(|e| want(e))
-    {
+    // Everything except fig1 runs over the simulated economy.
+    if EXPERIMENTS.iter().filter(|&&e| e != "fig1").any(|e| want(e)) {
         eprintln!(
             "# building economy (scale={scale}, blocks={}, users={}) ...",
             cfg.blocks, cfg.users

@@ -65,8 +65,13 @@ impl Amount {
         self.0.checked_mul(k).map(Amount)
     }
 
+}
+
+impl std::ops::Div<u64> for Amount {
+    type Output = Amount;
+
     /// Divides by a scalar (integer division).
-    pub fn div(self, k: u64) -> Amount {
+    fn div(self, k: u64) -> Amount {
         Amount(self.0 / k)
     }
 }

@@ -97,7 +97,7 @@ mod tests {
     fn build() -> ResolvedChain {
         let mut rc = ResolvedChain::new();
         let mut utxos = UtxoSet::new();
-        let mut push = |rc: &mut ResolvedChain, utxos: &mut UtxoSet, tx: &Transaction, h: u64| {
+        let push = |rc: &mut ResolvedChain, utxos: &mut UtxoSet, tx: &Transaction, h: u64| {
             rc.add_tx(tx, utxos, h, h * 600);
             utxos.apply(tx, h);
         };

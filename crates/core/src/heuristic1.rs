@@ -57,9 +57,9 @@ pub fn apply_parallel(chain: &ResolvedChain, uf: &AtomicUnionFind, threads: usiz
     assert!(uf.len() >= chain.address_count());
     let txs = &chain.txs;
     let chunk = txs.len().div_ceil(threads.max(1));
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for part in txs.chunks(chunk.max(1)) {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for tx in part {
                     if tx.is_coinbase {
                         continue;
@@ -72,8 +72,7 @@ pub fn apply_parallel(chain: &ResolvedChain, uf: &AtomicUnionFind, threads: usiz
                 }
             });
         }
-    })
-    .expect("heuristic1 worker panicked");
+    });
 }
 
 #[cfg(test)]

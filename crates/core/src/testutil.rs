@@ -22,6 +22,12 @@ pub struct TestChain {
     cb_tag: u64,
 }
 
+impl Default for TestChain {
+    fn default() -> TestChain {
+        TestChain::new()
+    }
+}
+
 impl TestChain {
     /// An empty test chain.
     pub fn new() -> TestChain {

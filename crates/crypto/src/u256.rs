@@ -35,9 +35,9 @@ impl U256 {
     /// Builds from 32 big-endian bytes.
     pub fn from_be_bytes(b: &[u8; 32]) -> Self {
         let mut limbs = [0u64; 4];
-        for i in 0..4 {
+        for (i, limb) in limbs.iter_mut().enumerate() {
             let off = 32 - (i + 1) * 8;
-            limbs[i] = u64::from_be_bytes(b[off..off + 8].try_into().unwrap());
+            *limb = u64::from_be_bytes(b[off..off + 8].try_into().unwrap());
         }
         U256 { limbs }
     }
@@ -96,10 +96,10 @@ impl U256 {
     pub fn overflowing_add(&self, other: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = false;
-        for i in 0..4 {
-            let (s1, c1) = self.limbs[i].overflowing_add(other.limbs[i]);
+        for ((o, &a), &b) in out.iter_mut().zip(&self.limbs).zip(&other.limbs) {
+            let (s1, c1) = a.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry as u64);
-            out[i] = s2;
+            *o = s2;
             carry = c1 | c2;
         }
         (U256 { limbs: out }, carry)
@@ -109,10 +109,10 @@ impl U256 {
     pub fn overflowing_sub(&self, other: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = false;
-        for i in 0..4 {
-            let (d1, b1) = self.limbs[i].overflowing_sub(other.limbs[i]);
+        for ((o, &a), &b) in out.iter_mut().zip(&self.limbs).zip(&other.limbs) {
+            let (d1, b1) = a.overflowing_sub(b);
             let (d2, b2) = d1.overflowing_sub(borrow as u64);
-            out[i] = d2;
+            *o = d2;
             borrow = b1 | b2;
         }
         (U256 { limbs: out }, borrow)
@@ -148,9 +148,9 @@ impl U256 {
     pub fn mul_u64(&self, m: u64) -> (U256, u64) {
         let mut out = [0u64; 4];
         let mut carry: u128 = 0;
-        for i in 0..4 {
-            let acc = self.limbs[i] as u128 * m as u128 + carry;
-            out[i] = acc as u64;
+        for (o, &a) in out.iter_mut().zip(&self.limbs) {
+            let acc = a as u128 * m as u128 + carry;
+            *o = acc as u64;
             carry = acc >> 64;
         }
         (U256 { limbs: out }, carry as u64)

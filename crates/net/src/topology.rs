@@ -103,7 +103,7 @@ mod tests {
             }
         }
         // Connectivity via BFS.
-        let mut seen = vec![false; 50];
+        let mut seen = [false; 50];
         let mut queue = vec![0 as NodeId];
         seen[0] = true;
         while let Some(n) = queue.pop() {

@@ -741,7 +741,7 @@ impl Economy {
         let wallet = if probe { self.probe_wallet.unwrap() } else { self.user_wallet[ui] };
         let d = self.dice_idx[self.rng.gen_range(0..self.dice_idx.len())];
         let balance = self.wallets[wallet].balance();
-        let amount = self.rand_amount(1_000_000, 100_000_000, balance.div(3));
+        let amount = self.rand_amount(1_000_000, 100_000_000, balance / 3);
         let (bet_address, service_owner_wallet) = match &self.services[d].kind {
             Kind::Dice { bet_address, wallet, .. } => (*bet_address, *wallet),
             Kind::Bank { subwallets, .. } => {
@@ -816,7 +816,7 @@ impl Economy {
         let to = self.receive_address(to_wallet, fresh);
         let wallet = self.user_wallet[ui];
         let balance = self.wallets[wallet].balance();
-        let amount = self.rand_amount(5_000_000, 500_000_000, balance.div(2));
+        let amount = self.rand_amount(5_000_000, 500_000_000, balance / 2);
         let change = self.user_change(ui);
         self.pay(wallet, &[(to, amount)], change);
     }
@@ -840,7 +840,7 @@ impl Economy {
             (self.user_wallet[ui], self.users[ui])
         };
         let balance = self.wallets[wallet].balance();
-        let amount = self.rand_amount(10_000_000, 2_000_000_000, balance.div(2));
+        let amount = self.rand_amount(10_000_000, 2_000_000_000, balance / 2);
         let Some(deposit_addr) = self.bank_deposit_address(b, owner, amount) else {
             return;
         };
@@ -890,7 +890,7 @@ impl Economy {
         let v = self.vendor_idx[self.rng.gen_range(0..self.vendor_idx.len())];
         let wallet = if probe { self.probe_wallet.unwrap() } else { self.user_wallet[ui] };
         let balance = self.wallets[wallet].balance();
-        let amount = self.rand_amount(5_000_000, 300_000_000, balance.div(2));
+        let amount = self.rand_amount(5_000_000, 300_000_000, balance / 2);
         // Payment goes to the vendor or to its gateway.
         let (pay_service, pay_wallet) = match self.services[v].kind {
             Kind::Vendor { wallet: vw, gateway: Some(g), .. } => {
@@ -917,7 +917,7 @@ impl Economy {
         let m = self.mix_idx[self.rng.gen_range(0..self.mix_idx.len())];
         let wallet = self.user_wallet[ui];
         let balance = self.wallets[wallet].balance();
-        let amount = self.rand_amount(20_000_000, 1_000_000_000, balance.div(2));
+        let amount = self.rand_amount(20_000_000, 1_000_000_000, balance / 2);
         let (mix_wallet, honest) = match self.services[m].kind {
             Kind::Mix { wallet, honest, .. } => (wallet, honest),
             _ => return,
@@ -942,7 +942,7 @@ impl Economy {
         let s = self.invest_idx[self.rng.gen_range(0..self.invest_idx.len())];
         let wallet = self.user_wallet[ui];
         let balance = self.wallets[wallet].balance();
-        let amount = self.rand_amount(50_000_000, 2_000_000_000, balance.div(2));
+        let amount = self.rand_amount(50_000_000, 2_000_000_000, balance / 2);
         let (inv_wallet, owner) = match self.services[s].kind {
             Kind::Investment { wallet, .. } => (wallet, self.users[ui]),
             _ => return,
@@ -995,7 +995,7 @@ impl Economy {
         let f = self.fixed_idx[self.rng.gen_range(0..self.fixed_idx.len())];
         let wallet = self.user_wallet[ui];
         let balance = self.wallets[wallet].balance();
-        let amount = self.rand_amount(10_000_000, 1_000_000_000, balance.div(2));
+        let amount = self.rand_amount(10_000_000, 1_000_000_000, balance / 2);
         let fw = match self.services[f].kind {
             Kind::Fixed { wallet } => wallet,
             _ => return,
@@ -1048,7 +1048,7 @@ impl Economy {
         // predecessor work).
         let distributable = Amount::from_sat(balance.to_sat() * 8 / 10);
         let k = members.len().min(12);
-        let share = distributable.div(k as u64);
+        let share = distributable / (k as u64);
         if share.to_sat() < DUST * 4 {
             return;
         }

@@ -47,7 +47,7 @@ fn main() {
     dice_cfg.dice_addresses = dice;
 
     println!("\n{:<28} {:>10} {:>10} {:>12}", "configuration", "labels", "est. FP%", "true prec.");
-    let mut show = |name: &str, cfg: &ChangeConfig, estimator: &ChangeConfig| {
+    let show = |name: &str, cfg: &ChangeConfig, estimator: &ChangeConfig| {
         let labels = change::identify(chain, cfg);
         let est = fp::estimate(chain, &labels, estimator);
         let truth = score_change_labels(chain, &labels, &gt.change_vout);

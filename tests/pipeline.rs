@@ -151,9 +151,8 @@ fn refined_h2_has_high_ground_truth_precision() {
 
 #[test]
 fn naive_h2_forms_super_cluster_refined_does_not() {
-    let mut cfg = SimConfig::default();
     // Sloppier services make the failure mode reliable.
-    cfg.service_sloppy_change_rate = 0.10;
+    let cfg = SimConfig { service_sloppy_change_rate: 0.10, ..SimConfig::default() };
     let eco = Economy::run(cfg);
     let chain = eco.chain.resolved();
     let db = tagdb_from(&eco);

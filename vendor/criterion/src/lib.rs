@@ -1,0 +1,263 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion 0.5 API the workspace benches use
+//! (`criterion_group!` / `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `iter`, `iter_batched`,
+//! `Throughput`, `BenchmarkId`, `BatchSize`, `sample_size`) with a simple
+//! wall-clock measurement loop: each benchmark is warmed up once, then timed
+//! over `sample_size` samples and reported as median ns/iter (plus
+//! throughput when declared). Good enough to compare hot-path variants
+//! locally; swap in real criterion when registry access is available.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are sized; accepted and ignored (every batch is one
+/// input here).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Declared per-iteration work, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark id made of a function name and a parameter, printed as
+/// `name/param`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything usable as a benchmark name: `&str`, `String` or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's traditional name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median nanoseconds per iteration, filled in by the measurement loop.
+    median_ns: f64,
+}
+
+impl Bencher {
+    fn measure<R>(&mut self, mut once: impl FnMut() -> R) {
+        // Warm-up plus a quick calibration: aim for samples that are neither
+        // instant (timer noise) nor endless (economy builds take ~seconds).
+        black_box(once());
+        let mut per_sample = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(once());
+            per_sample.push(start.elapsed());
+        }
+        per_sample.sort();
+        self.median_ns = per_sample[per_sample.len() / 2].as_nanos() as f64;
+    }
+
+    /// Times `routine` as one iteration per sample.
+    pub fn iter<R>(&mut self, routine: impl FnMut() -> R) {
+        self.measure(routine);
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let mut per_sample = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            per_sample.push(start.elapsed());
+        }
+        per_sample.sort();
+        self.median_ns = per_sample[per_sample.len() / 2].as_nanos() as f64;
+    }
+}
+
+fn report(id: &str, median_ns: f64, throughput: Option<Throughput>) {
+    let human = if median_ns >= 1e9 {
+        format!("{:.3} s", median_ns / 1e9)
+    } else if median_ns >= 1e6 {
+        format!("{:.3} ms", median_ns / 1e6)
+    } else if median_ns >= 1e3 {
+        format!("{:.3} µs", median_ns / 1e3)
+    } else {
+        format!("{median_ns:.0} ns")
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median_ns > 0.0 => {
+            format!("  ({:.2} Melem/s)", n as f64 / median_ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if median_ns > 0.0 => {
+            format!("  ({:.2} MiB/s)", n as f64 / median_ns * 1e3 / 1.048_576)
+        }
+        _ => String::new(),
+    };
+    println!("bench: {id:<48} {human:>12}/iter{rate}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher { samples: self.sample_size, median_ns: 0.0 };
+        f(&mut b);
+        report(&full, b.median_ns, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher { samples: self.sample_size, median_ns: 0.0 };
+        f(&mut b, input);
+        report(&full, b.median_ns, self.throughput);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let mut b = Bencher { samples: self.sample_size, median_ns: 0.0 };
+        f(&mut b);
+        report(&id, b.median_ns, None);
+        self
+    }
+}
+
+/// Mirrors `criterion::criterion_group!`: defines a function running each
+/// benchmark in sequence against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: the `main` for a
+/// `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards harness flags (e.g. --bench); accept and
+            // ignore them like criterion does.
+            $($group();)+
+        }
+    };
+}

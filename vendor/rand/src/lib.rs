@@ -1,0 +1,253 @@
+//! Offline stand-in for the `rand` crate, exposing exactly the surface the
+//! workspace uses: `rngs::StdRng`, the [`Rng`] and [`SeedableRng`] traits,
+//! `gen_range` over half-open / inclusive ranges, and `gen::<f64>()`.
+//!
+//! The generator is SplitMix64-seeded xoshiro256++ — deterministic for a
+//! given seed on every platform, which is all the simulators require (they
+//! never ask for cryptographic randomness). This crate exists because the
+//! build environment has no registry access; the API is call-compatible with
+//! `rand 0.8` for the subset used here. Like the real crate, range sampling
+//! is generic over one [`SampleUniform`] trait so integer-literal inference
+//! (`gen_range(0..2)` as a `usize` index) resolves the same way.
+
+pub mod rngs {
+    /// A deterministic, seedable RNG (xoshiro256++) standing in for
+    /// `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn from_state(mut seed: u64) -> StdRng {
+            // SplitMix64 expansion of the seed into the xoshiro state,
+            // as recommended by the xoshiro authors.
+            let mut next = || {
+                seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = seed;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+
+        #[inline]
+        pub(crate) fn next_u64_impl(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw in `[0, 1)` with 53 mantissa bits.
+        #[inline]
+        pub(crate) fn unit_f64(&mut self) -> f64 {
+            (self.next_u64_impl() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+use rngs::StdRng;
+
+/// Types that can be drawn uniformly from a range. One generic impl per
+/// range shape keeps literal inference open (`0..2` as a `usize` index),
+/// exactly like `rand::distributions::uniform::SampleUniform`.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_half_open(lo: Self, hi: Self, rng: &mut StdRng) -> Self;
+    fn sample_inclusive(lo: Self, hi: Self, rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open(lo: $t, hi: $t, rng: &mut StdRng) -> $t {
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + ((rng.next_u64_impl() as u128) % span) as i128) as $t
+            }
+
+            #[inline]
+            fn sample_inclusive(lo: $t, hi: $t, rng: &mut StdRng) -> $t {
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + ((rng.next_u64_impl() as u128) % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_half_open(lo: f64, hi: f64, rng: &mut StdRng) -> f64 {
+        lo + rng.unit_f64() * (hi - lo)
+    }
+
+    #[inline]
+    fn sample_inclusive(lo: f64, hi: f64, rng: &mut StdRng) -> f64 {
+        // The endpoint has measure zero; half-open is indistinguishable.
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+/// Types usable as the argument of [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from(self, rng: &mut StdRng) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn sample_from(self, rng: &mut StdRng) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_from(self, rng: &mut StdRng) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+/// Types producible by [`Rng::gen`] (the `Standard` distribution).
+pub trait StandardValue {
+    fn standard(rng: &mut StdRng) -> Self;
+}
+
+impl StandardValue for f64 {
+    #[inline]
+    fn standard(rng: &mut StdRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+impl StandardValue for bool {
+    #[inline]
+    fn standard(rng: &mut StdRng) -> bool {
+        rng.next_u64_impl() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardValue for $t {
+            #[inline]
+            fn standard(rng: &mut StdRng) -> $t {
+                rng.next_u64_impl() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Internal helper so the provided `Rng` methods can reach the concrete
+/// generator.
+pub trait AsStdRng {
+    fn as_std_rng(&mut self) -> &mut StdRng;
+}
+
+impl AsStdRng for StdRng {
+    #[inline]
+    fn as_std_rng(&mut self) -> &mut StdRng {
+        self
+    }
+}
+
+/// Subset of `rand::Rng` used by the workspace.
+pub trait Rng: AsStdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.as_std_rng().next_u64_impl()
+    }
+
+    #[inline]
+    fn gen<T: StandardValue>(&mut self) -> T {
+        T::standard(self.as_std_rng())
+    }
+
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.as_std_rng().unit_f64() < p
+    }
+
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self.as_std_rng())
+    }
+}
+
+impl Rng for StdRng {}
+
+/// Subset of `rand::SeedableRng` used by the workspace.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    #[inline]
+    fn seed_from_u64(seed: u64) -> Self {
+        StdRng::from_state(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: u64 = r.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: usize = r.gen_range(0..=3);
+            assert!(y <= 3);
+            let f: f64 = r.gen_range(f64::EPSILON..1.0);
+            assert!(f > 0.0 && f < 1.0);
+        }
+    }
+
+    #[test]
+    fn literal_inference_resolves_to_index_type() {
+        // Mirrors `wallet[rng.gen_range(0..2)]` in the simulator.
+        let mut r = StdRng::seed_from_u64(3);
+        let items = [10u8, 20];
+        let picked = items[r.gen_range(0..2)];
+        assert!(picked == 10 || picked == 20);
+    }
+
+    #[test]
+    fn f64_is_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(42);
+        let mean: f64 =
+            (0..10_000).map(|_| r.gen::<f64>()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}
