@@ -1,0 +1,111 @@
+//! Experiment `incremental`: per-block ingest cost vs batch recompute.
+//!
+//! The claim under test: `IncrementalClusterer::ingest_block` has an
+//! amortized cost that does not grow with total chain length — ingesting
+//! the next block is as cheap at the tip of a long chain as near the
+//! genesis — whereas serving a fresh partition by batch `Clusterer::run`
+//! costs the whole chain again on every block.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use fistful_bench::Workbench;
+use fistful_core::change::ChangeConfig;
+use fistful_core::cluster::Clusterer;
+use fistful_core::incremental::IncrementalClusterer;
+use fistful_sim::SimConfig;
+use std::sync::OnceLock;
+
+fn workbench() -> &'static Workbench {
+    static WB: OnceLock<Workbench> = OnceLock::new();
+    WB.get_or_init(|| Workbench::build(SimConfig::tiny()))
+}
+
+/// An incremental clusterer advanced through the first `blocks` blocks.
+fn advanced(blocks: usize) -> IncrementalClusterer {
+    let chain = workbench().eco.chain.resolved();
+    let mut inc = IncrementalClusterer::with_h2(ChangeConfig::naive());
+    for block in chain.blocks().take(blocks) {
+        inc.ingest_block(&block);
+    }
+    inc
+}
+
+/// Full-chain costs: one batch recompute vs one complete block-by-block
+/// replay (the incremental engine should pay no asymptotic penalty for
+/// doing the same total work in pieces).
+fn bench_full_chain(c: &mut Criterion) {
+    let wb = workbench();
+    let chain = wb.eco.chain.resolved();
+    let mut g = c.benchmark_group("incremental/full_chain");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(chain.tx_count() as u64));
+    g.bench_function("batch_recompute", |b| {
+        b.iter(|| {
+            let clustering = Clusterer::with_h2(ChangeConfig::naive()).run(chain);
+            std::hint::black_box(clustering.cluster_count())
+        })
+    });
+    g.bench_function("incremental_replay", |b| {
+        b.iter(|| {
+            let mut inc = IncrementalClusterer::with_h2(ChangeConfig::naive());
+            for block in chain.blocks() {
+                inc.ingest_block(&block);
+            }
+            inc.flush(chain);
+            std::hint::black_box(inc.cluster_count())
+        })
+    });
+    g.finish();
+}
+
+/// The amortized claim: ingesting the *next* block costs about the same at
+/// 25%, 50% and 100% chain depth. Contrast with `batch_recompute` above,
+/// which is what a batch pipeline pays per block at the tip.
+fn bench_ingest_at_depth(c: &mut Criterion) {
+    let wb = workbench();
+    let chain = wb.eco.chain.resolved();
+    let n = chain.block_count();
+    let mut g = c.benchmark_group("incremental/ingest_next_block");
+    g.sample_size(20);
+    for (label, depth) in [("25%", n / 4), ("50%", n / 2), ("100%", n - 1)] {
+        let state = advanced(depth);
+        // Blocks deepen in the simulated economy as wallets fund up, so
+        // normalize by the block's transaction count: flat ns/tx across
+        // depths is the no-growth claim.
+        g.throughput(Throughput::Elements(chain.block(depth as u32).tx_count() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(label), &depth, |b, &depth| {
+            b.iter_batched(
+                || state.clone(),
+                |mut inc| {
+                    inc.ingest_block(&chain.block(depth as u32));
+                    std::hint::black_box(inc.cluster_count())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+/// Snapshot queries served between blocks (the live-query path).
+fn bench_snapshot_queries(c: &mut Criterion) {
+    let wb = workbench();
+    let chain = wb.eco.chain.resolved();
+    let mut inc = advanced(chain.block_count());
+    inc.flush(chain);
+    let mut g = c.benchmark_group("incremental/queries");
+    g.bench_function("cluster_of", |b| {
+        let n = inc.address_count() as u32;
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 7919) % n;
+            std::hint::black_box(inc.cluster_of(i))
+        })
+    });
+    g.bench_function("size_histogram", |b| {
+        b.iter(|| std::hint::black_box(inc.size_histogram()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_full_chain, bench_ingest_at_depth, bench_snapshot_queries);
+criterion_main!(benches);

@@ -1,9 +1,11 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
-//! Usage: `repro [--scale tiny|default|paper] [experiment]`
-//! where `experiment` is one of `fig1 tab1 h1 fp super h2 fig2 tab2 tab3`
-//! (default: `all`).
+//! Usage: `repro [--scale tiny|default|paper] [experiment...]`
+//! where each `experiment` is one of `fig1 tab1 h1 fp super h2 fig2 tab2
+//! tab3` (default: `all`). Repeated experiments run once; `all` must stand
+//! alone. Parsing lives in [`fistful_bench::cli`].
 
+use fistful_bench::cli::{self, CliOutcome};
 use fistful_bench::{btc_round, Workbench};
 use fistful_chain::amount::Amount;
 use fistful_core::change::{self, ChangeConfig, BLOCKS_PER_DAY, BLOCKS_PER_WEEK};
@@ -14,57 +16,25 @@ use fistful_flow::{balance_series, follow_chain, service_arrivals, track_theft, 
 use fistful_net::{Network, NetworkConfig};
 use fistful_sim::{Category, SimConfig};
 
-const EXPERIMENTS: [&str; 9] = ["fig1", "tab1", "h1", "fp", "super", "h2", "fig2", "tab2", "tab3"];
-
-fn usage() -> String {
-    format!(
-        "usage: repro [--scale tiny|default|paper] [experiment...]\n\
-         experiments: all {} (default: all)",
-        EXPERIMENTS.join(" ")
-    )
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scale = "default".to_string();
-    let mut experiments: Vec<String> = Vec::new();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--scale" => {
-                scale = match it.next() {
-                    Some(s) if ["tiny", "default", "paper"].contains(&s.as_str()) => s.clone(),
-                    other => {
-                        let got = other.map(String::as_str).unwrap_or("<missing>");
-                        eprintln!("repro: invalid --scale `{got}`\n{}", usage());
-                        std::process::exit(2);
-                    }
-                };
-            }
-            "--help" | "-h" => {
-                println!("{}", usage());
-                return;
-            }
-            other => {
-                if other != "all" && !EXPERIMENTS.contains(&other) {
-                    eprintln!("repro: unknown experiment `{other}`\n{}", usage());
-                    std::process::exit(2);
-                }
-                experiments.push(other.to_string());
-            }
+    let plan = match cli::parse(&args) {
+        Ok(plan) => plan,
+        Err(CliOutcome::Help) => {
+            println!("{}", cli::usage());
+            return;
         }
-    }
-    if experiments.is_empty() {
-        experiments.push("all".into());
-    }
-    let cfg = match scale.as_str() {
+        Err(CliOutcome::Error(msg)) => {
+            eprintln!("repro: {msg}\n{}", cli::usage());
+            std::process::exit(2);
+        }
+    };
+    let cfg = match plan.scale.as_str() {
         "tiny" => SimConfig::tiny(),
         "paper" => SimConfig::paper_scale(),
         _ => SimConfig::default(),
     };
-
-    let run_all = experiments.iter().any(|e| e == "all");
-    let want = |name: &str| run_all || experiments.iter().any(|e| e == name);
+    let want = |name: &str| plan.experiments.iter().any(|e| e == name);
 
     // Figure 1 needs no economy.
     if want("fig1") {
@@ -72,10 +42,10 @@ fn main() {
     }
 
     // Everything except fig1 runs over the simulated economy.
-    if EXPERIMENTS.iter().filter(|&&e| e != "fig1").any(|e| want(e)) {
+    if plan.experiments.iter().any(|e| e != "fig1") {
         eprintln!(
-            "# building economy (scale={scale}, blocks={}, users={}) ...",
-            cfg.blocks, cfg.users
+            "# building economy (scale={}, blocks={}, users={}) ...",
+            plan.scale, cfg.blocks, cfg.users
         );
         let t0 = std::time::Instant::now();
         let wb = Workbench::build(cfg);
@@ -85,29 +55,19 @@ fn main() {
             wb.eco.chain.resolved().tx_count(),
             wb.eco.chain.resolved().address_count()
         );
-        if want("tab1") {
-            tab1(&wb);
-        }
-        if want("h1") {
-            h1_stats(&wb);
-        }
-        if want("fp") {
-            fp_ladder(&wb);
-        }
-        if want("super") {
-            super_cluster(&wb);
-        }
-        if want("h2") {
-            h2_stats(&wb);
-        }
-        if want("fig2") {
-            fig2(&wb);
-        }
-        if want("tab2") {
-            tab2(&wb);
-        }
-        if want("tab3") {
-            tab3(&wb);
+        for exp in &plan.experiments {
+            match exp.as_str() {
+                "fig1" => {} // already ran, economy-free
+                "tab1" => tab1(&wb),
+                "h1" => h1_stats(&wb),
+                "fp" => fp_ladder(&wb),
+                "super" => super_cluster(&wb),
+                "h2" => h2_stats(&wb),
+                "fig2" => fig2(&wb),
+                "tab2" => tab2(&wb),
+                "tab3" => tab3(&wb),
+                other => unreachable!("cli::parse admitted unknown experiment `{other}`"),
+            }
         }
     }
 }

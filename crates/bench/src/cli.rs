@@ -1,0 +1,142 @@
+//! Argument parsing for the `repro` binary, factored out so the dedupe and
+//! `all`-mixing rules are unit-testable without spawning the binary.
+
+/// Every experiment `repro` knows, in presentation order.
+pub const EXPERIMENTS: [&str; 9] =
+    ["fig1", "tab1", "h1", "fp", "super", "h2", "fig2", "tab2", "tab3"];
+
+/// The usage string printed by `--help` and on argument errors.
+pub fn usage() -> String {
+    format!(
+        "usage: repro [--scale tiny|default|paper] [experiment...]\n\
+         experiments: all {} (default: all)",
+        EXPERIMENTS.join(" ")
+    )
+}
+
+/// A parsed invocation: which scale, and which experiments to run, in
+/// order, with duplicates removed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunPlan {
+    /// One of `tiny`, `default`, `paper`.
+    pub scale: String,
+    /// Experiments to run, in first-mention order, deduplicated. Contains
+    /// every experiment when `all` (or nothing) was requested.
+    pub experiments: Vec<String>,
+}
+
+/// How a parse can end without a plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliOutcome {
+    /// `--help` was requested; print [`usage`] and exit 0.
+    Help,
+    /// Bad arguments; print the message and exit 2.
+    Error(String),
+}
+
+/// Parses `repro`'s arguments (without the program name).
+///
+/// Rules:
+/// * duplicated experiments run once, keeping first-mention order
+///   (`repro h1 fp h1` ⟹ `[h1, fp]`);
+/// * `all` expands to every experiment but must stand alone — mixing it
+///   with named experiments (`repro all h1`) is ambiguous (did the caller
+///   want one experiment or a re-run of everything?) and is rejected;
+/// * unknown experiments and bad `--scale` values are rejected.
+pub fn parse(args: &[String]) -> Result<RunPlan, CliOutcome> {
+    let mut scale = "default".to_string();
+    let mut named: Vec<String> = Vec::new();
+    let mut saw_all = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = match it.next() {
+                    Some(s) if ["tiny", "default", "paper"].contains(&s.as_str()) => s.clone(),
+                    other => {
+                        let got = other.map(String::as_str).unwrap_or("<missing>");
+                        return Err(CliOutcome::Error(format!("invalid --scale `{got}`")));
+                    }
+                };
+            }
+            "--help" | "-h" => return Err(CliOutcome::Help),
+            "all" => saw_all = true,
+            other => {
+                if !EXPERIMENTS.contains(&other) {
+                    return Err(CliOutcome::Error(format!("unknown experiment `{other}`")));
+                }
+                if !named.contains(&other.to_string()) {
+                    named.push(other.to_string());
+                }
+            }
+        }
+    }
+    if saw_all && !named.is_empty() {
+        return Err(CliOutcome::Error(
+            "`all` cannot be combined with named experiments".to_string(),
+        ));
+    }
+    let experiments = if saw_all || named.is_empty() {
+        EXPERIMENTS.iter().map(|e| e.to_string()).collect()
+    } else {
+        named
+    };
+    Ok(RunPlan { scale, experiments })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_to_all_at_default_scale() {
+        let plan = parse(&[]).unwrap();
+        assert_eq!(plan.scale, "default");
+        assert_eq!(plan.experiments, EXPERIMENTS.map(String::from).to_vec());
+    }
+
+    #[test]
+    fn explicit_all_expands() {
+        let plan = parse(&args(&["--scale", "tiny", "all"])).unwrap();
+        assert_eq!(plan.scale, "tiny");
+        assert_eq!(plan.experiments.len(), EXPERIMENTS.len());
+    }
+
+    #[test]
+    fn duplicates_run_once_preserving_order() {
+        let plan = parse(&args(&["h1", "fp", "h1", "fp", "h1"])).unwrap();
+        assert_eq!(plan.experiments, vec!["h1", "fp"]);
+        // Order is first-mention, not EXPERIMENTS order.
+        let plan = parse(&args(&["fp", "h1"])).unwrap();
+        assert_eq!(plan.experiments, vec!["fp", "h1"]);
+    }
+
+    #[test]
+    fn all_mixed_with_named_is_rejected() {
+        for mix in [&["all", "h1"][..], &["h1", "all"], &["h1", "all", "fp"]] {
+            match parse(&args(mix)) {
+                Err(CliOutcome::Error(msg)) => assert!(msg.contains("all"), "{msg}"),
+                other => panic!("expected error for {mix:?}, got {other:?}"),
+            }
+        }
+        // `all all` is just `all`.
+        assert!(parse(&args(&["all", "all"])).is_ok());
+    }
+
+    #[test]
+    fn unknown_experiment_and_bad_scale_are_rejected() {
+        assert!(matches!(parse(&args(&["bogus"])), Err(CliOutcome::Error(_))));
+        assert!(matches!(parse(&args(&["--scale", "huge"])), Err(CliOutcome::Error(_))));
+        assert!(matches!(parse(&args(&["--scale"])), Err(CliOutcome::Error(_))));
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert_eq!(parse(&args(&["-h"])), Err(CliOutcome::Help));
+        assert_eq!(parse(&args(&["--help", "bogus"])), Err(CliOutcome::Help));
+    }
+}

@@ -1,6 +1,8 @@
 //! Shared experiment harness: builds the simulated economy once and
 //! derives everything the paper's tables and figures need.
 
+pub mod cli;
+
 use fistful_chain::resolve::AddressId;
 use fistful_core::change::ChangeConfig;
 use fistful_core::cluster::{Clusterer, Clustering};

@@ -1,0 +1,57 @@
+//! CLI-level tests of the `repro` binary: argument validation exit codes
+//! and the dedupe behaviour, exercised against the real executable.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+#[test]
+fn help_exits_zero_with_usage() {
+    let out = repro(&["--help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("usage: repro"), "{stdout}");
+}
+
+#[test]
+fn all_mixed_with_named_is_a_usage_error() {
+    for mix in [&["all", "h1"][..], &["h1", "all"]] {
+        let out = repro(mix);
+        assert_eq!(out.status.code(), Some(2), "args {mix:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("usage: repro"), "{stderr}");
+        assert!(stderr.contains("`all` cannot be combined"), "{stderr}");
+    }
+}
+
+#[test]
+fn unknown_experiment_is_a_usage_error() {
+    let out = repro(&["tab9"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown experiment"));
+}
+
+#[test]
+fn bad_scale_is_a_usage_error() {
+    let out = repro(&["--scale", "enormous"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid --scale"));
+}
+
+#[test]
+fn duplicated_experiment_runs_once() {
+    // fig1 needs no simulated economy, so this stays fast.
+    let out = repro(&["fig1", "fig1", "fig1"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let runs = stdout.matches("== Figure 1").count();
+    assert_eq!(runs, 1, "fig1 should run exactly once:\n{stdout}");
+    // No economy should have been built for a fig1-only invocation.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("building economy"), "{stderr}");
+}

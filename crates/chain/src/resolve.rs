@@ -84,6 +84,53 @@ impl ResolvedTx {
     }
 }
 
+/// Dense index of a block within a [`ResolvedChain`].
+pub type BlockId = u32;
+
+/// One block's slice of a [`ResolvedChain`]: the transactions that were
+/// confirmed together at one height. This is the unit of replay consumed by
+/// the incremental clustering engine (`fistful_core::incremental`).
+#[derive(Clone, Copy)]
+pub struct ResolvedBlockView<'a> {
+    chain: &'a ResolvedChain,
+    height: u64,
+    start: TxId,
+    end: TxId,
+}
+
+impl<'a> ResolvedBlockView<'a> {
+    /// The chain this block belongs to.
+    pub fn chain(&self) -> &'a ResolvedChain {
+        self.chain
+    }
+
+    /// The block height.
+    pub fn height(&self) -> u64 {
+        self.height
+    }
+
+    /// The first transaction id in the block.
+    pub fn tx_start(&self) -> TxId {
+        self.start
+    }
+
+    /// One past the last transaction id in the block.
+    pub fn tx_end(&self) -> TxId {
+        self.end
+    }
+
+    /// Number of transactions in the block.
+    pub fn tx_count(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Iterates `(tx id, transaction)` over the block in chain order.
+    pub fn txs(&self) -> impl Iterator<Item = (TxId, &'a ResolvedTx)> {
+        let chain = self.chain;
+        (self.start..self.end).map(move |t| (t, &chain.txs[t as usize]))
+    }
+}
+
 /// The resolved, interned view of an entire chain.
 #[derive(Clone, Default)]
 pub struct ResolvedChain {
@@ -92,10 +139,15 @@ pub struct ResolvedChain {
     addresses: Vec<Address>,
     address_index: HashMap<Address, AddressId>,
     txid_index: HashMap<Hash256, TxId>,
+    /// Per block: `(height, first tx id)`. The block's transactions run to
+    /// the next entry's start (or the end of `txs`). Heights are strictly
+    /// increasing — `add_tx` enforces it.
+    block_spans: Vec<(u64, TxId)>,
     /// Per address: the first transaction (chain order) in which the address
     /// appeared at all (as input or output).
     first_seen: Vec<TxId>,
     /// Per address: transactions in which the address received an output.
+    /// Sorted by tx id, hence (by the monotone-height invariant) by height.
     received_in: Vec<Vec<TxId>>,
     /// Per address: transactions in which the address spent an input.
     spent_in: Vec<Vec<TxId>>,
@@ -115,6 +167,27 @@ impl ResolvedChain {
     /// Number of distinct addresses seen.
     pub fn address_count(&self) -> usize {
         self.addresses.len()
+    }
+
+    /// Number of blocks (distinct heights) seen.
+    pub fn block_count(&self) -> usize {
+        self.block_spans.len()
+    }
+
+    /// The `i`-th block's view. Panics on out-of-range indices.
+    pub fn block(&self, i: BlockId) -> ResolvedBlockView<'_> {
+        let (height, start) = self.block_spans[i as usize];
+        let end = self
+            .block_spans
+            .get(i as usize + 1)
+            .map(|&(_, s)| s)
+            .unwrap_or(self.txs.len() as TxId);
+        ResolvedBlockView { chain: self, height, start, end }
+    }
+
+    /// Iterates the chain block by block, in height order.
+    pub fn blocks(&self) -> impl Iterator<Item = ResolvedBlockView<'_>> {
+        (0..self.block_count() as BlockId).map(move |i| self.block(i))
     }
 
     /// The address for an id. Panics on out-of-range ids.
@@ -178,9 +251,20 @@ impl ResolvedChain {
     /// *before* this transaction is applied (inputs still present).
     ///
     /// Panics if a non-coinbase input is missing from `utxos` or references
-    /// an unknown txid — validation must run first.
+    /// an unknown txid — validation must run first — or if `height` is below
+    /// the previous transaction's height. Chain order must be height order;
+    /// the per-address event lists ([`received_in`](Self::received_in),
+    /// [`spent_in`](Self::spent_in)) are documented as height-sorted and the
+    /// wait-window scan in `fistful_core` prunes on that invariant.
     pub fn add_tx(&mut self, tx: &Transaction, utxos: &UtxoSet, height: u64, time: u64) -> TxId {
         let id = self.txs.len() as TxId;
+        match self.block_spans.last() {
+            Some(&(h, _)) if height < h => {
+                panic!("add_tx at height {height} after height {h}: chain order must be height order")
+            }
+            Some(&(h, _)) if height == h => {}
+            _ => self.block_spans.push((height, id)),
+        }
         let txid = tx.txid();
         let is_coinbase = tx.is_coinbase();
 
@@ -297,6 +381,52 @@ mod tests {
         assert_eq!(found, id);
         assert!(rtx.is_coinbase);
         assert!(rc.tx_by_txid(&Hash256::ZERO).is_none());
+    }
+
+    #[test]
+    fn block_views_partition_the_chain() {
+        let mut utxos = UtxoSet::new();
+        let mut rc = ResolvedChain::new();
+        let a = Address::from_seed(1);
+
+        // Block 0: one coinbase. Block 1: coinbase + spend (two txs).
+        let cb0 = cb(0, Amount::from_btc(50), a);
+        rc.add_tx(&cb0, &utxos, 0, 0);
+        utxos.apply(&cb0, 0);
+        let cb1 = cb(1, Amount::from_btc(50), a);
+        rc.add_tx(&cb1, &utxos, 1, 600);
+        utxos.apply(&cb1, 1);
+        let spend = Transaction {
+            version: 1,
+            inputs: vec![TxIn::unsigned(OutPoint { txid: cb0.txid(), vout: 0 })],
+            outputs: vec![TxOut { value: Amount::from_btc(49), address: Address::from_seed(2) }],
+            lock_time: 0,
+        };
+        rc.add_tx(&spend, &utxos, 1, 600);
+        utxos.apply(&spend, 1);
+
+        assert_eq!(rc.block_count(), 2);
+        let b0 = rc.block(0);
+        assert_eq!((b0.height(), b0.tx_start(), b0.tx_end()), (0, 0, 1));
+        let b1 = rc.block(1);
+        assert_eq!((b1.height(), b1.tx_start(), b1.tx_end()), (1, 1, 3));
+        assert_eq!(b1.tx_count(), 2);
+        // blocks() replays every tx exactly once, in chain order.
+        let replayed: Vec<TxId> =
+            rc.blocks().flat_map(|b| b.txs().map(|(t, _)| t).collect::<Vec<_>>()).collect();
+        assert_eq!(replayed, vec![0, 1, 2]);
+        assert!(rc.block(1).txs().all(|(t, tx)| rc.txs[t as usize].height == tx.height));
+    }
+
+    #[test]
+    #[should_panic(expected = "chain order must be height order")]
+    fn add_tx_rejects_decreasing_heights() {
+        let utxos = UtxoSet::new();
+        let mut rc = ResolvedChain::new();
+        let funding = cb(7, Amount::from_btc(50), Address::from_seed(1));
+        rc.add_tx(&funding, &utxos, 5, 0);
+        let funding2 = cb(8, Amount::from_btc(50), Address::from_seed(2));
+        rc.add_tx(&funding2, &utxos, 4, 0);
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub struct ChangeConfig {
     pub dice_addresses: HashSet<AddressId>,
     /// Enable the Satoshi-Dice exception.
     pub dice_exception: bool,
-    /// Discard labels whose address receives again within this many blocks.
+    /// Discard labels whose address receives again within this many blocks
+    /// (see [`receives_again_within`] for the exact boundary semantics:
+    /// inclusive, so `Some(0)` is *not* a no-op — it still discards labels
+    /// whose address receives again later in the same block).
     pub wait_blocks: Option<u64>,
     /// Skip transactions where an output address already received exactly
     /// one input ("same change address used twice" mitigation).
@@ -127,7 +130,7 @@ impl ChangeLabels {
         })
     }
 
-    fn note_skip(&mut self, reason: SkipReason) {
+    pub(crate) fn note_skip(&mut self, reason: SkipReason) {
         self.skip_counts[reason as usize] += 1;
     }
 
@@ -145,7 +148,24 @@ fn all_inputs_dice(chain: &ResolvedChain, tx: TxId, dice: &HashSet<AddressId>) -
 
 /// True if `addr` receives again after `tx` within `window` blocks
 /// (receives coming solely from dice addresses are ignored when the
-/// exception is enabled). `window = u64::MAX` checks all later receives.
+/// exception is enabled).
+///
+/// The paper's "receives again within *d*" is pinned down as: there exists a
+/// transaction strictly later in chain order whose outputs pay `addr` at a
+/// height `h2` with `h2 - base_height <= window` — an **inclusive** window
+/// boundary, measured in blocks from the labelling transaction's block.
+/// Consequences worth spelling out:
+///
+/// * a receive at exactly `base_height + window` still discards the label;
+///   one block past the window does not;
+/// * `window = 0` covers only later receives in the *same block* — it is
+///   not equivalent to disabling the wait (`wait_blocks: None`);
+/// * `window = u64::MAX` checks all later receives (the false-positive
+///   estimator's "used again at any later time").
+///
+/// The scan early-exits once past the window, which is sound because
+/// [`ResolvedChain::received_in`] is height-sorted — an invariant
+/// `ResolvedChain::add_tx` now enforces rather than silently assumes.
 pub fn receives_again_within(
     chain: &ResolvedChain,
     addr: AddressId,
@@ -159,8 +179,9 @@ pub fn receives_again_within(
             continue;
         }
         let h2 = chain.txs[t2 as usize].height;
-        if window != u64::MAX && h2 > base_height.saturating_add(window) {
-            break; // received_in is in chain order; later entries are later
+        // Later in chain order ⟹ h2 >= base_height (enforced by add_tx).
+        if h2 - base_height > window {
+            break; // received_in is height-sorted; later entries only recede
         }
         if config.dice_exception && all_inputs_dice(chain, t2, &config.dice_addresses) {
             continue;
@@ -170,24 +191,138 @@ pub fn receives_again_within(
     false
 }
 
+/// The running per-address state behind Heuristic 2's "previous
+/// transactions" conditions, factored out so the batch [`identify`] pass
+/// and the incremental engine (`crate::incremental`) share one decision
+/// procedure.
+///
+/// Feed transactions in chain order: call [`decide`](Self::decide) *before*
+/// [`absorb`](Self::absorb) for each transaction, so "previous" always means
+/// strictly-earlier transactions. State grows on demand as new addresses
+/// appear, which is what lets the incremental path use it without knowing
+/// the final address count up front.
+#[derive(Debug, Clone, Default)]
+pub struct ChangeScanner {
+    /// Per address: how many outputs have paid it so far.
+    receive_count: Vec<u32>,
+    /// Per address: whether it was ever used as a self-change address.
+    was_self_change: Vec<bool>,
+}
+
+impl ChangeScanner {
+    /// A scanner with no history.
+    pub fn new() -> ChangeScanner {
+        ChangeScanner::default()
+    }
+
+    /// A scanner pre-sized for `n_addr` addresses (batch path).
+    pub fn with_capacity(n_addr: usize) -> ChangeScanner {
+        ChangeScanner {
+            receive_count: Vec::with_capacity(n_addr),
+            was_self_change: Vec::with_capacity(n_addr),
+        }
+    }
+
+    fn receives(&self, addr: AddressId) -> u32 {
+        self.receive_count.get(addr as usize).copied().unwrap_or(0)
+    }
+
+    fn self_changed(&self, addr: AddressId) -> bool {
+        self.was_self_change.get(addr as usize).copied().unwrap_or(false)
+    }
+
+    /// The per-transaction labelling decision (conditions 1–4 plus the
+    /// non-temporal refinements), against the history absorbed so far.
+    /// The temporal wait-to-label refinement is the caller's concern: batch
+    /// labelling looks ahead with [`receives_again_within`]; the incremental
+    /// engine parks the decision in its pending queue.
+    pub fn decide(
+        &self,
+        chain: &ResolvedChain,
+        t_id: TxId,
+        tx: &fistful_chain::resolve::ResolvedTx,
+        config: &ChangeConfig,
+    ) -> Result<(u32, AddressId), SkipReason> {
+        // Condition 2: not a coin generation.
+        if tx.is_coinbase {
+            return Err(SkipReason::Coinbase);
+        }
+        if tx.outputs.len() < config.min_outputs.max(1) {
+            return Err(SkipReason::TooFewOutputs);
+        }
+
+        // Condition 3: no self-change address.
+        let input_set: HashSet<AddressId> = tx.inputs.iter().map(|i| i.address).collect();
+        if tx.outputs.iter().any(|o| input_set.contains(&o.address)) {
+            return Err(SkipReason::SelfChange);
+        }
+
+        // Refinements that veto the whole transaction.
+        if config.skip_reused_change
+            && tx.outputs.iter().any(|o| self.receives(o.address) == 1)
+        {
+            return Err(SkipReason::ReusedChange);
+        }
+        if config.skip_prior_self_change
+            && tx.outputs.iter().any(|o| self.self_changed(o.address))
+        {
+            return Err(SkipReason::PriorSelfChange);
+        }
+
+        // Conditions 1 + 4: exactly one output address makes its first
+        // appearance here (and only once within this transaction).
+        let mut candidate: Option<(u32, AddressId)> = None;
+        let mut candidates = 0;
+        for (vout, out) in tx.outputs.iter().enumerate() {
+            let fresh = chain.first_seen(out.address) == t_id
+                && tx
+                    .outputs
+                    .iter()
+                    .filter(|o| o.address == out.address)
+                    .count()
+                    == 1;
+            if fresh {
+                candidates += 1;
+                candidate = Some((vout as u32, out.address));
+            }
+        }
+        match candidates {
+            0 => Err(SkipReason::NoCandidate),
+            1 => Ok(candidate.unwrap()),
+            _ => Err(SkipReason::Ambiguous),
+        }
+    }
+
+    /// Updates the running state with `tx`'s outputs. Call once per
+    /// transaction, after [`decide`](Self::decide).
+    pub fn absorb(&mut self, tx: &fistful_chain::resolve::ResolvedTx) {
+        let input_set: HashSet<AddressId> = tx.inputs.iter().map(|i| i.address).collect();
+        for out in &tx.outputs {
+            let a = out.address as usize;
+            if a >= self.receive_count.len() {
+                self.receive_count.resize(a + 1, 0);
+                self.was_self_change.resize(a + 1, false);
+            }
+            self.receive_count[a] += 1;
+            if input_set.contains(&out.address) {
+                self.was_self_change[a] = true;
+            }
+        }
+    }
+}
+
 /// Runs Heuristic 2 over the chain with the given configuration.
 pub fn identify(chain: &ResolvedChain, config: &ChangeConfig) -> ChangeLabels {
-    let n_addr = chain.address_count();
     let mut labels = ChangeLabels {
         vout_of: vec![None; chain.tx_count()],
         ..Default::default()
     };
-
-    // Running state, maintained in chain order so that "previous" always
-    // means strictly-earlier transactions.
-    let mut receive_count: Vec<u32> = vec![0; n_addr];
-    let mut was_self_change: Vec<bool> = vec![false; n_addr];
+    let mut scanner = ChangeScanner::with_capacity(chain.address_count());
 
     for (t, tx) in chain.txs.iter().enumerate() {
         let t_id = t as TxId;
         // Decide the label first, then update running state.
-        let decision = decide(chain, t_id, tx, config, &receive_count, &was_self_change);
-        match decision {
+        match scanner.decide(chain, t_id, tx, config) {
             Ok((vout, addr)) => {
                 // Wait-to-label: discard if the address receives again within
                 // the window (dice-sourced receives excepted).
@@ -204,83 +339,9 @@ pub fn identify(chain: &ResolvedChain, config: &ChangeConfig) -> ChangeLabels {
             }
             Err(reason) => labels.note_skip(reason),
         }
-
-        // Update running state with this transaction's outputs.
-        let input_set: HashSet<AddressId> = tx.inputs.iter().map(|i| i.address).collect();
-        for out in &tx.outputs {
-            receive_count[out.address as usize] += 1;
-            if input_set.contains(&out.address) {
-                was_self_change[out.address as usize] = true;
-            }
-        }
+        scanner.absorb(tx);
     }
     labels
-}
-
-/// The per-transaction labelling decision (conditions 1–4 plus the
-/// non-temporal refinements).
-fn decide(
-    chain: &ResolvedChain,
-    t_id: TxId,
-    tx: &fistful_chain::resolve::ResolvedTx,
-    config: &ChangeConfig,
-    receive_count: &[u32],
-    was_self_change: &[bool],
-) -> Result<(u32, AddressId), SkipReason> {
-    // Condition 2: not a coin generation.
-    if tx.is_coinbase {
-        return Err(SkipReason::Coinbase);
-    }
-    if tx.outputs.len() < config.min_outputs.max(1) {
-        return Err(SkipReason::TooFewOutputs);
-    }
-
-    // Condition 3: no self-change address.
-    let input_set: HashSet<AddressId> = tx.inputs.iter().map(|i| i.address).collect();
-    if tx.outputs.iter().any(|o| input_set.contains(&o.address)) {
-        return Err(SkipReason::SelfChange);
-    }
-
-    // Refinements that veto the whole transaction.
-    if config.skip_reused_change
-        && tx
-            .outputs
-            .iter()
-            .any(|o| receive_count[o.address as usize] == 1)
-    {
-        return Err(SkipReason::ReusedChange);
-    }
-    if config.skip_prior_self_change
-        && tx
-            .outputs
-            .iter()
-            .any(|o| was_self_change[o.address as usize])
-    {
-        return Err(SkipReason::PriorSelfChange);
-    }
-
-    // Conditions 1 + 4: exactly one output address makes its first
-    // appearance here (and only once within this transaction).
-    let mut candidate: Option<(u32, AddressId)> = None;
-    let mut candidates = 0;
-    for (vout, out) in tx.outputs.iter().enumerate() {
-        let fresh = chain.first_seen(out.address) == t_id
-            && tx
-                .outputs
-                .iter()
-                .filter(|o| o.address == out.address)
-                .count()
-                == 1;
-        if fresh {
-            candidates += 1;
-            candidate = Some((vout as u32, out.address));
-        }
-    }
-    match candidates {
-        0 => Err(SkipReason::NoCandidate),
-        1 => Ok(candidate.unwrap()),
-        _ => Err(SkipReason::Ambiguous),
-    }
 }
 
 #[cfg(test)]
@@ -466,6 +527,62 @@ mod tests {
         let labels = identify(&t.chain, &cfg);
         // The reuse is outside the window, so the label stands.
         assert_eq!(labels.change_vout(tx1 as u32), Some(1));
+    }
+
+    /// Canonical change at height 3 (change to fresh addr 4), with the
+    /// reuse receive placed at `reuse_height`.
+    fn chain_with_reuse_at(reuse_height: u64) -> (TestChain, usize) {
+        let mut t = TestChain::new();
+        let cb1 = t.coinbase(1, 50); // height 0
+        let cb2 = t.coinbase(2, 50); // height 1
+        let _cb5 = t.coinbase(5, 50); // height 2
+        let tx1 = t.tx(&[(cb1, 0)], &[(5, 30), (4, 20)]); // height 3
+        let _pay = t.tx_at(&[(cb2, 0)], &[(4, 30), (5, 19)], Some(reuse_height));
+        (t, tx1)
+    }
+
+    fn labelled_with_window(t: &TestChain, tx1: usize, window: u64) -> bool {
+        let mut cfg = ChangeConfig::naive();
+        cfg.wait_blocks = Some(window);
+        identify(&t.chain, &cfg).change_vout(tx1 as u32).is_some()
+    }
+
+    #[test]
+    fn window_zero_discards_same_block_reuse_only() {
+        // Reuse later in the same block (height 3): window 0 discards.
+        let (t, tx1) = chain_with_reuse_at(3);
+        assert!(!labelled_with_window(&t, tx1, 0));
+        // `Some(0)` is not `None`: without the wait the label stands.
+        let no_wait = identify(&t.chain, &ChangeConfig::naive());
+        assert_eq!(no_wait.change_vout(tx1 as u32), Some(1));
+
+        // Reuse one block later (height 4): outside a zero window.
+        let (t, tx1) = chain_with_reuse_at(4);
+        assert!(labelled_with_window(&t, tx1, 0));
+        assert!(!labelled_with_window(&t, tx1, 1));
+    }
+
+    #[test]
+    fn window_boundary_is_inclusive() {
+        // Reuse at exactly base_height + window (3 + 5 = 8): discarded.
+        let (t, tx1) = chain_with_reuse_at(8);
+        assert!(!labelled_with_window(&t, tx1, 5));
+        let mut cfg = ChangeConfig::naive();
+        cfg.wait_blocks = Some(5);
+        assert_eq!(identify(&t.chain, &cfg).skipped(SkipReason::FailedWait), 1);
+
+        // Reuse one block past the window (3 + 5 + 1 = 9): label stands.
+        let (t, tx1) = chain_with_reuse_at(9);
+        assert!(!labelled_with_window(&t, tx1, 6));
+        assert!(labelled_with_window(&t, tx1, 5));
+    }
+
+    #[test]
+    fn unbounded_window_checks_all_later_receives() {
+        let (t, tx1) = chain_with_reuse_at(5000);
+        assert!(labelled_with_window(&t, tx1, 4996)); // 3 + 4996 < 5000
+        assert!(!labelled_with_window(&t, tx1, 4997)); // inclusive boundary
+        assert!(!labelled_with_window(&t, tx1, u64::MAX));
     }
 
     #[test]

@@ -3,7 +3,22 @@
 use crate::change::{identify, ChangeConfig, ChangeLabels};
 use crate::heuristic1::{self, H1Stats};
 use crate::union_find::UnionFind;
-use fistful_chain::resolve::{AddressId, ResolvedChain};
+use fistful_chain::resolve::{AddressId, ResolvedChain, TxId};
+
+/// The Heuristic 2 amplification rule: a labelled change address joins the
+/// transaction's input user (whose addresses Heuristic 1 already linked).
+/// Shared by the batch [`Clusterer`] and the incremental engine so both
+/// apply exactly the same link.
+pub(crate) fn link_change(
+    uf: &mut UnionFind,
+    chain: &ResolvedChain,
+    tx: TxId,
+    change_addr: AddressId,
+) {
+    if let Some(first_input) = chain.txs[tx as usize].inputs.first() {
+        uf.union(first_input.address, change_addr);
+    }
+}
 
 /// Configures and runs the clustering pipeline.
 #[derive(Debug, Clone, Default)]
@@ -30,12 +45,8 @@ impl Clusterer {
 
         let change_labels = self.h2.as_ref().map(|cfg| {
             let labels = identify(chain, cfg);
-            // Each labelled change address joins its transaction's input
-            // user (inputs are already linked by Heuristic 1).
             for (t, _vout, addr) in labels.iter(chain) {
-                if let Some(first_input) = chain.txs[t as usize].inputs.first() {
-                    uf.union(first_input.address, addr);
-                }
+                link_change(&mut uf, chain, t, addr);
             }
             labels
         });

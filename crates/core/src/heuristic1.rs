@@ -6,7 +6,7 @@
 //! used by all prior work the paper builds on.
 
 use crate::union_find::{AtomicUnionFind, UnionFind};
-use fistful_chain::resolve::ResolvedChain;
+use fistful_chain::resolve::{ResolvedChain, ResolvedTx};
 
 /// Statistics from a Heuristic 1 pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -19,6 +19,38 @@ pub struct H1Stats {
     pub merges: usize,
 }
 
+/// The Heuristic 1 step, generic over the union primitive (`union(a, b)`
+/// returning whether a merge happened) so the sequential, parallel and
+/// incremental paths all run this one copy and stay in lockstep.
+fn link_tx_with(tx: &ResolvedTx, mut union: impl FnMut(u32, u32) -> bool, stats: &mut H1Stats) {
+    if tx.is_coinbase {
+        return;
+    }
+    stats.transactions += 1;
+    let mut it = tx.inputs.iter();
+    let Some(first) = it.next() else { return };
+    let mut multi = false;
+    for input in it {
+        if input.address != first.address {
+            multi = true;
+        }
+        if union(first.address, input.address) {
+            stats.merges += 1;
+        }
+    }
+    if multi {
+        stats.multi_input_transactions += 1;
+    }
+}
+
+/// Links one transaction's input addresses in `uf`, updating `stats`.
+/// This is the single Heuristic 1 step shared by the batch [`apply`] pass
+/// and the incremental engine (`crate::incremental`); both therefore merge
+/// in the same order and report identical statistics over the same prefix.
+pub fn link_tx(tx: &ResolvedTx, uf: &mut UnionFind, stats: &mut H1Stats) {
+    link_tx_with(tx, |a, b| uf.union(a, b), stats);
+}
+
 /// Applies Heuristic 1 over the whole chain, linking every transaction's
 /// input addresses in `uf` (which must be sized to
 /// `chain.address_count()`).
@@ -29,50 +61,40 @@ pub fn apply(chain: &ResolvedChain, uf: &mut UnionFind) -> H1Stats {
     );
     let mut stats = H1Stats::default();
     for tx in &chain.txs {
-        if tx.is_coinbase {
-            continue;
-        }
-        stats.transactions += 1;
-        let mut it = tx.inputs.iter();
-        let Some(first) = it.next() else { continue };
-        let mut multi = false;
-        for input in it {
-            if input.address != first.address {
-                multi = true;
-            }
-            if uf.union(first.address, input.address) {
-                stats.merges += 1;
-            }
-        }
-        if multi {
-            stats.multi_input_transactions += 1;
-        }
+        link_tx(tx, uf, &mut stats);
     }
     stats
 }
 
 /// Parallel Heuristic 1 using the lock-free union-find; used by the
-/// ablation bench. Produces the same partition as [`apply`].
-pub fn apply_parallel(chain: &ResolvedChain, uf: &AtomicUnionFind, threads: usize) {
+/// ablation bench. Produces the same partition as [`apply`] (asserted by
+/// the differential property test in `tests/properties.rs`) and the same
+/// statistics: each successful merge is reported by exactly one thread's
+/// CAS, so the per-thread counts sum to the sequential merge count.
+pub fn apply_parallel(chain: &ResolvedChain, uf: &AtomicUnionFind, threads: usize) -> H1Stats {
     assert!(uf.len() >= chain.address_count());
     let txs = &chain.txs;
     let chunk = txs.len().div_ceil(threads.max(1));
-    std::thread::scope(|s| {
-        for part in txs.chunks(chunk.max(1)) {
-            s.spawn(move || {
-                for tx in part {
-                    if tx.is_coinbase {
-                        continue;
+    let partials = std::thread::scope(|s| {
+        let handles: Vec<_> = txs
+            .chunks(chunk.max(1))
+            .map(|part| {
+                s.spawn(move || {
+                    let mut stats = H1Stats::default();
+                    for tx in part {
+                        link_tx_with(tx, |a, b| uf.union(a, b), &mut stats);
                     }
-                    let mut it = tx.inputs.iter();
-                    let Some(first) = it.next() else { continue };
-                    for input in it {
-                        uf.union(first.address, input.address);
-                    }
-                }
-            });
-        }
+                    stats
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("h1 worker panicked")).collect::<Vec<_>>()
     });
+    partials.into_iter().fold(H1Stats::default(), |acc, s| H1Stats {
+        transactions: acc.transactions + s.transactions,
+        multi_input_transactions: acc.multi_input_transactions + s.multi_input_transactions,
+        merges: acc.merges + s.merges,
+    })
 }
 
 #[cfg(test)]
@@ -154,9 +176,9 @@ mod tests {
     fn parallel_matches_sequential() {
         let rc = tiny_chain();
         let mut seq = UnionFind::new(rc.address_count());
-        apply(&rc, &mut seq);
+        let seq_stats = apply(&rc, &mut seq);
         let par = AtomicUnionFind::new(rc.address_count());
-        apply_parallel(&rc, &par, 4);
+        let par_stats = apply_parallel(&rc, &par, 4);
         for x in 0..rc.address_count() as u32 {
             for y in 0..rc.address_count() as u32 {
                 assert_eq!(
@@ -166,5 +188,6 @@ mod tests {
                 );
             }
         }
+        assert_eq!(par_stats, seq_stats);
     }
 }

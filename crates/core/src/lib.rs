@@ -14,22 +14,26 @@
 //! [`fp`] implements the paper's step-through-time false-positive estimator;
 //! [`cluster`] drives both heuristics over a
 //! [`ResolvedChain`](fistful_chain::resolve::ResolvedChain) with a
-//! [`union_find::UnionFind`]; [`tagdb`] and [`naming`] turn ground-truth
-//! interactions into cluster names (and detect the super-cluster failure
-//! mode); [`metrics`] scores everything against simulator ground truth.
+//! [`union_find::UnionFind`]; [`incremental`] maintains the same partition
+//! online, block by block, for live chains; [`tagdb`] and [`naming`] turn
+//! ground-truth interactions into cluster names (and detect the
+//! super-cluster failure mode); [`metrics`] scores everything against
+//! simulator ground truth.
 
 pub mod change;
 pub mod cluster;
 pub mod fp;
 pub mod heuristic1;
+pub mod incremental;
 pub mod metrics;
 pub mod naming;
 pub mod tagdb;
 pub mod testutil;
 pub mod union_find;
 
-pub use change::{ChangeConfig, ChangeLabels};
+pub use change::{ChangeConfig, ChangeLabels, ChangeScanner};
 pub use cluster::{Clusterer, Clustering};
+pub use incremental::IncrementalClusterer;
 pub use naming::{NamingReport, SuperCluster};
 pub use tagdb::{Tag, TagDb, TagSource};
 pub use union_find::UnionFind;

@@ -7,7 +7,8 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Sequential disjoint-set forest with path halving and union by rank.
-#[derive(Clone, Debug)]
+/// `Default` is the empty structure (grow it with [`UnionFind::grow`]).
+#[derive(Clone, Debug, Default)]
 pub struct UnionFind {
     parent: Vec<u32>,
     rank: Vec<u8>,
@@ -37,6 +38,19 @@ impl UnionFind {
     /// Number of disjoint sets.
     pub fn component_count(&self) -> usize {
         self.components
+    }
+
+    /// Grows the structure to `n` elements, adding singletons. A no-op when
+    /// `n` is not larger than the current length. Used by the incremental
+    /// clusterer as new addresses appear block by block.
+    pub fn grow(&mut self, n: usize) {
+        let old = self.parent.len();
+        if n <= old {
+            return;
+        }
+        self.parent.extend(old as u32..n as u32);
+        self.rank.resize(n, 0);
+        self.components += n - old;
     }
 
     /// Finds the representative of `x`, halving the path as it goes.
@@ -158,13 +172,16 @@ impl AtomicUnionFind {
         }
     }
 
-    /// Merges the sets containing `a` and `b` (smaller root wins).
-    pub fn union(&self, a: u32, b: u32) {
+    /// Merges the sets containing `a` and `b` (smaller root wins). Returns
+    /// `true` if this call performed the merge — every successful merge is
+    /// reported by exactly one concurrent caller, so per-thread counts of
+    /// `true` returns sum to the sequential merge count.
+    pub fn union(&self, a: u32, b: u32) -> bool {
         let mut ra = self.find(a);
         let mut rb = self.find(b);
         loop {
             if ra == rb {
-                return;
+                return false;
             }
             // Attach the larger root under the smaller (deterministic
             // tie-break keeps the structure canonical).
@@ -175,7 +192,7 @@ impl AtomicUnionFind {
                 Ordering::AcqRel,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return,
+                Ok(_) => return true,
                 Err(_) => {
                     ra = self.find(hi);
                     rb = self.find(lo);
@@ -243,6 +260,54 @@ mod tests {
         // Labels are dense 0..k.
         let max = *assign.iter().max().unwrap();
         assert_eq!(max as usize + 1, sizes.len());
+    }
+
+    #[test]
+    fn grow_adds_singletons_preserving_merges() {
+        let mut uf = UnionFind::new(3);
+        uf.union(0, 1);
+        assert_eq!(uf.component_count(), 2);
+        uf.grow(6);
+        assert_eq!(uf.len(), 6);
+        assert_eq!(uf.component_count(), 5);
+        assert!(uf.same(0, 1));
+        for x in 3..6 {
+            assert_eq!(uf.find(x), x);
+        }
+        // Growing smaller or equal is a no-op.
+        uf.grow(2);
+        assert_eq!(uf.len(), 6);
+        // New elements merge normally.
+        assert!(uf.union(1, 5));
+        assert!(uf.same(0, 5));
+    }
+
+    #[test]
+    fn atomic_union_reports_merges_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let n = 4096usize;
+        let uf = Arc::new(AtomicUnionFind::new(n));
+        let merges = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let uf = Arc::clone(&uf);
+                let merges = Arc::clone(&merges);
+                std::thread::spawn(move || {
+                    // All threads race to link the same chain.
+                    for i in 0..n as u32 - 1 {
+                        if uf.union(i, i + 1) {
+                            merges.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        // One component ⟹ exactly n-1 successful merges, despite the race.
+        assert_eq!(merges.load(Ordering::Relaxed), n - 1);
     }
 
     #[test]

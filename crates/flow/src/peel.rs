@@ -18,7 +18,9 @@ pub enum FollowStrategy {
     Strict,
     /// Follow H2 labels; when a hop is unlabelled (e.g. both outputs
     /// fresh), fall back to the largest output — peels are small relative
-    /// to the remainder. Fallback hops are flagged in the result.
+    /// to the remainder. Among equal-value outputs the lowest vout wins
+    /// (an explicit, deterministic tie-break). Fallback hops are flagged
+    /// in the result.
     LargestFallback,
 }
 
@@ -100,10 +102,14 @@ pub fn follow_chain(
                     return out;
                 }
                 FollowStrategy::LargestFallback => {
+                    // `max_by_key` would return the *last* maximum, making
+                    // the choice among equal-value outputs depend on output
+                    // order. Tie-break explicitly: the lowest vout wins.
                     let (v, _) = tx
                         .outputs
                         .iter()
                         .enumerate()
+                        .rev()
                         .max_by_key(|(_, o)| o.value)
                         .expect("non-empty outputs");
                     (v as u32, true)
@@ -210,6 +216,22 @@ mod tests {
         assert_eq!(chain.fallback_hops(), 1);
         assert!(chain.hops[1].fallback);
         assert_eq!(chain.hops[1].peels[0].0, t.id(200));
+    }
+
+    #[test]
+    fn fallback_tie_breaks_to_lowest_vout() {
+        let mut t = TestChain::new();
+        let funding = t.coinbase(1, 1000);
+        // Both outputs fresh (no label) and equal-value: the fallback must
+        // deterministically follow vout 0, not whichever sorts last.
+        let hop1 = t.tx(&[(funding, 0)], &[(10, 495), (11, 495)]);
+        let labels = identify(&t.chain, &ChangeConfig::naive());
+        let chain =
+            follow_chain(&t.chain, &labels, hop1 as u32, 100, FollowStrategy::LargestFallback);
+        assert_eq!(chain.hops.len(), 1);
+        assert!(chain.hops[0].fallback);
+        assert_eq!(chain.hops[0].change_vout, 0);
+        assert_eq!(chain.hops[0].peels, vec![(t.id(11), Amount::from_btc(495))]);
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! End-to-end equivalence: the incremental clustering engine, fed a
+//! simulated economy block by block, must land on exactly the partition
+//! (and Heuristic 2 label set) the batch `Clusterer` derives in one pass.
+
+use fistful::core::change::{ChangeConfig, BLOCKS_PER_DAY};
+use fistful::core::cluster::{Clusterer, Clustering};
+use fistful::core::incremental::IncrementalClusterer;
+use fistful::sim::{Economy, SimConfig};
+use std::sync::OnceLock;
+
+/// One default-scale economy shared by the equivalence tests.
+fn economy() -> &'static Economy {
+    static ECO: OnceLock<Economy> = OnceLock::new();
+    ECO.get_or_init(|| Economy::run(SimConfig::default()))
+}
+
+/// Replays the whole chain block by block and snapshots the final state.
+/// Also sanity-checks the cheap between-block queries along the way.
+fn replay(chain: &fistful::chain::resolve::ResolvedChain, mut inc: IncrementalClusterer) -> (Clustering, usize) {
+    let mut max_pending = 0;
+    for block in chain.blocks() {
+        inc.ingest_block(&block);
+        max_pending = max_pending.max(inc.pending_decisions());
+    }
+    inc.flush(chain);
+    assert_eq!(inc.pending_decisions(), 0, "flush resolves every pending decision");
+    assert_eq!(inc.tx_count(), chain.tx_count());
+    assert_eq!(inc.block_count(), chain.block_count());
+    assert_eq!(inc.address_count(), chain.address_count());
+    (inc.snapshot(), max_pending)
+}
+
+/// Full equivalence: same dense assignment (both sides label clusters by
+/// first appearance, so equal partitions give equal vectors), same sizes,
+/// same labels, same skip accounting.
+fn assert_equivalent(inc: &Clustering, batch: &Clustering) {
+    assert_eq!(inc.assignment, batch.assignment);
+    assert_eq!(inc.sizes, batch.sizes);
+    assert_eq!(inc.cluster_count(), batch.cluster_count());
+    assert_eq!(inc.size_histogram(), batch.size_histogram());
+    match (&inc.change_labels, &batch.change_labels) {
+        (Some(a), Some(b)) => {
+            assert_eq!(a.vout_of, b.vout_of);
+            assert_eq!(a.labels, b.labels);
+            assert_eq!(a.skip_counts, b.skip_counts);
+        }
+        (None, None) => {}
+        _ => panic!("H2 ran on one side only"),
+    }
+}
+
+#[test]
+fn incremental_matches_batch_h1_only() {
+    let chain = economy().chain.resolved();
+    let batch = Clusterer::h1_only().run(chain);
+    let (inc, _) = replay(chain, IncrementalClusterer::h1_only());
+    assert_equivalent(&inc, &batch);
+    // In H1-only mode even the statistics coincide.
+    assert_eq!(inc.h1_stats, batch.h1_stats);
+    assert!(batch.cluster_count() > 100, "economy produced a real chain");
+}
+
+#[test]
+fn incremental_matches_batch_with_h2() {
+    let chain = economy().chain.resolved();
+    let cfg = ChangeConfig::naive();
+    let batch = Clusterer::with_h2(cfg.clone()).run(chain);
+    let (inc, max_pending) = replay(chain, IncrementalClusterer::with_h2(cfg));
+    assert_equivalent(&inc, &batch);
+    assert!(batch.change_labels.as_ref().unwrap().labels > 100);
+    // No wait window configured ⟹ nothing was ever parked.
+    assert_eq!(max_pending, 0);
+}
+
+#[test]
+fn incremental_matches_batch_with_wait_window() {
+    let chain = economy().chain.resolved();
+    // The refined-style configuration: wait window plus both exclusions,
+    // so the pending-decision queue and every scanner refinement all see
+    // real traffic.
+    let mut cfg = ChangeConfig::naive();
+    cfg.wait_blocks = Some(BLOCKS_PER_DAY);
+    cfg.skip_reused_change = true;
+    cfg.skip_prior_self_change = true;
+    let batch = Clusterer::with_h2(cfg.clone()).run(chain);
+    let (inc, max_pending) = replay(chain, IncrementalClusterer::with_h2(cfg));
+    assert_equivalent(&inc, &batch);
+    assert!(batch.change_labels.as_ref().unwrap().labels > 0);
+    assert!(
+        max_pending > 0,
+        "a {BLOCKS_PER_DAY}-block wait must park decisions at the tip"
+    );
+}
+
+#[test]
+fn incremental_matches_batch_with_short_wait_window() {
+    // A short window exercises mid-stream finalization (decisions both
+    // enter and leave the queue while blocks are still arriving).
+    let eco = Economy::run(SimConfig::tiny());
+    let chain = eco.chain.resolved();
+    for window in [0, 1, 5, 20] {
+        let mut cfg = ChangeConfig::naive();
+        cfg.wait_blocks = Some(window);
+        let batch = Clusterer::with_h2(cfg.clone()).run(chain);
+        let (inc, _) = replay(chain, IncrementalClusterer::with_h2(cfg));
+        assert_equivalent(&inc, &batch);
+    }
+}

@@ -169,6 +169,109 @@ proptest! {
     }
 }
 
+// ---------- H1 differential: batch vs parallel vs incremental ----------
+
+/// Builds a pseudo-random chain: seed coinbases, then `txs` spends of
+/// random unspent outputs paying a mix of fresh and reused addresses, with
+/// transactions sometimes sharing a block.
+fn random_chain(seed: u64, txs: usize) -> fistful::core::testutil::TestChain {
+    use fistful::core::testutil::TestChain;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = TestChain::new();
+    // (tx handle, vout) of unspent outputs.
+    let mut utxos: Vec<(usize, u32)> = Vec::new();
+    let mut next_addr: u64 = 1;
+    for _ in 0..6 {
+        let h = t.coinbase(next_addr, 50);
+        utxos.push((h, 0));
+        next_addr += 1;
+    }
+    let mut last_height: u64 = 5;
+    for i in 0..txs {
+        if utxos.len() < 2 || rng.gen::<f64>() < 0.1 {
+            let h = t.coinbase(next_addr, 50);
+            utxos.push((h, 0));
+            next_addr += 1;
+            last_height = t.chain.txs[h].height;
+            continue;
+        }
+        // Spend 1–3 distinct utxos.
+        let k = 1 + rng.gen_range(0..3usize).min(utxos.len() - 1);
+        let mut spends = Vec::with_capacity(k);
+        for _ in 0..k {
+            spends.push(utxos.swap_remove(rng.gen_range(0..utxos.len())));
+        }
+        // Pay 1–3 outputs to fresh or already-seen addresses.
+        let n_out = 1 + rng.gen_range(0..3usize);
+        let mut outs = Vec::with_capacity(n_out);
+        for _ in 0..n_out {
+            let addr = if rng.gen::<f64>() < 0.5 && next_addr > 1 {
+                rng.gen_range(1..next_addr)
+            } else {
+                next_addr += 1;
+                next_addr - 1
+            };
+            outs.push((addr, 1));
+        }
+        // ~30% of spends share the previous transaction's block.
+        let height = if i > 0 && rng.gen::<f64>() < 0.3 { Some(last_height) } else { None };
+        let h = t.tx_at(&spends, &outs, height);
+        last_height = t.chain.txs[h].height;
+        for v in 0..outs.len() as u32 {
+            utxos.push((h, v));
+        }
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Batch, parallel and incremental Heuristic 1 must produce identical
+    /// partitions (and identical stats) on arbitrary chains.
+    #[test]
+    fn h1_batch_parallel_incremental_agree(seed in any::<u64>(), txs in 20usize..120) {
+        use fistful::core::heuristic1;
+        use fistful::core::incremental::IncrementalClusterer;
+        use fistful::core::union_find::AtomicUnionFind;
+
+        let t = random_chain(seed, txs);
+        let chain = &t.chain;
+        let n = chain.address_count();
+
+        let mut batch_uf = UnionFind::new(n);
+        let batch_stats = heuristic1::apply(chain, &mut batch_uf);
+        let (batch_assign, _) = batch_uf.assignments();
+
+        let par_uf = AtomicUnionFind::new(n);
+        let par_stats = heuristic1::apply_parallel(chain, &par_uf, 4);
+        prop_assert_eq!(par_stats, batch_stats);
+
+        let mut inc = IncrementalClusterer::h1_only();
+        for block in chain.blocks() {
+            inc.ingest_block(&block);
+        }
+        prop_assert_eq!(inc.h1_stats(), batch_stats);
+        let inc_snap = inc.snapshot();
+        prop_assert_eq!(&inc_snap.assignment, &batch_assign);
+
+        // The parallel partition, canonicalized by first member.
+        let mut canon = std::collections::HashMap::new();
+        for x in 0..n as u32 {
+            let root = par_uf.find(x);
+            let first = *canon.entry(root).or_insert(x);
+            prop_assert!(
+                batch_assign[first as usize] == batch_assign[x as usize],
+                "parallel and batch disagree on element {}", x
+            );
+        }
+        prop_assert_eq!(canon.len(), batch_uf.component_count());
+    }
+}
+
 // ---------- heuristic safety on simulated economies ----------
 
 proptest! {
