@@ -1,0 +1,112 @@
+//! Experiment `snapshot`: serving from the frozen artifact.
+//!
+//! Two claims under test:
+//!
+//! 1. **Concurrent reads scale.** `ClusterSnapshot` is immutable and
+//!    lock-free, so random address → `ClusterInfo` lookup throughput should
+//!    grow with reader threads (1/2/4/8) instead of serializing.
+//! 2. **Reload beats recompute.** Decoding a saved snapshot (including the
+//!    double-SHA-256 checksum verification) must be far cheaper than
+//!    re-deriving it — batch clustering + naming + aggregation — which is
+//!    what a process without the artifact pays on every restart. Measured
+//!    at the default and large (paper-style) simulation scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fistful_bench::Workbench;
+use fistful_core::naming::name_clusters;
+use fistful_core::snapshot::ClusterSnapshot;
+use fistful_sim::SimConfig;
+use std::sync::{Arc, OnceLock};
+
+/// Lookups per reader thread per iteration.
+const LOOKUPS_PER_THREAD: usize = 100_000;
+
+fn default_scale() -> &'static (Workbench, Arc<ClusterSnapshot>) {
+    static WB: OnceLock<(Workbench, Arc<ClusterSnapshot>)> = OnceLock::new();
+    WB.get_or_init(|| {
+        let wb = Workbench::build(SimConfig::default());
+        let snap = Arc::new(wb.snapshot());
+        (wb, snap)
+    })
+}
+
+/// The "large" scale: the paper-style configuration (5× the default block
+/// count), big enough that recompute-vs-decode differences are unmissable.
+fn large_scale() -> &'static (Workbench, Arc<ClusterSnapshot>) {
+    static WB: OnceLock<(Workbench, Arc<ClusterSnapshot>)> = OnceLock::new();
+    WB.get_or_init(|| {
+        let wb = Workbench::build(SimConfig::paper_scale());
+        let snap = Arc::new(wb.snapshot());
+        (wb, snap)
+    })
+}
+
+/// Claim 1: multi-threaded random-lookup throughput, 1/2/4/8 readers over
+/// one shared `Arc<ClusterSnapshot>` with zero locks.
+fn bench_lookup_throughput(c: &mut Criterion) {
+    let (_, snap) = default_scale();
+    let n = snap.address_count() as u32;
+    let mut g = c.benchmark_group("snapshot/lookup_throughput");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        g.throughput(Throughput::Elements((threads * LOOKUPS_PER_THREAD) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let snap = Arc::clone(snap);
+                        std::thread::spawn(move || {
+                            // Cheap deterministic stride walk, distinct per
+                            // thread, covering the address space.
+                            let mut addr = (t as u32).wrapping_mul(2_654_435_761) % n;
+                            let mut named = 0usize;
+                            for _ in 0..LOOKUPS_PER_THREAD {
+                                addr = addr.wrapping_mul(1_664_525).wrapping_add(1_013_904_223) % n;
+                                let info = snap.info_of_address(addr).expect("in range");
+                                if info.name.is_some() {
+                                    named += 1;
+                                }
+                            }
+                            named
+                        })
+                    })
+                    .collect();
+                let named: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+                std::hint::black_box(named)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Claim 2: wire-format encode/decode cost, and the decode-vs-recluster
+/// comparison, at the default and large simulation scales.
+fn bench_encode_decode_vs_recluster(c: &mut Criterion) {
+    for (scale, wbs) in [("default", default_scale()), ("large", large_scale())] {
+        let (wb, snap) = wbs;
+        let chain = wb.eco.chain.resolved();
+        let bytes = snap.to_bytes();
+        let mut g = c.benchmark_group(format!("snapshot/{scale}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Bytes(bytes.len() as u64));
+        g.bench_function("encode", |b| {
+            b.iter(|| std::hint::black_box(snap.to_bytes()))
+        });
+        g.bench_function("decode", |b| {
+            b.iter(|| std::hint::black_box(ClusterSnapshot::from_bytes(&bytes).unwrap()))
+        });
+        // What a restart without the artifact costs: batch clustering,
+        // naming, and aggregation from the (already resolved) chain.
+        g.bench_function("recluster_from_scratch", |b| {
+            b.iter(|| {
+                let refined = wb.cluster_with(wb.refined_config());
+                let names = name_clusters(&refined, &wb.tagdb);
+                std::hint::black_box(ClusterSnapshot::build(chain, &refined, &names))
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_lookup_throughput, bench_encode_decode_vs_recluster);
+criterion_main!(benches);

@@ -1,25 +1,30 @@
-//! `repro` — regenerates every table and figure of the paper.
+//! `repro` — regenerates every table and figure of the paper, and writes /
+//! serves frozen cluster snapshots.
 //!
 //! Usage: `repro [--scale tiny|default|paper] [experiment...]`
 //! where each `experiment` is one of `fig1 tab1 h1 fp super h2 fig2 tab2
 //! tab3` (default: `all`). Repeated experiments run once; `all` must stand
-//! alone. Parsing lives in [`fistful_bench::cli`].
+//! alone. `repro snapshot save <file>` clusters the simulated economy once
+//! and writes the [`ClusterSnapshot`] artifact; `repro snapshot query
+//! <file>` reloads it and answers address → cluster lookups without
+//! replaying the chain. Parsing lives in [`fistful_bench::cli`].
 
-use fistful_bench::cli::{self, CliOutcome};
+use fistful_bench::cli::{self, CliOutcome, Command, RunPlan};
 use fistful_bench::{btc_round, Workbench};
 use fistful_chain::amount::Amount;
 use fistful_core::change::{self, ChangeConfig, BLOCKS_PER_DAY, BLOCKS_PER_WEEK};
 use fistful_core::fp;
 use fistful_core::metrics::{amplification, score_change_labels, score_clustering};
 use fistful_core::naming::name_clusters;
+use fistful_core::snapshot::ClusterSnapshot;
 use fistful_flow::{balance_series, follow_chain, service_arrivals, track_theft, FollowStrategy};
 use fistful_net::{Network, NetworkConfig};
 use fistful_sim::{Category, SimConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let plan = match cli::parse(&args) {
-        Ok(plan) => plan,
+    let command = match cli::parse(&args) {
+        Ok(command) => command,
         Err(CliOutcome::Help) => {
             println!("{}", cli::usage());
             return;
@@ -29,11 +34,24 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let cfg = match plan.scale.as_str() {
+    match command {
+        Command::Run(plan) => run_experiments(&plan),
+        Command::SnapshotSave { scale, path } => snapshot_save(&scale, &path),
+        Command::SnapshotQuery { path, addresses, top } => snapshot_query(&path, &addresses, top),
+    }
+}
+
+/// Maps a `--scale` name to its simulator configuration.
+fn sim_config(scale: &str) -> SimConfig {
+    match scale {
         "tiny" => SimConfig::tiny(),
         "paper" => SimConfig::paper_scale(),
         _ => SimConfig::default(),
-    };
+    }
+}
+
+fn run_experiments(plan: &RunPlan) {
+    let cfg = sim_config(&plan.scale);
     let want = |name: &str| plan.experiments.iter().any(|e| e == name);
 
     // Figure 1 needs no economy.
@@ -68,6 +86,105 @@ fn main() {
                 "tab3" => tab3(&wb),
                 other => unreachable!("cli::parse admitted unknown experiment `{other}`"),
             }
+        }
+    }
+}
+
+/// `snapshot save`: cluster once (refined H2 + naming), freeze, write.
+fn snapshot_save(scale: &str, path: &str) {
+    let cfg = sim_config(scale);
+    eprintln!(
+        "# building economy (scale={scale}, blocks={}, users={}) ...",
+        cfg.blocks, cfg.users
+    );
+    let t0 = std::time::Instant::now();
+    let wb = Workbench::build(cfg);
+    eprintln!("# economy ready in {:.1?}; clustering ...", t0.elapsed());
+    let t1 = std::time::Instant::now();
+    let snapshot = wb.snapshot();
+    eprintln!("# clustered + aggregated in {:.1?}; encoding ...", t1.elapsed());
+    let t2 = std::time::Instant::now();
+    let bytes = snapshot.to_bytes();
+    if let Err(e) = std::fs::write(path, &bytes) {
+        eprintln!("repro: cannot write `{path}`: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {path}: {} bytes, {} addresses, {} clusters ({} named), tip height {}, encoded in {:.1?}",
+        bytes.len(),
+        snapshot.address_count(),
+        snapshot.cluster_count(),
+        snapshot.named_cluster_count(),
+        snapshot.tip_height(),
+        t2.elapsed()
+    );
+}
+
+/// `snapshot query`: reload the frozen artifact and serve lookups.
+fn snapshot_query(path: &str, addresses: &[u32], top: usize) {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) => {
+            eprintln!("repro: cannot read `{path}`: {e}");
+            std::process::exit(1);
+        }
+    };
+    let t0 = std::time::Instant::now();
+    let snapshot = match ClusterSnapshot::from_bytes(&bytes) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("repro: `{path}` is not a valid snapshot: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "snapshot {path}: {} bytes, decoded + verified in {:.1?}",
+        bytes.len(),
+        t0.elapsed()
+    );
+    println!(
+        "addresses: {}  clusters: {}  named: {} (covering {} addresses)  tip height: {}  txs: {}",
+        snapshot.address_count(),
+        snapshot.cluster_count(),
+        snapshot.named_cluster_count(),
+        snapshot.named_address_count(),
+        snapshot.tip_height(),
+        snapshot.tx_count()
+    );
+
+    println!("\ntop clusters by size:");
+    println!(
+        "{:<8} {:>8} {:>12} {:>12}  {:<20} category",
+        "cluster", "size", "received", "spent", "service"
+    );
+    for &c in snapshot.clusters_by_size().iter().take(top) {
+        let info = snapshot.info(c).expect("id from clusters_by_size");
+        println!(
+            "{:<8} {:>8} {:>12} {:>12}  {:<20} {}",
+            c,
+            info.size,
+            btc_round(info.received),
+            btc_round(info.spent),
+            info.name.as_deref().unwrap_or("-"),
+            info.category.as_deref().unwrap_or("-")
+        );
+    }
+
+    for &addr in addresses {
+        match snapshot.info_of_address(addr) {
+            Some(info) => println!(
+                "address {addr}: cluster {} (size {}, received {} BTC, spent {} BTC, service {}, category {})",
+                snapshot.cluster_of(addr).expect("info implies cluster"),
+                info.size,
+                btc_round(info.received),
+                btc_round(info.spent),
+                info.name.as_deref().unwrap_or("-"),
+                info.category.as_deref().unwrap_or("-")
+            ),
+            None => println!(
+                "address {addr}: not covered (snapshot spans {} addresses)",
+                snapshot.address_count()
+            ),
         }
     }
 }
@@ -327,13 +444,15 @@ fn h2_stats(wb: &Workbench) {
 }
 
 /// Figure 2: category balances over time (% of active bitcoins).
+///
+/// Runs against the frozen [`ClusterSnapshot`] — the paper's
+/// cluster-once-then-interrogate workflow.
 fn fig2(wb: &Workbench) {
     println!("\n== Figure 2: balance per category, % of active bitcoins ==");
     let chain = wb.eco.chain.resolved();
-    let refined = wb.cluster_with(wb.refined_config());
-    let dir = wb.directory_for(&refined);
+    let snapshot = wb.snapshot();
     let every = (wb.eco.cfg.blocks / 24).max(1);
-    let series = balance_series(chain, &dir, every);
+    let series = balance_series(chain, &snapshot, every);
     let cats: Vec<&str> = Category::figure2_categories()
         .iter()
         .map(|c| c.label())
@@ -372,8 +491,7 @@ fn tab2(wb: &Workbench) {
     println!("peel hops per chain: {:?} (paper: 100 each)", sr.hops_done);
 
     let labels = change::identify(chain, &wb.refined_config());
-    let refined = wb.cluster_with(wb.refined_config());
-    let dir = wb.directory_for(&refined);
+    let snapshot = wb.snapshot();
 
     let chains: Vec<_> = sr
         .chain_first_hops
@@ -391,7 +509,7 @@ fn tab2(wb: &Workbench) {
         );
     }
 
-    let rows = service_arrivals(&chains, &dir);
+    let rows = service_arrivals(&chains, &snapshot);
     println!(
         "{:<20} {:>6} {:>8} {:>6} {:>8} {:>6} {:>8}",
         "Service", "P1", "BTC1", "P2", "BTC2", "P3", "BTC3"
@@ -427,8 +545,7 @@ fn tab3(wb: &Workbench) {
     println!("\n== Table 3: tracking thefts ==");
     let chain = wb.eco.chain.resolved();
     let labels = change::identify(chain, &wb.refined_config());
-    let refined = wb.cluster_with(wb.refined_config());
-    let dir = wb.directory_for(&refined);
+    let snapshot = wb.snapshot();
     println!(
         "{:<18} {:>10} {:>8} {:<10} {:<10} {:>14}",
         "Theft", "BTC", "Height", "Scripted", "Observed", "Exchanges?"
@@ -452,7 +569,7 @@ fn tab3(wb: &Workbench) {
         if loot.is_empty() {
             continue;
         }
-        let trace = track_theft(chain, &loot, &labels, &dir, 5_000);
+        let trace = track_theft(chain, &loot, &labels, &snapshot, 5_000);
         println!(
             "{:<18} {:>10} {:>8} {:<10} {:<10} {:>14}",
             theft.name,

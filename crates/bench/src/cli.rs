@@ -1,37 +1,89 @@
-//! Argument parsing for the `repro` binary, factored out so the dedupe and
-//! `all`-mixing rules are unit-testable without spawning the binary.
+//! Argument parsing for the `repro` binary, factored out so the dedupe,
+//! `all`-mixing and `snapshot` subcommand rules are unit-testable without
+//! spawning the binary.
 
 /// Every experiment `repro` knows, in presentation order.
 pub const EXPERIMENTS: [&str; 9] =
     ["fig1", "tab1", "h1", "fp", "super", "h2", "fig2", "tab2", "tab3"];
 
-/// The usage string printed by `--help` and on argument errors.
+/// The simulation scales `--scale` accepts.
+pub const SCALES: [&str; 3] = ["tiny", "default", "paper"];
+
+/// Default number of top clusters printed by `snapshot query`.
+pub const DEFAULT_QUERY_TOP: usize = 10;
+
+/// The usage string printed by `--help` and on argument errors. Derives
+/// the experiment and scale lists from [`EXPERIMENTS`] / [`SCALES`] so the
+/// help text cannot drift from what the parser accepts.
 pub fn usage() -> String {
+    let scales = SCALES.join("|");
     format!(
-        "usage: repro [--scale tiny|default|paper] [experiment...]\n\
-         experiments: all {} (default: all)",
+        "usage: repro [--scale {scales}] [experiment...]\n\
+         \x20      repro snapshot save <file> [--scale {scales}]\n\
+         \x20      repro snapshot query <file> [address-id...] [--top N]\n\
+         experiments: all {} (default: all)\n\
+         snapshot subcommands:\n\
+         \x20 save  — cluster the simulated economy (refined H2 + naming) and\n\
+         \x20         write the frozen ClusterSnapshot artifact to <file>\n\
+         \x20 query — load <file> without re-clustering; print a summary, the\n\
+         \x20         top clusters, and address-id lookups",
         EXPERIMENTS.join(" ")
     )
 }
 
-/// A parsed invocation: which scale, and which experiments to run, in
-/// order, with duplicates removed.
+/// A parsed experiment invocation: which scale, and which experiments to
+/// run, in order, with duplicates removed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunPlan {
-    /// One of `tiny`, `default`, `paper`.
+    /// One of [`SCALES`].
     pub scale: String,
     /// Experiments to run, in first-mention order, deduplicated. Contains
     /// every experiment when `all` (or nothing) was requested.
     pub experiments: Vec<String>,
 }
 
-/// How a parse can end without a plan.
+/// A fully parsed `repro` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Run paper experiments (the default mode).
+    Run(RunPlan),
+    /// `snapshot save <file>`: build the economy, cluster, and write the
+    /// frozen snapshot artifact.
+    SnapshotSave {
+        /// One of [`SCALES`].
+        scale: String,
+        /// Output file path.
+        path: String,
+    },
+    /// `snapshot query <file>`: reload the artifact and serve lookups
+    /// without replaying the chain.
+    SnapshotQuery {
+        /// Input file path.
+        path: String,
+        /// Address ids to look up.
+        addresses: Vec<u32>,
+        /// How many top clusters to print.
+        top: usize,
+    },
+}
+
+/// How a parse can end without a command.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CliOutcome {
     /// `--help` was requested; print [`usage`] and exit 0.
     Help,
     /// Bad arguments; print the message and exit 2.
     Error(String),
+}
+
+fn parse_scale(next: Option<&String>) -> Result<String, CliOutcome> {
+    match next {
+        Some(s) if SCALES.contains(&s.as_str()) => Ok(s.clone()),
+        other => {
+            let got = other.map(String::as_str).unwrap_or("<missing>");
+            Err(CliOutcome::Error(format!("invalid --scale `{got}`")))
+        }
+    }
 }
 
 /// Parses `repro`'s arguments (without the program name).
@@ -42,23 +94,21 @@ pub enum CliOutcome {
 /// * `all` expands to every experiment but must stand alone — mixing it
 ///   with named experiments (`repro all h1`) is ambiguous (did the caller
 ///   want one experiment or a re-run of everything?) and is rejected;
-/// * unknown experiments and bad `--scale` values are rejected.
-pub fn parse(args: &[String]) -> Result<RunPlan, CliOutcome> {
+/// * unknown experiments and bad `--scale` values are rejected;
+/// * `snapshot save|query` selects the snapshot mode instead; `save` takes
+///   an output path and an optional `--scale`, `query` takes an input path,
+///   optional numeric address ids, and an optional `--top N`.
+pub fn parse(args: &[String]) -> Result<Command, CliOutcome> {
+    if args.first().map(String::as_str) == Some("snapshot") {
+        return parse_snapshot(&args[1..]);
+    }
     let mut scale = "default".to_string();
     let mut named: Vec<String> = Vec::new();
     let mut saw_all = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--scale" => {
-                scale = match it.next() {
-                    Some(s) if ["tiny", "default", "paper"].contains(&s.as_str()) => s.clone(),
-                    other => {
-                        let got = other.map(String::as_str).unwrap_or("<missing>");
-                        return Err(CliOutcome::Error(format!("invalid --scale `{got}`")));
-                    }
-                };
-            }
+            "--scale" => scale = parse_scale(it.next())?,
             "--help" | "-h" => return Err(CliOutcome::Help),
             "all" => saw_all = true,
             other => {
@@ -81,7 +131,84 @@ pub fn parse(args: &[String]) -> Result<RunPlan, CliOutcome> {
     } else {
         named
     };
-    Ok(RunPlan { scale, experiments })
+    Ok(Command::Run(RunPlan { scale, experiments }))
+}
+
+/// Parses the arguments after the `snapshot` keyword.
+fn parse_snapshot(args: &[String]) -> Result<Command, CliOutcome> {
+    let sub = match args.first() {
+        Some(s) if s == "--help" || s == "-h" => return Err(CliOutcome::Help),
+        Some(s) => s.as_str(),
+        None => {
+            return Err(CliOutcome::Error(
+                "snapshot requires a subcommand: save | query".to_string(),
+            ))
+        }
+    };
+    match sub {
+        "save" => {
+            let mut path: Option<String> = None;
+            let mut scale = "default".to_string();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--scale" => scale = parse_scale(it.next())?,
+                    "--help" | "-h" => return Err(CliOutcome::Help),
+                    other if other.starts_with('-') => {
+                        return Err(CliOutcome::Error(format!("unknown option `{other}`")))
+                    }
+                    other if path.is_none() => path = Some(other.to_string()),
+                    other => {
+                        return Err(CliOutcome::Error(format!(
+                            "unexpected argument `{other}` after snapshot save path"
+                        )))
+                    }
+                }
+            }
+            let path = path.ok_or_else(|| {
+                CliOutcome::Error("snapshot save requires an output file".to_string())
+            })?;
+            Ok(Command::SnapshotSave { scale, path })
+        }
+        "query" => {
+            let mut path: Option<String> = None;
+            let mut addresses = Vec::new();
+            let mut top = DEFAULT_QUERY_TOP;
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--top" => {
+                        top = match it.next().and_then(|s| s.parse().ok()) {
+                            Some(n) => n,
+                            None => {
+                                return Err(CliOutcome::Error("invalid --top value".to_string()))
+                            }
+                        };
+                    }
+                    "--help" | "-h" => return Err(CliOutcome::Help),
+                    other if other.starts_with('-') => {
+                        return Err(CliOutcome::Error(format!("unknown option `{other}`")))
+                    }
+                    other if path.is_none() => path = Some(other.to_string()),
+                    other => match other.parse::<u32>() {
+                        Ok(addr) => addresses.push(addr),
+                        Err(_) => {
+                            return Err(CliOutcome::Error(format!(
+                                "invalid address id `{other}` (expected a number)"
+                            )))
+                        }
+                    },
+                }
+            }
+            let path = path.ok_or_else(|| {
+                CliOutcome::Error("snapshot query requires an input file".to_string())
+            })?;
+            Ok(Command::SnapshotQuery { path, addresses, top })
+        }
+        other => Err(CliOutcome::Error(format!(
+            "unknown snapshot subcommand `{other}` (expected save | query)"
+        ))),
+    }
 }
 
 #[cfg(test)]
@@ -92,26 +219,33 @@ mod tests {
         s.iter().map(|a| a.to_string()).collect()
     }
 
+    fn run_plan(args_in: &[&str]) -> RunPlan {
+        match parse(&args(args_in)) {
+            Ok(Command::Run(plan)) => plan,
+            other => panic!("expected a run plan for {args_in:?}, got {other:?}"),
+        }
+    }
+
     #[test]
     fn defaults_to_all_at_default_scale() {
-        let plan = parse(&[]).unwrap();
+        let plan = run_plan(&[]);
         assert_eq!(plan.scale, "default");
         assert_eq!(plan.experiments, EXPERIMENTS.map(String::from).to_vec());
     }
 
     #[test]
     fn explicit_all_expands() {
-        let plan = parse(&args(&["--scale", "tiny", "all"])).unwrap();
+        let plan = run_plan(&["--scale", "tiny", "all"]);
         assert_eq!(plan.scale, "tiny");
         assert_eq!(plan.experiments.len(), EXPERIMENTS.len());
     }
 
     #[test]
     fn duplicates_run_once_preserving_order() {
-        let plan = parse(&args(&["h1", "fp", "h1", "fp", "h1"])).unwrap();
+        let plan = run_plan(&["h1", "fp", "h1", "fp", "h1"]);
         assert_eq!(plan.experiments, vec!["h1", "fp"]);
         // Order is first-mention, not EXPERIMENTS order.
-        let plan = parse(&args(&["fp", "h1"])).unwrap();
+        let plan = run_plan(&["fp", "h1"]);
         assert_eq!(plan.experiments, vec!["fp", "h1"]);
     }
 
@@ -138,5 +272,77 @@ mod tests {
     fn help_short_circuits() {
         assert_eq!(parse(&args(&["-h"])), Err(CliOutcome::Help));
         assert_eq!(parse(&args(&["--help", "bogus"])), Err(CliOutcome::Help));
+        assert_eq!(parse(&args(&["snapshot", "--help"])), Err(CliOutcome::Help));
+        assert_eq!(parse(&args(&["snapshot", "save", "-h"])), Err(CliOutcome::Help));
+        assert_eq!(parse(&args(&["snapshot", "query", "--help"])), Err(CliOutcome::Help));
+    }
+
+    #[test]
+    fn snapshot_save_parses_path_and_scale() {
+        assert_eq!(
+            parse(&args(&["snapshot", "save", "out.snap"])).unwrap(),
+            Command::SnapshotSave { scale: "default".into(), path: "out.snap".into() }
+        );
+        assert_eq!(
+            parse(&args(&["snapshot", "save", "--scale", "tiny", "out.snap"])).unwrap(),
+            Command::SnapshotSave { scale: "tiny".into(), path: "out.snap".into() }
+        );
+    }
+
+    #[test]
+    fn snapshot_query_parses_addresses_and_top() {
+        assert_eq!(
+            parse(&args(&["snapshot", "query", "out.snap"])).unwrap(),
+            Command::SnapshotQuery {
+                path: "out.snap".into(),
+                addresses: vec![],
+                top: DEFAULT_QUERY_TOP
+            }
+        );
+        assert_eq!(
+            parse(&args(&["snapshot", "query", "out.snap", "3", "17", "--top", "5"])).unwrap(),
+            Command::SnapshotQuery {
+                path: "out.snap".into(),
+                addresses: vec![3, 17],
+                top: 5
+            }
+        );
+    }
+
+    #[test]
+    fn snapshot_errors_are_usage_errors() {
+        for bad in [
+            &["snapshot"][..],
+            &["snapshot", "frobnicate"],
+            &["snapshot", "save"],
+            &["snapshot", "save", "a", "b"],
+            &["snapshot", "save", "--scale", "huge", "a"],
+            &["snapshot", "save", "--scael", "tiny", "a"],
+            &["snapshot", "save", "--bogus"],
+            &["snapshot", "query"],
+            &["snapshot", "query", "a", "notanumber"],
+            &["snapshot", "query", "a", "--top", "many"],
+            &["snapshot", "query", "a", "--top"],
+            &["snapshot", "query", "--tpo", "5", "a"],
+        ] {
+            assert!(
+                matches!(parse(&args(bad)), Err(CliOutcome::Error(_))),
+                "expected usage error for {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn usage_lists_every_experiment_and_the_snapshot_subcommands() {
+        let usage = usage();
+        for exp in EXPERIMENTS {
+            assert!(usage.contains(exp), "usage is missing experiment `{exp}`");
+        }
+        for scale in SCALES {
+            assert!(usage.contains(scale), "usage is missing scale `{scale}`");
+        }
+        for needle in ["snapshot save", "snapshot query", "--top"] {
+            assert!(usage.contains(needle), "usage is missing `{needle}`");
+        }
     }
 }

@@ -7,6 +7,7 @@ use fistful_chain::resolve::AddressId;
 use fistful_core::change::ChangeConfig;
 use fistful_core::cluster::{Clusterer, Clustering};
 use fistful_core::naming::{name_clusters, NamingReport};
+use fistful_core::snapshot::ClusterSnapshot;
 use fistful_core::tagdb::{Tag, TagDb, TagSource};
 use fistful_flow::AddressDirectory;
 use fistful_sim::{generate_tags, Economy, RawTagSource, SimConfig};
@@ -51,6 +52,14 @@ impl Workbench {
     pub fn directory_for(&self, clustering: &Clustering) -> AddressDirectory {
         let names = name_clusters(clustering, &self.tagdb);
         AddressDirectory::from_naming(clustering, &names)
+    }
+
+    /// The frozen serving artifact: refined H1+H2 clustering, tag naming,
+    /// and per-cluster aggregates fused into a [`ClusterSnapshot`].
+    pub fn snapshot(&self) -> ClusterSnapshot {
+        let refined = self.cluster_with(self.refined_config());
+        let names = name_clusters(&refined, &self.tagdb);
+        ClusterSnapshot::build(self.eco.chain.resolved(), &refined, &names)
     }
 
     /// Count of distinct hand-tagged (own-transaction) addresses.

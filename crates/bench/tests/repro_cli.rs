@@ -19,6 +19,22 @@ fn help_exits_zero_with_usage() {
 }
 
 #[test]
+fn help_lists_every_experiment_and_snapshot_subcommands() {
+    let out = repro(&["--help"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The usage text must not drift from what the parser accepts: every
+    // experiment name, every scale, and the snapshot subcommands.
+    for exp in fistful_bench::cli::EXPERIMENTS {
+        assert!(stdout.contains(exp), "--help is missing experiment `{exp}`:\n{stdout}");
+    }
+    for scale in fistful_bench::cli::SCALES {
+        assert!(stdout.contains(scale), "--help is missing scale `{scale}`:\n{stdout}");
+    }
+    assert!(stdout.contains("snapshot save"), "{stdout}");
+    assert!(stdout.contains("snapshot query"), "{stdout}");
+}
+
+#[test]
 fn all_mixed_with_named_is_a_usage_error() {
     for mix in [&["all", "h1"][..], &["h1", "all"]] {
         let out = repro(mix);
@@ -41,6 +57,71 @@ fn bad_scale_is_a_usage_error() {
     let out = repro(&["--scale", "enormous"]);
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("invalid --scale"));
+}
+
+#[test]
+fn snapshot_usage_errors_exit_two() {
+    for bad in [
+        &["snapshot"][..],
+        &["snapshot", "frobnicate"],
+        &["snapshot", "save"],
+        &["snapshot", "query"],
+        &["snapshot", "query", "file.snap", "notanumber"],
+    ] {
+        let out = repro(bad);
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("usage: repro"),
+            "args {bad:?}"
+        );
+    }
+}
+
+#[test]
+fn snapshot_query_on_missing_file_fails_cleanly() {
+    let out = repro(&["snapshot", "query", "/nonexistent/no.snap"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn snapshot_save_then_query_round_trips_through_a_file() {
+    let dir = std::env::temp_dir().join(format!("repro-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("tiny.snap");
+    let path_s = path.to_str().unwrap();
+
+    let out = repro(&["snapshot", "save", "--scale", "tiny", path_s]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wrote"), "{stdout}");
+    assert!(path.exists());
+
+    // Query the artifact back: summary plus an address lookup.
+    let out = repro(&["snapshot", "query", path_s, "0", "--top", "3"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("top clusters by size"), "{stdout}");
+    assert!(stdout.contains("address 0: cluster"), "{stdout}");
+    // The query path must not rebuild the economy.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("building economy"), "{stderr}");
+
+    // A corrupted artifact is rejected with the typed error's message.
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    let bad = dir.join("bad.snap");
+    std::fs::write(&bad, &bytes).unwrap();
+    let out = repro(&["snapshot", "query", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("not a valid snapshot"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -18,6 +18,8 @@ pub enum DecodeError {
     OversizedCount(u64),
     /// An enum discriminant or flag byte had an unknown value.
     InvalidValue(u8),
+    /// A length-prefixed string was not valid UTF-8.
+    InvalidUtf8,
     /// Trailing bytes remained after a complete decode.
     TrailingBytes,
 }
@@ -29,6 +31,7 @@ impl std::fmt::Display for DecodeError {
             DecodeError::NonCanonicalCompactSize => write!(f, "non-canonical compactsize"),
             DecodeError::OversizedCount(n) => write!(f, "oversized count {n}"),
             DecodeError::InvalidValue(v) => write!(f, "invalid value byte {v:#x}"),
+            DecodeError::InvalidUtf8 => write!(f, "string is not valid utf-8"),
             DecodeError::TrailingBytes => write!(f, "trailing bytes after decode"),
         }
     }
@@ -39,6 +42,11 @@ impl std::error::Error for DecodeError {}
 /// Maximum element count accepted for any decoded vector; prevents
 /// pathological allocations from corrupt input.
 pub const MAX_VEC_LEN: u64 = 1 << 22;
+
+/// Maximum byte length accepted for a decoded string. Strings on the wire
+/// are human-scale labels (service names, categories), so anything longer
+/// is corrupt input.
+pub const MAX_STR_LEN: u64 = 1 << 16;
 
 /// A byte reader with position tracking.
 pub struct Reader<'a> {
@@ -125,6 +133,27 @@ impl<'a> Reader<'a> {
         Ok(Hash256(out))
     }
 
+    /// Reads a `CompactSize`-length-prefixed UTF-8 string (bounded by
+    /// [`MAX_STR_LEN`]).
+    pub fn string(&mut self) -> Result<String, DecodeError> {
+        let len = self.compact_size()?;
+        if len > MAX_STR_LEN {
+            return Err(DecodeError::OversizedCount(len));
+        }
+        let bytes = self.take(len as usize)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::InvalidUtf8)
+    }
+
+    /// Reads an optional string: a `0`/`1` presence byte, then (when `1`)
+    /// the string itself. Any other presence byte is invalid.
+    pub fn opt_string(&mut self) -> Result<Option<String>, DecodeError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.string()?)),
+            other => Err(DecodeError::InvalidValue(other)),
+        }
+    }
+
     /// Errors if any bytes remain.
     pub fn finish(&self) -> Result<(), DecodeError> {
         if self.remaining() == 0 {
@@ -199,6 +228,33 @@ impl Writer {
     /// Appends a 32-byte hash.
     pub fn hash256(&mut self, h: &Hash256) {
         self.buf.extend_from_slice(&h.0);
+    }
+
+    /// Appends a `CompactSize`-length-prefixed UTF-8 string.
+    ///
+    /// Panics if the string exceeds [`MAX_STR_LEN`] — the decoder rejects
+    /// longer strings, so writing one would produce bytes that can never
+    /// round-trip; failing at write time keeps that guarantee loud.
+    pub fn string(&mut self, s: &str) {
+        assert!(
+            s.len() as u64 <= MAX_STR_LEN,
+            "string of {} bytes exceeds the wire limit of {MAX_STR_LEN}",
+            s.len()
+        );
+        self.compact_size(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    /// Appends an optional string: a `0`/`1` presence byte, then (when
+    /// present) the string itself.
+    pub fn opt_string(&mut self, s: Option<&str>) {
+        match s {
+            None => self.u8(0),
+            Some(s) => {
+                self.u8(1);
+                self.string(s);
+            }
+        }
     }
 }
 
@@ -334,6 +390,46 @@ mod tests {
         fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
             Ok(TestByte(r.u8()?))
         }
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let mut w = Writer::new();
+        w.string("Mt. Gox");
+        w.opt_string(None);
+        w.opt_string(Some("gambling"));
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.string().unwrap(), "Mt. Gox");
+        assert_eq!(r.opt_string().unwrap(), None);
+        assert_eq!(r.opt_string().unwrap(), Some("gambling".to_string()));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn string_rejects_bad_utf8_and_bad_presence() {
+        // Length 1, byte 0xff: invalid UTF-8.
+        let mut r = Reader::new(&[1, 0xff]);
+        assert_eq!(r.string(), Err(DecodeError::InvalidUtf8));
+        // Presence byte 2 is neither 0 nor 1.
+        let mut r = Reader::new(&[2]);
+        assert_eq!(r.opt_string(), Err(DecodeError::InvalidValue(2)));
+    }
+
+    #[test]
+    fn oversized_string_rejected() {
+        let mut w = Writer::new();
+        w.compact_size(MAX_STR_LEN + 1);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.string(), Err(DecodeError::OversizedCount(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the wire limit")]
+    fn oversized_string_cannot_be_written() {
+        let mut w = Writer::new();
+        w.string(&"x".repeat(MAX_STR_LEN as usize + 1));
     }
 
     #[test]

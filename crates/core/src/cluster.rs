@@ -39,6 +39,30 @@ impl Clusterer {
     }
 
     /// Runs the pipeline over a resolved chain.
+    ///
+    /// ```
+    /// use fistful_core::change::ChangeConfig;
+    /// use fistful_core::cluster::Clusterer;
+    /// use fistful_core::testutil::TestChain;
+    ///
+    /// // Addresses 1 and 2 co-spend (Heuristic 1 links them), paying the
+    /// // already-seen address 3 and the fresh change address 4.
+    /// let mut t = TestChain::new();
+    /// let cb1 = t.coinbase(1, 50);
+    /// let cb2 = t.coinbase(2, 50);
+    /// let _cb3 = t.coinbase(3, 50);
+    /// t.tx(&[(cb1, 0), (cb2, 0)], &[(3, 70), (4, 30)]);
+    ///
+    /// // Heuristic 1 only: {1,2}, {3}, {4}.
+    /// let h1 = Clusterer::h1_only().run(&t.chain);
+    /// assert_eq!(h1.cluster_count(), 3);
+    /// assert_eq!(h1.cluster_of(t.id(1)), h1.cluster_of(t.id(2)));
+    ///
+    /// // Adding Heuristic 2 folds the change address in: {1,2,4}, {3}.
+    /// let h2 = Clusterer::with_h2(ChangeConfig::naive()).run(&t.chain);
+    /// assert_eq!(h2.cluster_count(), 2);
+    /// assert_eq!(h2.cluster_of(t.id(1)), h2.cluster_of(t.id(4)));
+    /// ```
     pub fn run(&self, chain: &ResolvedChain) -> Clustering {
         let mut uf = UnionFind::new(chain.address_count());
         let h1_stats = heuristic1::apply(chain, &mut uf);

@@ -6,9 +6,9 @@
 //! blocks one at a time and maintains everything online:
 //!
 //! * the Heuristic 1 union-find and its [`H1Stats`], via the same
-//!   [`link_tx`](crate::heuristic1::link_tx) step the batch pass uses;
+//!   [`link_tx`] step the batch pass uses;
 //! * Heuristic 2's running per-address state, via the shared
-//!   [`ChangeScanner`](crate::change::ChangeScanner);
+//!   [`ChangeScanner`];
 //! * a **pending-decision queue** for the wait-to-label refinement: a
 //!   provisional label needs `wait_blocks` of future history before it can
 //!   be accepted, so the decision is parked and resolved as later blocks
@@ -81,6 +81,29 @@ impl IncrementalClusterer {
     /// Ingests the next block, updating the partition, stats and pending
     /// queue. Panics if the block does not start at the next expected
     /// transaction (blocks must be replayed contiguously, in order).
+    ///
+    /// ```
+    /// use fistful_core::incremental::IncrementalClusterer;
+    /// use fistful_core::testutil::TestChain;
+    ///
+    /// let mut t = TestChain::new();
+    /// let cb1 = t.coinbase(1, 50);
+    /// let cb2 = t.coinbase(2, 50);
+    /// t.tx(&[(cb1, 0), (cb2, 0)], &[(3, 100)]);
+    ///
+    /// // Feed the chain block by block; queries are valid between blocks.
+    /// let mut inc = IncrementalClusterer::h1_only();
+    /// for block in t.chain.blocks() {
+    ///     inc.ingest_block(&block);
+    /// }
+    /// inc.flush(&t.chain);
+    /// assert!(inc.same_cluster(t.id(1), t.id(2)));
+    /// assert_eq!(inc.block_count(), t.chain.block_count());
+    ///
+    /// // The final state matches a one-shot batch run.
+    /// let batch = fistful_core::cluster::Clusterer::h1_only().run(&t.chain);
+    /// assert_eq!(inc.snapshot().assignment, batch.assignment);
+    /// ```
     pub fn ingest_block(&mut self, block: &ResolvedBlockView<'_>) {
         assert_eq!(
             block.tx_start(),

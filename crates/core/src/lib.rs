@@ -17,8 +17,12 @@
 //! [`union_find::UnionFind`]; [`incremental`] maintains the same partition
 //! online, block by block, for live chains; [`tagdb`] and [`naming`] turn
 //! ground-truth interactions into cluster names (and detect the
-//! super-cluster failure mode); [`metrics`] scores everything against
+//! super-cluster failure mode); [`snapshot`] freezes a finished clustering
+//! plus its names and aggregates into an immutable, serializable artifact
+//! served to concurrent readers; [`metrics`] scores everything against
 //! simulator ground truth.
+
+#![warn(missing_docs)]
 
 pub mod change;
 pub mod cluster;
@@ -27,6 +31,7 @@ pub mod heuristic1;
 pub mod incremental;
 pub mod metrics;
 pub mod naming;
+pub mod snapshot;
 pub mod tagdb;
 pub mod testutil;
 pub mod union_find;
@@ -35,5 +40,6 @@ pub use change::{ChangeConfig, ChangeLabels, ChangeScanner};
 pub use cluster::{Clusterer, Clustering};
 pub use incremental::IncrementalClusterer;
 pub use naming::{NamingReport, SuperCluster};
+pub use snapshot::{ClusterInfo, ClusterSnapshot, SnapshotError};
 pub use tagdb::{Tag, TagDb, TagSource};
 pub use union_find::UnionFind;

@@ -1,0 +1,725 @@
+//! Frozen, queryable cluster snapshots — the paper's "cluster once, then
+//! interrogate" artifact.
+//!
+//! Every table and figure of the paper is a *query* against a finished
+//! clustering: "which cluster holds this address, what is it called, how
+//! much has it received?" A [`ClusterSnapshot`] freezes the answer — the
+//! canonically renumbered partition from a [`Clustering`], the
+//! [`NamingReport`] labels, and per-cluster aggregates — into one immutable
+//! structure with O(1) address → [`ClusterInfo`] lookup. It holds no locks
+//! and no interior mutability, so wrapping it in an
+//! [`Arc`](std::sync::Arc) shares it across any number of reader threads
+//! with zero synchronization (see `bench_snapshot` for measured
+//! multi-thread lookup throughput).
+//!
+//! # Wire format (version 1)
+//!
+//! [`ClusterSnapshot::to_bytes`] / [`ClusterSnapshot::from_bytes`] give the
+//! snapshot a versioned binary serialization built on the consensus-style
+//! primitives of [`fistful_chain::encode`] (little-endian fixed-width
+//! integers, canonical Bitcoin `CompactSize` counts, `CompactSize`-length-
+//! prefixed UTF-8 strings). The frame is:
+//!
+//! | field      | bytes | contents                                        |
+//! |------------|-------|-------------------------------------------------|
+//! | magic      | 4     | `"FSNP"` ([`SNAPSHOT_MAGIC`])                   |
+//! | version    | 1     | [`SNAPSHOT_VERSION`] (currently `1`)            |
+//! | length     | 8     | payload byte length, u64 little-endian          |
+//! | payload    | *n*   | the body, exactly `length` bytes (below)        |
+//! | checksum   | 32    | double-SHA-256 of the payload bytes             |
+//!
+//! and the payload body, in field order:
+//!
+//! 1. `tip_height` — u64, height of the last block the clustering saw;
+//! 2. `tx_count` — u64, number of transactions aggregated;
+//! 3. `clusters` — `CompactSize` count, then one [`ClusterInfo`] record per
+//!    cluster, in canonical cluster-id order (`0..count`). Each record is:
+//!    `size` (u32), `received` (u64 satoshis), `spent` (u64 satoshis),
+//!    `name` (optional string), `category` (optional string). Optional
+//!    strings are a `0`/`1` presence byte followed, when present, by a
+//!    `CompactSize`-length-prefixed UTF-8 string;
+//! 4. `assignment` — `CompactSize` address count, then one u32 cluster id
+//!    per address, indexed by [`AddressId`].
+//!
+//! Decoders must enforce: canonical `CompactSize` forms, UTF-8 validity,
+//! every assignment entry `< cluster count`, and that each cluster's
+//! `size` equals the number of addresses assigned to it. A frame whose
+//! magic, version, length, or checksum does not match is rejected with the
+//! corresponding typed [`SnapshotError`] before any payload is parsed.
+//!
+//! The double-SHA-256 checksum is computed with the workspace's own
+//! [`sha256d`] — no external crates are
+//! involved anywhere in the format, so the offline vendored-dependency
+//! caveats in `vendor/README.md` (stand-in `rand`/`proptest`/`criterion`)
+//! do not affect snapshot bytes: files written here decode identically
+//! under the real registry crates.
+
+use crate::cluster::Clustering;
+use crate::naming::NamingReport;
+use fistful_chain::amount::Amount;
+use fistful_chain::encode::{Decodable, DecodeError, Encodable, Reader, Writer};
+use fistful_chain::resolve::{AddressId, ResolvedChain};
+use fistful_crypto::sha256::sha256d;
+
+/// The four magic bytes opening every snapshot frame.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"FSNP";
+
+/// The current wire-format version.
+pub const SNAPSHOT_VERSION: u8 = 1;
+
+/// Byte length of the frame header (magic + version + payload length).
+const HEADER_LEN: usize = 4 + 1 + 8;
+
+/// Byte length of the trailing double-SHA-256 checksum.
+const CHECKSUM_LEN: usize = 32;
+
+/// Errors from parsing a snapshot frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The first four bytes were not [`SNAPSHOT_MAGIC`].
+    BadMagic([u8; 4]),
+    /// The version byte named a format this build cannot read.
+    UnsupportedVersion(u8),
+    /// The input ended before the declared frame was complete.
+    Truncated,
+    /// Bytes remained after the declared frame.
+    TrailingBytes,
+    /// The double-SHA-256 of the payload did not match the stored checksum.
+    ChecksumMismatch,
+    /// The payload failed structural decoding.
+    Decode(DecodeError),
+    /// The payload decoded but violated a semantic invariant.
+    Inconsistent(&'static str),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic(m) => write!(f, "bad snapshot magic {m:02x?}"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v} (supported: {SNAPSHOT_VERSION})")
+            }
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::TrailingBytes => write!(f, "trailing bytes after snapshot frame"),
+            SnapshotError::ChecksumMismatch => write!(f, "snapshot checksum mismatch"),
+            SnapshotError::Decode(e) => write!(f, "snapshot payload decode: {e}"),
+            SnapshotError::Inconsistent(what) => write!(f, "inconsistent snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for SnapshotError {
+    fn from(e: DecodeError) -> SnapshotError {
+        SnapshotError::Decode(e)
+    }
+}
+
+/// Per-cluster aggregates: everything an address lookup should answer
+/// without touching the chain.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClusterInfo {
+    /// Number of addresses in the cluster.
+    pub size: u32,
+    /// Total value ever received by the cluster's addresses.
+    pub received: Amount,
+    /// Total value ever spent by the cluster's addresses.
+    pub spent: Amount,
+    /// The cluster's service name from tag-vote naming, if it was named.
+    pub name: Option<String>,
+    /// The category of the winning name, if the cluster was named.
+    pub category: Option<String>,
+}
+
+impl Encodable for ClusterInfo {
+    fn encode(&self, w: &mut Writer) {
+        w.u32(self.size);
+        w.u64(self.received.to_sat());
+        w.u64(self.spent.to_sat());
+        w.opt_string(self.name.as_deref());
+        w.opt_string(self.category.as_deref());
+    }
+}
+
+impl Decodable for ClusterInfo {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(ClusterInfo {
+            size: r.u32()?,
+            received: Amount::from_sat(r.u64()?),
+            spent: Amount::from_sat(r.u64()?),
+            name: r.opt_string()?,
+            category: r.opt_string()?,
+        })
+    }
+}
+
+/// A frozen, immutable clustering artifact with O(1) address lookups.
+///
+/// Built once by [`ClusterSnapshot::build`] from a finished [`Clustering`]
+/// (whose `assignments()` renumbering is already canonical: dense ids in
+/// order of first address appearance), the chain the clustering ran over,
+/// and the [`NamingReport`] for its tags. After that the snapshot never
+/// changes — it is plain owned data, `Send + Sync`, safe to share across
+/// threads via [`Arc`](std::sync::Arc) with zero locks.
+///
+/// # Round-trip example
+///
+/// ```
+/// use fistful_core::cluster::Clusterer;
+/// use fistful_core::naming::name_clusters;
+/// use fistful_core::snapshot::ClusterSnapshot;
+/// use fistful_core::tagdb::TagDb;
+/// use fistful_core::testutil::TestChain;
+///
+/// // A two-user economy: addresses 1 and 2 co-spend, so Heuristic 1
+/// // links them; address 3 stays separate.
+/// let mut t = TestChain::new();
+/// let cb1 = t.coinbase(1, 50);
+/// let cb2 = t.coinbase(2, 50);
+/// t.tx(&[(cb1, 0), (cb2, 0)], &[(3, 100)]);
+///
+/// let clustering = Clusterer::h1_only().run(&t.chain);
+/// let names = name_clusters(&clustering, &TagDb::new());
+/// let snapshot = ClusterSnapshot::build(&t.chain, &clustering, &names);
+///
+/// // Encode to the versioned wire format and decode it back.
+/// let bytes = snapshot.to_bytes();
+/// let restored = ClusterSnapshot::from_bytes(&bytes).unwrap();
+/// assert_eq!(restored, snapshot);
+///
+/// // O(1) queries against the frozen artifact.
+/// assert_eq!(restored.cluster_of(t.id(1)), restored.cluster_of(t.id(2)));
+/// let info = restored.info_of_address(t.id(3)).unwrap();
+/// assert_eq!(info.size, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClusterSnapshot {
+    /// Cluster id per address (indexed by [`AddressId`]); dense canonical
+    /// ids in `0..clusters.len()`.
+    assignment: Vec<u32>,
+    /// Aggregates per cluster (indexed by cluster id).
+    clusters: Vec<ClusterInfo>,
+    /// Height of the last block the clustering saw.
+    tip_height: u64,
+    /// Number of transactions aggregated into `received`/`spent`.
+    tx_count: u64,
+}
+
+impl ClusterSnapshot {
+    /// Fuses a clustering, its naming, and chain aggregates into a frozen
+    /// snapshot.
+    ///
+    /// Panics if `clustering` does not cover exactly the addresses of
+    /// `chain` (they must come from the same run).
+    pub fn build(
+        chain: &ResolvedChain,
+        clustering: &Clustering,
+        names: &NamingReport,
+    ) -> ClusterSnapshot {
+        assert_eq!(
+            clustering.assignment.len(),
+            chain.address_count(),
+            "clustering and chain disagree on address count"
+        );
+        let mut clusters: Vec<ClusterInfo> = clustering
+            .sizes
+            .iter()
+            .map(|&size| ClusterInfo { size, ..Default::default() })
+            .collect();
+        for (cluster, name) in &names.names {
+            let slot = &mut clusters[*cluster as usize];
+            slot.name = Some(name.clone());
+            slot.category = names.categories.get(cluster).cloned();
+        }
+        // Received/spent totals in one chain pass.
+        let mut received = vec![0u64; clusters.len()];
+        let mut spent = vec![0u64; clusters.len()];
+        for tx in &chain.txs {
+            for input in &tx.inputs {
+                let c = clustering.assignment[input.address as usize] as usize;
+                spent[c] += input.value.to_sat();
+            }
+            for out in &tx.outputs {
+                let c = clustering.assignment[out.address as usize] as usize;
+                received[c] += out.value.to_sat();
+            }
+        }
+        for (i, slot) in clusters.iter_mut().enumerate() {
+            slot.received = Amount::from_sat(received[i]);
+            slot.spent = Amount::from_sat(spent[i]);
+        }
+        let tip_height = chain.txs.last().map(|t| t.height).unwrap_or(0);
+        ClusterSnapshot {
+            assignment: clustering.assignment.clone(),
+            clusters,
+            tip_height,
+            tx_count: chain.tx_count() as u64,
+        }
+    }
+
+    // ----- O(1) queries -----
+
+    /// Number of addresses covered.
+    pub fn address_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Height of the last block the clustering saw.
+    pub fn tip_height(&self) -> u64 {
+        self.tip_height
+    }
+
+    /// Number of transactions aggregated into the received/spent totals.
+    pub fn tx_count(&self) -> u64 {
+        self.tx_count
+    }
+
+    /// The cluster containing `addr`, if the address is covered.
+    pub fn cluster_of(&self, addr: AddressId) -> Option<u32> {
+        self.assignment.get(addr as usize).copied()
+    }
+
+    /// Aggregates of cluster `cluster`, if it exists.
+    pub fn info(&self, cluster: u32) -> Option<&ClusterInfo> {
+        self.clusters.get(cluster as usize)
+    }
+
+    /// Aggregates of the cluster containing `addr` — the serving-path
+    /// lookup: two array reads, no hashing, no locks.
+    pub fn info_of_address(&self, addr: AddressId) -> Option<&ClusterInfo> {
+        let c = self.cluster_of(addr)?;
+        Some(&self.clusters[c as usize])
+    }
+
+    /// The service name `addr` resolves to (its cluster's name), if any.
+    pub fn service_of(&self, addr: AddressId) -> Option<&str> {
+        self.info_of_address(addr)?.name.as_deref()
+    }
+
+    /// The category `addr` resolves to (its cluster's category), if any.
+    pub fn category_of(&self, addr: AddressId) -> Option<&str> {
+        self.info_of_address(addr)?.category.as_deref()
+    }
+
+    /// Clusters that carry a name.
+    pub fn named_cluster_count(&self) -> usize {
+        self.clusters.iter().filter(|c| c.name.is_some()).count()
+    }
+
+    /// Addresses covered by named clusters.
+    pub fn named_address_count(&self) -> u64 {
+        self.clusters
+            .iter()
+            .filter(|c| c.name.is_some())
+            .map(|c| c.size as u64)
+            .sum()
+    }
+
+    /// The largest cluster as `(cluster id, info)`, if any.
+    pub fn largest_cluster(&self) -> Option<(u32, &ClusterInfo)> {
+        self.clusters
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| c.size)
+            .map(|(i, c)| (i as u32, c))
+    }
+
+    /// Cluster ids sorted by size descending (ties by id ascending) —
+    /// the "top clusters" view served by `repro snapshot query`.
+    pub fn clusters_by_size(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = (0..self.clusters.len() as u32).collect();
+        ids.sort_by_key(|&i| (std::cmp::Reverse(self.clusters[i as usize].size), i));
+        ids
+    }
+
+    // ----- wire format -----
+
+    /// Serializes the snapshot as a complete frame: magic, version,
+    /// payload length, payload, double-SHA-256 checksum.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload = self.encode_to_vec();
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.push(SNAPSHOT_VERSION);
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        let checksum = sha256d(&payload);
+        out.extend_from_slice(&payload);
+        out.extend_from_slice(&checksum.0);
+        out
+    }
+
+    /// Parses a complete frame, verifying magic, version, length, checksum,
+    /// structure, and semantic invariants — in that order, so the typed
+    /// [`SnapshotError`] pinpoints what is wrong with a bad file.
+    pub fn from_bytes(data: &[u8]) -> Result<ClusterSnapshot, SnapshotError> {
+        if data.len() < HEADER_LEN {
+            return Err(SnapshotError::Truncated);
+        }
+        let magic: [u8; 4] = data[..4].try_into().expect("4 bytes");
+        if magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic(magic));
+        }
+        let version = data[4];
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion(version));
+        }
+        let len = u64::from_le_bytes(data[5..HEADER_LEN].try_into().expect("8 bytes")) as usize;
+        let framed = HEADER_LEN
+            .checked_add(len)
+            .and_then(|n| n.checked_add(CHECKSUM_LEN))
+            .ok_or(SnapshotError::Truncated)?;
+        if data.len() < framed {
+            return Err(SnapshotError::Truncated);
+        }
+        if data.len() > framed {
+            return Err(SnapshotError::TrailingBytes);
+        }
+        let payload = &data[HEADER_LEN..HEADER_LEN + len];
+        let checksum = &data[HEADER_LEN + len..];
+        if sha256d(payload).0 != checksum {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+        let snapshot = ClusterSnapshot::decode_all(payload)?;
+        snapshot.validate()?;
+        Ok(snapshot)
+    }
+
+    /// Semantic invariants a structurally valid payload must still satisfy.
+    fn validate(&self) -> Result<(), SnapshotError> {
+        let k = self.clusters.len() as u32;
+        let mut counts = vec![0u32; self.clusters.len()];
+        for &c in &self.assignment {
+            if c >= k {
+                return Err(SnapshotError::Inconsistent(
+                    "assignment references a cluster id out of range",
+                ));
+            }
+            counts[c as usize] += 1;
+        }
+        for (count, info) in counts.iter().zip(&self.clusters) {
+            if *count != info.size {
+                return Err(SnapshotError::Inconsistent(
+                    "cluster size disagrees with assignment",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Encodable for ClusterSnapshot {
+    /// Writes the *payload* body only — [`ClusterSnapshot::to_bytes`] adds
+    /// the magic/version/length/checksum frame around it.
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.tip_height);
+        w.u64(self.tx_count);
+        fistful_chain::encode::encode_vec(w, &self.clusters);
+        w.compact_size(self.assignment.len() as u64);
+        for &c in &self.assignment {
+            w.u32(c);
+        }
+    }
+}
+
+impl Decodable for ClusterSnapshot {
+    /// Reads the payload body; semantic validation happens separately in
+    /// [`ClusterSnapshot::from_bytes`].
+    ///
+    /// Both counts can legitimately exceed the generic `MAX_VEC_LEN` cap
+    /// (12M+ addresses at paper scale, and cluster count can equal address
+    /// count when nothing co-spends), so instead each count is bounded by
+    /// what the remaining input could possibly hold — tight, and it keeps
+    /// pre-allocation proportional to the actual input size.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let tip_height = r.u64()?;
+        let tx_count = r.u64()?;
+        // A ClusterInfo is at least 22 bytes (u32 + 2×u64 + 2 flag bytes).
+        let k = r.compact_size()?;
+        if k > r.remaining() as u64 / 22 {
+            return Err(DecodeError::OversizedCount(k));
+        }
+        let mut clusters = Vec::with_capacity(k as usize);
+        for _ in 0..k {
+            clusters.push(ClusterInfo::decode(r)?);
+        }
+        // Each assignment entry is exactly 4 bytes.
+        let n = r.compact_size()?;
+        if n > r.remaining() as u64 / 4 {
+            return Err(DecodeError::OversizedCount(n));
+        }
+        let mut assignment = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            assignment.push(r.u32()?);
+        }
+        Ok(ClusterSnapshot { assignment, clusters, tip_height, tx_count })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::change::ChangeConfig;
+    use crate::cluster::Clusterer;
+    use crate::naming::name_clusters;
+    use crate::tagdb::{Tag, TagDb, TagSource};
+    use crate::testutil::TestChain;
+
+    /// Two users: {1,2,4} via co-spend + change, {3} alone; 1 is tagged.
+    fn snapshot_fixture() -> (TestChain, ClusterSnapshot) {
+        let mut t = TestChain::new();
+        let cb1 = t.coinbase(1, 50);
+        let cb2 = t.coinbase(2, 50);
+        let _cb3 = t.coinbase(3, 50);
+        t.tx(&[(cb1, 0), (cb2, 0)], &[(3, 70), (4, 30)]);
+        let clustering = Clusterer::with_h2(ChangeConfig::naive()).run(&t.chain);
+        let mut db = TagDb::new();
+        db.add(Tag {
+            address: t.id(1),
+            service: "Mt. Gox".into(),
+            category: "exchange".into(),
+            source: TagSource::OwnTransaction,
+        });
+        let names = name_clusters(&clustering, &db);
+        let snap = ClusterSnapshot::build(&t.chain, &clustering, &names);
+        (t, snap)
+    }
+
+    #[test]
+    fn build_fuses_partition_names_and_aggregates() {
+        let (t, snap) = snapshot_fixture();
+        assert_eq!(snap.address_count(), t.chain.address_count());
+        assert_eq!(snap.cluster_count(), 2); // {1,2,4}, {3}
+        assert_eq!(snap.cluster_of(t.id(1)), snap.cluster_of(t.id(4)));
+        assert_ne!(snap.cluster_of(t.id(1)), snap.cluster_of(t.id(3)));
+        assert_eq!(snap.service_of(t.id(4)), Some("Mt. Gox"));
+        assert_eq!(snap.category_of(t.id(2)), Some("exchange"));
+        assert_eq!(snap.service_of(t.id(3)), None);
+        assert_eq!(snap.named_cluster_count(), 1);
+        assert_eq!(snap.named_address_count(), 3);
+
+        // Aggregates: cluster {1,2,4} received 50+50 (coinbases) + 30
+        // (change), spent 100 (the co-spend inputs).
+        let gox = snap.info_of_address(t.id(1)).unwrap();
+        assert_eq!(gox.size, 3);
+        assert_eq!(gox.received, Amount::from_btc(130));
+        assert_eq!(gox.spent, Amount::from_btc(100));
+        // Cluster {3}: coinbase 50 + payment 70, never spent.
+        let three = snap.info_of_address(t.id(3)).unwrap();
+        assert_eq!(three.received, Amount::from_btc(120));
+        assert_eq!(three.spent, Amount::ZERO);
+
+        let (largest, info) = snap.largest_cluster().unwrap();
+        assert_eq!(info.size, 3);
+        assert_eq!(snap.clusters_by_size()[0], largest);
+        assert_eq!(snap.tip_height(), 3);
+        assert_eq!(snap.tx_count(), 4);
+    }
+
+    #[test]
+    fn out_of_range_address_is_none_not_panic() {
+        let (_, snap) = snapshot_fixture();
+        assert_eq!(snap.cluster_of(10_000), None);
+        assert!(snap.info_of_address(10_000).is_none());
+        assert_eq!(snap.service_of(10_000), None);
+        assert!(snap.info(10_000).is_none());
+    }
+
+    #[test]
+    fn frame_round_trips_losslessly() {
+        let (_, snap) = snapshot_fixture();
+        let bytes = snap.to_bytes();
+        assert_eq!(&bytes[..4], &SNAPSHOT_MAGIC);
+        assert_eq!(bytes[4], SNAPSHOT_VERSION);
+        let restored = ClusterSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(restored, snap);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = ClusterSnapshot::default();
+        let restored = ClusterSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(restored, snap);
+        assert_eq!(restored.cluster_count(), 0);
+        assert!(restored.largest_cluster().is_none());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let (_, snap) = snapshot_fixture();
+        let mut bytes = snap.to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            ClusterSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let (_, snap) = snapshot_fixture();
+        let mut bytes = snap.to_bytes();
+        bytes[4] = SNAPSHOT_VERSION + 1;
+        assert_eq!(
+            ClusterSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::UnsupportedVersion(SNAPSHOT_VERSION + 1))
+        );
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_length() {
+        let (_, snap) = snapshot_fixture();
+        let bytes = snap.to_bytes();
+        for cut in 0..bytes.len() {
+            let err = ClusterSnapshot::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, SnapshotError::Truncated | SnapshotError::BadMagic(_)),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let (_, snap) = snapshot_fixture();
+        let mut bytes = snap.to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            ClusterSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::TrailingBytes)
+        );
+    }
+
+    #[test]
+    fn payload_corruption_fails_checksum() {
+        let (_, snap) = snapshot_fixture();
+        let bytes = snap.to_bytes();
+        // Flip one bit in every payload byte position; all must be caught
+        // by the checksum (header and checksum corruption are caught by the
+        // earlier checks, tested above).
+        for i in HEADER_LEN..bytes.len() - CHECKSUM_LEN {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert_eq!(
+                ClusterSnapshot::from_bytes(&bad),
+                Err(SnapshotError::ChecksumMismatch),
+                "byte {i}"
+            );
+        }
+        // Corrupting the checksum itself is also a mismatch.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        assert_eq!(
+            ClusterSnapshot::from_bytes(&bad),
+            Err(SnapshotError::ChecksumMismatch)
+        );
+    }
+
+    #[test]
+    fn declared_counts_are_bounded_by_actual_input() {
+        // A tiny, correctly-checksummed frame declaring a huge cluster
+        // count (and, in a second frame, a huge assignment count) must be
+        // rejected before any large allocation happens.
+        for huge_second_count in [false, true] {
+            let mut w = Writer::new();
+            w.u64(0); // tip_height
+            w.u64(0); // tx_count
+            if huge_second_count {
+                w.compact_size(0); // clusters: none
+                w.compact_size(1 << 40); // assignment: absurd
+            } else {
+                w.compact_size(1 << 40); // clusters: absurd
+            }
+            let payload = w.into_bytes();
+            let mut frame = Vec::new();
+            frame.extend_from_slice(&SNAPSHOT_MAGIC);
+            frame.push(SNAPSHOT_VERSION);
+            frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            frame.extend_from_slice(&payload);
+            frame.extend_from_slice(&sha256d(&payload).0);
+            assert!(
+                matches!(
+                    ClusterSnapshot::from_bytes(&frame),
+                    Err(SnapshotError::Decode(DecodeError::OversizedCount(_)))
+                ),
+                "huge_second_count={huge_second_count}"
+            );
+        }
+    }
+
+    #[test]
+    fn semantic_validation_catches_reencoded_lies() {
+        let (_, snap) = snapshot_fixture();
+        // A well-formed frame whose assignment points past the cluster
+        // table: rebuild the frame honestly around a dishonest payload.
+        let mut lying = snap.clone();
+        lying.assignment[0] = 99;
+        let bytes = lying.to_bytes();
+        assert!(matches!(
+            ClusterSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::Inconsistent(_))
+        ));
+        // Sizes that disagree with the assignment.
+        let mut lying = snap.clone();
+        lying.clusters[0].size += 1;
+        assert!(matches!(
+            ClusterSnapshot::from_bytes(&lying.to_bytes()),
+            Err(SnapshotError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn shared_across_threads_without_locks() {
+        use std::sync::Arc;
+        let (_, snap) = snapshot_fixture();
+        let snap = Arc::new(snap);
+        let n = snap.address_count() as u32;
+        let expected: Vec<Option<u32>> = (0..n).map(|a| snap.cluster_of(a)).collect();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let snap = Arc::clone(&snap);
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    for round in 0..100 {
+                        for a in 0..n {
+                            assert_eq!(snap.cluster_of(a), expected[a as usize], "round {round}");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn display_messages_are_distinct() {
+        let errors = [
+            SnapshotError::BadMagic(*b"XXXX"),
+            SnapshotError::UnsupportedVersion(9),
+            SnapshotError::Truncated,
+            SnapshotError::TrailingBytes,
+            SnapshotError::ChecksumMismatch,
+            SnapshotError::Decode(DecodeError::UnexpectedEnd),
+            SnapshotError::Inconsistent("x"),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for e in errors {
+            assert!(seen.insert(e.to_string()), "duplicate message for {e:?}");
+        }
+    }
+}

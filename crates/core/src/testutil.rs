@@ -15,6 +15,7 @@ use fistful_crypto::hash::Hash256;
 /// transaction lands in its own block (height == tx handle) unless
 /// [`TestChain::tx_at`] is used.
 pub struct TestChain {
+    /// The resolved chain built so far.
     pub chain: ResolvedChain,
     utxos: UtxoSet,
     txids: Vec<Hash256>,

@@ -5,7 +5,7 @@
 //! addresses." A *sink* address is one that has never spent (over the
 //! whole observation window).
 
-use crate::categories::AddressDirectory;
+use crate::categories::ServiceResolver;
 use fistful_chain::amount::Amount;
 use fistful_chain::resolve::{AddressId, ResolvedChain};
 use std::collections::BTreeMap;
@@ -49,14 +49,16 @@ impl BalancePoint {
 
 /// Computes the balance series, sampling every `every` blocks.
 ///
-/// `directory` assigns addresses to categories (via cluster naming, as the
-/// paper did, or via ground truth). Category balances count only *active*
-/// coins — coins on addresses that spend at some point in the window —
-/// making them directly comparable to the active-supply denominator
-/// (sink-held coins are excluded from both).
+/// `directory` assigns addresses to categories — any
+/// [`ServiceResolver`]: a live [`AddressDirectory`](crate::categories::AddressDirectory)
+/// (cluster naming, as the paper did, or ground truth) or a frozen
+/// [`ClusterSnapshot`](fistful_core::snapshot::ClusterSnapshot). Category
+/// balances count only *active* coins — coins on addresses that spend at
+/// some point in the window — making them directly comparable to the
+/// active-supply denominator (sink-held coins are excluded from both).
 pub fn balance_series(
     chain: &ResolvedChain,
-    directory: &AddressDirectory,
+    directory: &impl ServiceResolver,
     every: u64,
 ) -> Vec<BalancePoint> {
     assert!(every > 0, "sampling interval must be positive");
@@ -131,6 +133,7 @@ pub fn balance_series(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::categories::AddressDirectory;
     use fistful_core::testutil::TestChain;
 
     #[test]

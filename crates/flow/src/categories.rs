@@ -2,11 +2,43 @@
 //!
 //! Flow analysis needs to answer "who received this output?". The paper
 //! answers via cluster naming; the simulator can also answer from ground
-//! truth. [`AddressDirectory`] abstracts both.
+//! truth; a serving deployment answers from a frozen
+//! [`ClusterSnapshot`]. The [`ServiceResolver`] trait abstracts all three,
+//! so the balance/theft/track entry points run unchanged against a live
+//! [`AddressDirectory`] or a reloaded snapshot artifact.
 
 use fistful_chain::resolve::AddressId;
 use fistful_core::cluster::Clustering;
 use fistful_core::naming::NamingReport;
+use fistful_core::snapshot::ClusterSnapshot;
+
+/// Anything that can resolve an address to a service name and category.
+///
+/// Implemented by [`AddressDirectory`] (dense per-address tables built from
+/// naming or ground truth) and by [`ClusterSnapshot`] (two array reads into
+/// the frozen artifact). Every flow entry point that needs attribution —
+/// [`balance_series`](crate::balance::balance_series),
+/// [`track_theft`](crate::theft::track_theft),
+/// [`service_arrivals`](crate::track::service_arrivals) — takes
+/// `&impl ServiceResolver`, so a decoded snapshot can be queried directly
+/// without rebuilding any per-address table.
+pub trait ServiceResolver {
+    /// The service name an address resolves to, if any.
+    fn service(&self, addr: AddressId) -> Option<&str>;
+
+    /// The category an address resolves to, if any.
+    fn category(&self, addr: AddressId) -> Option<&str>;
+}
+
+impl ServiceResolver for ClusterSnapshot {
+    fn service(&self, addr: AddressId) -> Option<&str> {
+        self.service_of(addr)
+    }
+
+    fn category(&self, addr: AddressId) -> Option<&str> {
+        self.category_of(addr)
+    }
+}
 
 /// Per-address service name and category, resolved once up front.
 #[derive(Debug, Clone, Default)]
@@ -26,8 +58,27 @@ impl AddressDirectory {
         };
         for (addr, &cluster) in clustering.assignment.iter().enumerate() {
             if let Some(name) = names.names.get(&cluster) {
-                dir.service[addr] = Some(name.clone());
+                dir.service[addr] = Some(name.to_string());
                 dir.category[addr] = names.categories.get(&cluster).cloned();
+            }
+        }
+        dir
+    }
+
+    /// Materializes a dense directory from a frozen snapshot. Prefer
+    /// passing the snapshot itself to the flow entry points (it implements
+    /// [`ServiceResolver`]); this copy is for callers that need an owned
+    /// per-address table.
+    pub fn from_snapshot(snapshot: &ClusterSnapshot) -> AddressDirectory {
+        let n = snapshot.address_count();
+        let mut dir = AddressDirectory {
+            service: vec![None; n],
+            category: vec![None; n],
+        };
+        for addr in 0..n as AddressId {
+            if let Some(info) = snapshot.info_of_address(addr) {
+                dir.service[addr as usize] = info.name.clone();
+                dir.category[addr as usize] = info.category.clone();
             }
         }
         dir
@@ -66,9 +117,23 @@ impl AddressDirectory {
     }
 }
 
+impl ServiceResolver for AddressDirectory {
+    fn service(&self, addr: AddressId) -> Option<&str> {
+        AddressDirectory::service(self, addr)
+    }
+
+    fn category(&self, addr: AddressId) -> Option<&str> {
+        AddressDirectory::category(self, addr)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fistful_core::cluster::Clusterer;
+    use fistful_core::naming::name_clusters;
+    use fistful_core::tagdb::{Tag, TagDb, TagSource};
+    use fistful_core::testutil::TestChain;
 
     #[test]
     fn from_pairs_lookup() {
@@ -83,5 +148,37 @@ mod tests {
         assert_eq!(dir.len(), 2);
         // Out of range is None, not a panic.
         assert_eq!(dir.service(99), None);
+    }
+
+    #[test]
+    fn snapshot_resolves_like_the_directory_it_froze() {
+        let mut t = TestChain::new();
+        let cb1 = t.coinbase(1, 50);
+        let cb2 = t.coinbase(2, 50);
+        t.tx(&[(cb1, 0), (cb2, 0)], &[(3, 100)]);
+        let clustering = Clusterer::h1_only().run(&t.chain);
+        let mut db = TagDb::new();
+        db.add(Tag {
+            address: t.id(1),
+            service: "Mt. Gox".into(),
+            category: "exchange".into(),
+            source: TagSource::OwnTransaction,
+        });
+        let names = name_clusters(&clustering, &db);
+        let snapshot = ClusterSnapshot::build(&t.chain, &clustering, &names);
+        let from_naming = AddressDirectory::from_naming(&clustering, &names);
+        let from_snapshot = AddressDirectory::from_snapshot(&snapshot);
+
+        for addr in 0..t.chain.address_count() as AddressId {
+            // The snapshot as a resolver, the materialized copy, and the
+            // naming-built directory all agree.
+            assert_eq!(ServiceResolver::service(&snapshot, addr), from_naming.service(addr));
+            assert_eq!(from_snapshot.service(addr), from_naming.service(addr));
+            assert_eq!(ServiceResolver::category(&snapshot, addr), from_naming.category(addr));
+            assert_eq!(from_snapshot.category(addr), from_naming.category(addr));
+        }
+        // The co-spending cluster {1,2} carries the tag; 3 is unnamed.
+        assert_eq!(ServiceResolver::service(&snapshot, t.id(2)), Some("Mt. Gox"));
+        assert_eq!(ServiceResolver::service(&snapshot, t.id(3)), None);
     }
 }

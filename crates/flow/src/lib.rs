@@ -13,7 +13,14 @@
 //! * [`balance`] — per-category balance time series as a percentage of
 //!   active (non-sink) bitcoins (Figure 2);
 //! * [`categories`] — address → category/service resolution, either from
-//!   cluster naming (as the paper had to) or from simulator ground truth.
+//!   cluster naming (as the paper had to), from simulator ground truth, or
+//!   from a frozen
+//!   [`ClusterSnapshot`](fistful_core::snapshot::ClusterSnapshot)
+//!   (the [`categories::ServiceResolver`] trait abstracts all three, so
+//!   every entry point here runs against the reloaded artifact without
+//!   replaying the chain).
+
+#![warn(missing_docs)]
 
 pub mod balance;
 pub mod categories;
@@ -23,7 +30,7 @@ pub mod theft;
 pub mod track;
 
 pub use balance::{balance_series, BalancePoint};
-pub use categories::AddressDirectory;
+pub use categories::{AddressDirectory, ServiceResolver};
 pub use movement::{classify_movements, MovementKind};
 pub use peel::{follow_chain, FollowStrategy, Hop, PeelChain};
 pub use theft::{track_theft, TheftTrace};

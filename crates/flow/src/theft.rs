@@ -5,7 +5,7 @@
 //! module derives all three from the chain, the loot outputs, and an
 //! address directory.
 
-use crate::categories::AddressDirectory;
+use crate::categories::ServiceResolver;
 use crate::movement::{classify_movements, pattern_string, TaintedTx};
 use fistful_chain::amount::Amount;
 use fistful_chain::resolve::{ResolvedChain, TxId};
@@ -35,11 +35,15 @@ impl TheftTrace {
 }
 
 /// Tracks a theft from its loot outputs (`(tx, vout)` pairs).
+///
+/// `directory` is any [`ServiceResolver`] — a live
+/// [`AddressDirectory`](crate::categories::AddressDirectory) or a frozen
+/// [`ClusterSnapshot`](fistful_core::snapshot::ClusterSnapshot).
 pub fn track_theft(
     chain: &ResolvedChain,
     loot: &[(TxId, u32)],
     labels: &ChangeLabels,
-    directory: &AddressDirectory,
+    directory: &impl ServiceResolver,
     max_txs: usize,
 ) -> TheftTrace {
     let movements = classify_movements(chain, loot, labels, max_txs);
@@ -80,6 +84,7 @@ pub fn track_theft(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::categories::AddressDirectory;
     use fistful_core::change::{identify, ChangeConfig};
     use fistful_core::testutil::TestChain;
 

@@ -1,6 +1,6 @@
 //! Attributing peels to named services — the machinery behind Table 2.
 
-use crate::categories::AddressDirectory;
+use crate::categories::ServiceResolver;
 use crate::peel::PeelChain;
 use fistful_chain::amount::Amount;
 use std::collections::BTreeMap;
@@ -33,10 +33,16 @@ impl ArrivalRow {
 
 /// Summarizes where the peels of several chains went, per service.
 ///
+/// `directory` is any [`ServiceResolver`] — a live
+/// [`AddressDirectory`](crate::categories::AddressDirectory) or a frozen
+/// [`ClusterSnapshot`](fistful_core::snapshot::ClusterSnapshot).
 /// Unattributed peels (addresses with no resolved service) are not listed —
 /// exactly like the paper, which could only report flows to *known*
 /// services.
-pub fn service_arrivals(chains: &[PeelChain], directory: &AddressDirectory) -> Vec<ArrivalRow> {
+pub fn service_arrivals(
+    chains: &[PeelChain],
+    directory: &impl ServiceResolver,
+) -> Vec<ArrivalRow> {
     let mut rows: BTreeMap<String, ArrivalRow> = BTreeMap::new();
     for (ci, chain) in chains.iter().enumerate() {
         for hop in &chain.hops {
@@ -91,6 +97,7 @@ pub fn category_share(rows: &[ArrivalRow], category: &str) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::categories::AddressDirectory;
     use crate::peel::{Hop, StopReason};
 
     fn chain_with_peels(peels: Vec<Vec<(u32, u64)>>) -> PeelChain {

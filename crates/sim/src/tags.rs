@@ -1,5 +1,6 @@
 //! Tag generation: converting probe observations and synthetic public tags
-//! into a [`TagDb`]-compatible list.
+//! into a list compatible with `fistful_core`'s `TagDb` (the sim crate
+//! cannot link it: core depends the other way).
 //!
 //! Mirrors §3 of the paper: the researcher's own transactions yield
 //! high-confidence tags (§3.1); `blockchain.info/tags`-style self-submitted

@@ -272,6 +272,73 @@ proptest! {
     }
 }
 
+// ---------- snapshot wire format ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Encode → decode of a snapshot built from an arbitrary chain, an
+    /// arbitrary H2 configuration, and arbitrary tags is lossless, and any
+    /// single-byte corruption of the frame is rejected with a typed error.
+    #[test]
+    fn snapshot_encoding_round_trips(
+        seed in any::<u64>(),
+        txs in 20usize..100,
+        with_h2 in any::<bool>(),
+        tags in proptest::collection::vec((any::<u32>(), 0usize..4), 0..12),
+        flip in (any::<usize>(), 1u8..=255),
+    ) {
+        use fistful::core::cluster::Clusterer;
+        use fistful::core::naming::name_clusters;
+        use fistful::core::snapshot::ClusterSnapshot;
+        use fistful::core::tagdb::{Tag, TagDb, TagSource};
+
+        let t = random_chain(seed, txs);
+        let chain = &t.chain;
+        let clusterer = if with_h2 {
+            Clusterer::with_h2(ChangeConfig::naive())
+        } else {
+            Clusterer::h1_only()
+        };
+        let clustering = clusterer.run(chain);
+
+        // Arbitrary tags over the address space (some may repeat).
+        const SERVICES: [(&str, &str); 4] = [
+            ("Mt. Gox", "exchange"),
+            ("Silk Road", "vendor"),
+            ("Satoshi Dice", "gambling"),
+            ("Instawallet", "wallet"),
+        ];
+        let mut db = TagDb::new();
+        for (addr, which) in tags {
+            let n = chain.address_count() as u32;
+            if n == 0 { continue }
+            let (service, category) = SERVICES[which % SERVICES.len()];
+            db.add(Tag {
+                address: addr % n,
+                service: service.into(),
+                category: category.into(),
+                source: TagSource::OwnTransaction,
+            });
+        }
+        let names = name_clusters(&clustering, &db);
+        let snapshot = ClusterSnapshot::build(chain, &clustering, &names);
+
+        // Canonical-decode round trip: lossless and byte-stable.
+        let bytes = snapshot.to_bytes();
+        let decoded = ClusterSnapshot::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&decoded, &snapshot);
+        prop_assert_eq!(decoded.to_bytes(), bytes.clone());
+
+        // Any single-byte change anywhere in the frame must be rejected
+        // (magic, version, length, payload, or checksum — all covered).
+        let (pos, xor) = flip;
+        let mut bad = bytes.clone();
+        bad[pos % bytes.len()] ^= xor;
+        prop_assert!(ClusterSnapshot::from_bytes(&bad).is_err());
+    }
+}
+
 // ---------- heuristic safety on simulated economies ----------
 
 proptest! {
