@@ -1,0 +1,195 @@
+//! Experiment `graph`: the columnar transaction-graph index.
+//!
+//! Three claims under test:
+//!
+//! 1. **Build is a one-time chain-scan cost.** `TxGraph::build` is one
+//!    pass over the resolved chain into flat arrays; it should cost on the
+//!    order of a plain full scan of the same data — pay it once, then
+//!    every traversal below runs on the index.
+//! 2. **Indexed traversal beats per-hop resolution.** Following peeling
+//!    chains over the flat arrays should beat the legacy walk that
+//!    re-resolves each hop through `ResolvedChain`'s per-tx `Vec`s.
+//! 3. **Batch multi-theft taint beats sequential legacy re-walks.** Batch
+//!    tracking of all scripted thefts over one shared graph (sparse
+//!    flat-id frontiers, per-worker reusable scratch, 1/2/4/8 worker
+//!    threads) versus the legacy one-theft-at-a-time `HashSet` walk, at
+//!    the default and paper scales. The single-worker number isolates the
+//!    per-hop win of the index itself; the thread sweep shows how the
+//!    engine scales on multi-core hosts (on a single-core container,
+//!    counts above 1 only measure thread-spawn overhead — multiply the
+//!    single-worker speedup by the worker count for the expected
+//!    steady-state ratio on real hardware).
+//!
+//! The differential tests (`tests/graph.rs`, `tests/properties.rs`) prove
+//! the compared paths produce byte-identical analysis output, so these
+//! numbers compare like with like.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fistful_bench::{silk_road_starts, theft_loots, Workbench};
+use fistful_core::change::{self, ChangeLabels};
+use fistful_flow::graph::TxGraph;
+use fistful_flow::{
+    follow_chain, follow_chains_indexed, track_theft, track_thefts_batch, FollowStrategy,
+};
+use fistful_sim::SimConfig;
+use std::sync::OnceLock;
+
+/// Everything a scale's benchmarks share, prepared once.
+struct Prepared {
+    wb: Workbench,
+    labels: ChangeLabels,
+    graph: TxGraph,
+    loots: Vec<Vec<(u32, u32)>>,
+}
+
+impl Prepared {
+    fn build(cfg: SimConfig) -> Prepared {
+        let wb = Workbench::build(cfg);
+        let chain = wb.eco.chain.resolved();
+        let labels = change::identify(chain, &wb.refined_config());
+        let graph = TxGraph::build(chain);
+        let loots = theft_loots(chain, &wb.eco.script_report.thefts)
+            .into_iter()
+            .map(|(_, loot)| loot)
+            .collect();
+        Prepared { wb, labels, graph, loots }
+    }
+}
+
+fn default_scale() -> &'static Prepared {
+    static P: OnceLock<Prepared> = OnceLock::new();
+    P.get_or_init(|| Prepared::build(SimConfig::default()))
+}
+
+/// The paper-style scale, where re-walk costs are unmissable.
+fn paper_scale() -> &'static Prepared {
+    static P: OnceLock<Prepared> = OnceLock::new();
+    P.get_or_init(|| Prepared::build(SimConfig::paper_scale()))
+}
+
+/// Taint-walk bound, matching `repro tab3` / `repro taint`.
+const MAX_TXS: usize = 5_000;
+
+/// Claim 1: index construction versus a plain full scan of the same chain
+/// (the cost any single uncached traversal pass already pays).
+fn bench_build(c: &mut Criterion) {
+    let p = default_scale();
+    let chain = p.wb.eco.chain.resolved();
+    let mut g = c.benchmark_group("graph/build");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(chain.tx_count() as u64));
+    g.bench_function("chain_scan_baseline", |b| {
+        b.iter(|| {
+            // One pass touching every input and output, the way any
+            // uncached analysis query must.
+            let mut acc = 0u64;
+            for tx in &chain.txs {
+                for o in &tx.outputs {
+                    acc = acc.wrapping_add(o.value.to_sat()).wrapping_add(o.address as u64);
+                }
+                for i in &tx.inputs {
+                    acc = acc.wrapping_add(i.prev_tx as u64);
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    for threads in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::new("build", threads),
+            &threads,
+            |b, &threads| b.iter(|| std::hint::black_box(TxGraph::build_with_threads(chain, threads))),
+        );
+    }
+    g.finish();
+}
+
+/// Claim 2: peeling-chain traversal, legacy per-hop resolution versus the
+/// flat index, over the Silk Road dissolution chains plus a stride sample
+/// of start transactions.
+fn bench_peel(c: &mut Criterion) {
+    let p = default_scale();
+    let chain = p.wb.eco.chain.resolved();
+    let mut starts = p
+        .wb
+        .eco
+        .script_report
+        .silk_road
+        .as_ref()
+        .map(|sr| silk_road_starts(chain, sr))
+        .unwrap_or_default();
+    // Pad with a deterministic stride sample so the measurement covers
+    // ordinary chains too, not just the scripted dissolution.
+    let stride = (chain.tx_count() / 61).max(1);
+    starts.extend((0..chain.tx_count() as u32).step_by(stride).take(61));
+    let starts = &starts;
+
+    let mut g = c.benchmark_group("graph/peel");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(starts.len() as u64));
+    g.bench_function("legacy_per_hop", |b| {
+        b.iter(|| {
+            let total: usize = starts
+                .iter()
+                .map(|&s| {
+                    follow_chain(chain, &p.labels, s, 100, FollowStrategy::LargestFallback)
+                        .hops
+                        .len()
+                })
+                .sum();
+            std::hint::black_box(total)
+        })
+    });
+    g.bench_function("indexed", |b| {
+        b.iter(|| {
+            let chains = follow_chains_indexed(
+                &p.graph,
+                &p.labels,
+                starts,
+                100,
+                FollowStrategy::LargestFallback,
+            );
+            std::hint::black_box(chains.iter().map(|c| c.hops.len()).sum::<usize>())
+        })
+    });
+    g.finish();
+}
+
+/// Claim 3: batch multi-theft taint over the index versus sequential
+/// legacy re-walks, at the default and paper scales.
+fn bench_taint(c: &mut Criterion) {
+    for (scale, p) in [("default", default_scale()), ("paper", paper_scale())] {
+        let chain = p.wb.eco.chain.resolved();
+        let snapshot = p.wb.snapshot();
+        let mut g = c.benchmark_group(format!("graph/taint/{scale}"));
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(p.loots.len() as u64));
+        g.bench_function("legacy_sequential", |b| {
+            b.iter(|| {
+                let traces: Vec<_> = p
+                    .loots
+                    .iter()
+                    .map(|loot| track_theft(chain, loot, &p.labels, &snapshot, MAX_TXS))
+                    .collect();
+                std::hint::black_box(traces)
+            })
+        });
+        for threads in [1usize, 2, 4, 8] {
+            g.bench_with_input(
+                BenchmarkId::new("batch_indexed", threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        std::hint::black_box(track_thefts_batch(
+                            &p.graph, &p.loots, &p.labels, &snapshot, MAX_TXS, threads,
+                        ))
+                    })
+                },
+            );
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_build, bench_peel, bench_taint);
+criterion_main!(benches);

@@ -1,5 +1,6 @@
-//! `repro` — regenerates every table and figure of the paper, and writes /
-//! serves frozen cluster snapshots.
+//! `repro` — regenerates every table and figure of the paper, writes /
+//! serves frozen cluster snapshots, and batch-tracks thefts over the
+//! transaction-graph index.
 //!
 //! Usage: `repro [--scale tiny|default|paper] [experiment...]`
 //! where each `experiment` is one of `fig1 tab1 h1 fp super h2 fig2 tab2
@@ -7,17 +8,23 @@
 //! alone. `repro snapshot save <file>` clusters the simulated economy once
 //! and writes the [`ClusterSnapshot`] artifact; `repro snapshot query
 //! <file>` reloads it and answers address → cluster lookups without
-//! replaying the chain. Parsing lives in [`fistful_bench::cli`].
+//! replaying the chain. `repro taint` builds the columnar
+//! [`TxGraph`] once and tracks the scripted thefts concurrently over it,
+//! cross-checking the batch result against the legacy per-theft walk.
+//! Parsing lives in [`fistful_bench::cli`].
 
 use fistful_bench::cli::{self, CliOutcome, Command, RunPlan};
-use fistful_bench::{btc_round, Workbench};
+use fistful_bench::{btc_round, silk_road_starts, theft_loots, Workbench};
 use fistful_chain::amount::Amount;
 use fistful_core::change::{self, ChangeConfig, BLOCKS_PER_DAY, BLOCKS_PER_WEEK};
 use fistful_core::fp;
 use fistful_core::metrics::{amplification, score_change_labels, score_clustering};
 use fistful_core::naming::name_clusters;
 use fistful_core::snapshot::ClusterSnapshot;
-use fistful_flow::{balance_series, follow_chain, service_arrivals, track_theft, FollowStrategy};
+use fistful_flow::graph::TxGraph;
+use fistful_flow::{
+    balance_series, service_arrivals_indexed, track_theft, track_thefts_batch, FollowStrategy,
+};
 use fistful_net::{Network, NetworkConfig};
 use fistful_sim::{Category, SimConfig};
 
@@ -38,6 +45,9 @@ fn main() {
         Command::Run(plan) => run_experiments(&plan),
         Command::SnapshotSave { scale, path } => snapshot_save(&scale, &path),
         Command::SnapshotQuery { path, addresses, top } => snapshot_query(&path, &addresses, top),
+        Command::Taint { scale, thefts, threads, max_txs } => {
+            taint(&scale, &thefts, threads, max_txs)
+        }
     }
 }
 
@@ -73,6 +83,12 @@ fn run_experiments(plan: &RunPlan) {
             wb.eco.chain.resolved().tx_count(),
             wb.eco.chain.resolved().address_count()
         );
+        // The graph-backed experiments share one index, built once.
+        let graph = plan
+            .experiments
+            .iter()
+            .any(|e| e == "tab2" || e == "tab3")
+            .then(|| TxGraph::build(wb.eco.chain.resolved()));
         for exp in &plan.experiments {
             match exp.as_str() {
                 "fig1" => {} // already ran, economy-free
@@ -82,8 +98,8 @@ fn run_experiments(plan: &RunPlan) {
                 "super" => super_cluster(&wb),
                 "h2" => h2_stats(&wb),
                 "fig2" => fig2(&wb),
-                "tab2" => tab2(&wb),
-                "tab3" => tab3(&wb),
+                "tab2" => tab2(&wb, graph.as_ref().expect("graph built for tab2")),
+                "tab3" => tab3(&wb, graph.as_ref().expect("graph built for tab3")),
                 other => unreachable!("cli::parse admitted unknown experiment `{other}`"),
             }
         }
@@ -187,6 +203,103 @@ fn snapshot_query(path: &str, addresses: &[u32], top: usize) {
             ),
         }
     }
+}
+
+/// `taint`: the batch multi-theft engine over the transaction-graph index,
+/// cross-checked against (and timed versus) the legacy per-theft walks.
+fn taint(scale: &str, names: &[String], threads: usize, max_txs: usize) {
+    let cfg = sim_config(scale);
+    eprintln!(
+        "# building economy (scale={scale}, blocks={}, users={}) ...",
+        cfg.blocks, cfg.users
+    );
+    let wb = Workbench::build(cfg);
+    let chain = wb.eco.chain.resolved();
+    let labels = change::identify(chain, &wb.refined_config());
+    let snapshot = wb.snapshot();
+
+    // Select the scripted thefts, by name when asked.
+    let mut cases = theft_loots(chain, &wb.eco.script_report.thefts);
+    if !names.is_empty() {
+        for want in names {
+            if !cases.iter().any(|(name, _)| name == want) {
+                let known: Vec<&str> = cases.iter().map(|(n, _)| n.as_str()).collect();
+                eprintln!("repro: unknown theft `{want}` (known: {})", known.join(", "));
+                std::process::exit(2);
+            }
+        }
+        cases.retain(|(name, _)| names.iter().any(|w| w == name));
+    }
+    if cases.is_empty() {
+        eprintln!("repro: no scripted thefts on this chain (scale too small?)");
+        std::process::exit(1);
+    }
+
+    let t0 = std::time::Instant::now();
+    let graph = TxGraph::build(chain);
+    let built = t0.elapsed();
+    assert!(
+        snapshot.pairs_with_chain(graph.address_count(), graph.tx_count() as u64),
+        "snapshot and graph describe different chains"
+    );
+    println!(
+        "graph: {} txs, {} outputs, {} inputs, built in {built:.1?}",
+        graph.tx_count(),
+        graph.output_count(),
+        graph.input_count()
+    );
+
+    let workers = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    let loots: Vec<Vec<(u32, u32)>> = cases.iter().map(|(_, loot)| loot.clone()).collect();
+
+    // Warm both paths once (first touches page in each structure cold),
+    // then time the steady state the serving workload actually runs in.
+    let legacy_walk = || -> Vec<_> {
+        loots
+            .iter()
+            .map(|loot| track_theft(chain, loot, &labels, &snapshot, max_txs))
+            .collect()
+    };
+    let traces = track_thefts_batch(&graph, &loots, &labels, &snapshot, max_txs, workers);
+    let warm = legacy_walk();
+    assert_eq!(traces, warm, "batch and legacy traces diverged");
+
+    let t1 = std::time::Instant::now();
+    let traces = track_thefts_batch(&graph, &loots, &labels, &snapshot, max_txs, workers);
+    let batch = t1.elapsed();
+    let t2 = std::time::Instant::now();
+    let legacy = legacy_walk();
+    let sequential = t2.elapsed();
+    assert_eq!(traces, legacy, "batch and legacy traces diverged");
+
+    println!(
+        "{:<18} {:>6} {:<12} {:>14} {:>10}",
+        "Theft", "Txs", "Pattern", "Exchanges?", "Dormant"
+    );
+    for ((name, _), trace) in cases.iter().zip(&traces) {
+        println!(
+            "{:<18} {:>6} {:<12} {:>14} {:>10}",
+            name,
+            trace.movements.len(),
+            if trace.pattern.is_empty() { "-" } else { &trace.pattern },
+            if trace.reached_exchange() {
+                format!("Yes ({:.1} BTC)", trace.to_exchanges.to_btc())
+            } else {
+                "No".to_string()
+            },
+            btc_round(trace.dormant)
+        );
+    }
+    println!(
+        "tracked {} thefts: batch over index ({workers} threads) {batch:.1?} vs legacy \
+         sequential {sequential:.1?} ({:.1}x); results identical",
+        cases.len(),
+        sequential.as_secs_f64() / batch.as_secs_f64().max(1e-9)
+    );
 }
 
 /// Figure 1: how a transaction propagates, gets mined, and settles.
@@ -472,7 +585,7 @@ fn fig2(wb: &Workbench) {
 }
 
 /// Table 2: tracking the Silk Road dissolution along three peeling chains.
-fn tab2(wb: &Workbench) {
+fn tab2(wb: &Workbench, graph: &TxGraph) {
     println!("\n== Table 2: tracking the 1DkyBEKt (Silk Road) dissolution ==");
     let Some(sr) = &wb.eco.script_report.silk_road else {
         println!("(Silk Road script disabled)");
@@ -493,12 +606,16 @@ fn tab2(wb: &Workbench) {
     let labels = change::identify(chain, &wb.refined_config());
     let snapshot = wb.snapshot();
 
-    let chains: Vec<_> = sr
-        .chain_first_hops
-        .iter()
-        .filter_map(|txid| chain.tx_by_txid(txid).map(|(id, _)| id))
-        .map(|start| follow_chain(chain, &labels, start, 100, FollowStrategy::LargestFallback))
-        .collect();
+    // Follow all three dissolution chains over the shared columnar index.
+    let starts = silk_road_starts(chain, sr);
+    let (chains, rows) = service_arrivals_indexed(
+        graph,
+        &labels,
+        &starts,
+        100,
+        FollowStrategy::LargestFallback,
+        &snapshot,
+    );
     for (i, c) in chains.iter().enumerate() {
         println!(
             "chain {}: {} hops followed ({} via fallback), {} peeled",
@@ -508,8 +625,6 @@ fn tab2(wb: &Workbench) {
             c.total_peeled()
         );
     }
-
-    let rows = service_arrivals(&chains, &snapshot);
     println!(
         "{:<20} {:>6} {:>8} {:>6} {:>8} {:>6} {:>8}",
         "Service", "P1", "BTC1", "P2", "BTC2", "P3", "BTC3"
@@ -541,35 +656,30 @@ fn tab2(wb: &Workbench) {
 }
 
 /// Table 3: tracking thefts.
-fn tab3(wb: &Workbench) {
+fn tab3(wb: &Workbench, graph: &TxGraph) {
     println!("\n== Table 3: tracking thefts ==");
     let chain = wb.eco.chain.resolved();
     let labels = change::identify(chain, &wb.refined_config());
     let snapshot = wb.snapshot();
+
+    // All thefts tracked in one batch over the shared graph index.
+    let cases = theft_loots(chain, &wb.eco.script_report.thefts);
+    let loots: Vec<Vec<(u32, u32)>> = cases.iter().map(|(_, loot)| loot.clone()).collect();
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let traces = track_thefts_batch(graph, &loots, &labels, &snapshot, 5_000, threads);
+
     println!(
         "{:<18} {:>10} {:>8} {:<10} {:<10} {:>14}",
         "Theft", "BTC", "Height", "Scripted", "Observed", "Exchanges?"
     );
-    for theft in &wb.eco.script_report.thefts {
-        let loot_ids: Vec<u32> = theft
-            .loot_addresses
+    for ((name, _), trace) in cases.iter().zip(&traces) {
+        let theft = wb
+            .eco
+            .script_report
+            .thefts
             .iter()
-            .filter_map(|a| chain.address_id(a))
-            .collect();
-        // The loot outputs: outputs of the theft txs paying loot addresses.
-        let mut loot: Vec<(u32, u32)> = Vec::new();
-        for txid in &theft.theft_txids {
-            let Some((t, rtx)) = chain.tx_by_txid(txid) else { continue };
-            for (v, o) in rtx.outputs.iter().enumerate() {
-                if loot_ids.contains(&o.address) {
-                    loot.push((t, v as u32));
-                }
-            }
-        }
-        if loot.is_empty() {
-            continue;
-        }
-        let trace = track_theft(chain, &loot, &labels, &snapshot, 5_000);
+            .find(|t| &t.name == name)
+            .expect("case name from report");
         println!(
             "{:<18} {:>10} {:>8} {:<10} {:<10} {:>14}",
             theft.name,

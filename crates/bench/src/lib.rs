@@ -105,6 +105,50 @@ pub fn btc_round(amount: fistful_chain::amount::Amount) -> u64 {
     (amount.to_sat() + 50_000_000) / 100_000_000
 }
 
+/// Resolves each scripted theft's loot outputs to `(name, [(tx, vout)])`
+/// pairs — the input shape of the batch taint engine. Thefts whose loot
+/// cannot be located on the chain (script disabled at tiny scales) are
+/// omitted. Shared by `repro tab3`, `repro taint`, and `bench_graph`.
+pub fn theft_loots(
+    chain: &fistful_chain::resolve::ResolvedChain,
+    thefts: &[fistful_sim::scripts::TheftReport],
+) -> Vec<(String, Vec<(fistful_chain::resolve::TxId, u32)>)> {
+    let mut out = Vec::new();
+    for theft in thefts {
+        let loot_ids: Vec<AddressId> = theft
+            .loot_addresses
+            .iter()
+            .filter_map(|a| chain.address_id(a))
+            .collect();
+        let mut loot = Vec::new();
+        for txid in &theft.theft_txids {
+            let Some((t, rtx)) = chain.tx_by_txid(txid) else { continue };
+            for (v, o) in rtx.outputs.iter().enumerate() {
+                if loot_ids.contains(&o.address) {
+                    loot.push((t, v as u32));
+                }
+            }
+        }
+        if !loot.is_empty() {
+            out.push((theft.name.clone(), loot));
+        }
+    }
+    out
+}
+
+/// Resolves the Silk Road dissolution's peeling-chain first hops to
+/// transaction ids — the start set for Table 2's multi-chain traversal.
+pub fn silk_road_starts(
+    chain: &fistful_chain::resolve::ResolvedChain,
+    report: &fistful_sim::scripts::SilkRoadReport,
+) -> Vec<fistful_chain::resolve::TxId> {
+    report
+        .chain_first_hops
+        .iter()
+        .filter_map(|txid| chain.tx_by_txid(txid).map(|(id, _)| id))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -25,6 +25,8 @@
 //! assert_eq!(chain.height(), Some(0));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod address;
 pub mod amount;
 pub mod block;

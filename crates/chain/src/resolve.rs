@@ -221,6 +221,26 @@ impl ResolvedChain {
         &self.spent_in[addr as usize]
     }
 
+    /// The last transaction (chain order) in which `addr` spent an input,
+    /// or `None` if the address has never spent. O(1): the per-address
+    /// event lists are height-sorted, so the last entry is the maximum.
+    pub fn last_spent_in(&self, addr: AddressId) -> Option<TxId> {
+        self.spent_in[addr as usize].last().copied()
+    }
+
+    /// Total number of transaction outputs across the whole chain — the
+    /// length of the flat output arrays a columnar index over this chain
+    /// needs (see `fistful_flow::graph::TxGraph`).
+    pub fn total_output_count(&self) -> usize {
+        self.txs.iter().map(|t| t.outputs.len()).sum()
+    }
+
+    /// Total number of transaction inputs across the whole chain
+    /// (coinbases contribute zero).
+    pub fn total_input_count(&self) -> usize {
+        self.txs.iter().map(|t| t.inputs.len()).sum()
+    }
+
     /// True if `addr` never spent any output ("sink" address in the paper's
     /// terminology).
     pub fn is_sink(&self, addr: AddressId) -> bool {

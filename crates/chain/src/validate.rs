@@ -24,11 +24,24 @@ pub enum ValidationError {
     /// An input spends an outpoint not in the UTXO set.
     MissingInput(OutPoint),
     /// Inputs are worth less than outputs.
-    InsufficientInputValue { inputs: Amount, outputs: Amount },
+    InsufficientInputValue {
+        /// Total value of the spent inputs.
+        inputs: Amount,
+        /// Total value of the created outputs.
+        outputs: Amount,
+    },
     /// A coinbase output is spent before maturity.
-    ImmatureCoinbaseSpend { created: u64, spent: u64 },
+    ImmatureCoinbaseSpend {
+        /// Height at which the coinbase was created.
+        created: u64,
+        /// Height at which the spend was attempted.
+        spent: u64,
+    },
     /// An ECDSA witness failed verification.
-    BadSignature { input_index: usize },
+    BadSignature {
+        /// Index of the offending input within the transaction.
+        input_index: usize,
+    },
     /// The block has no transactions.
     EmptyBlock,
     /// The first transaction is not a coinbase.
@@ -40,9 +53,19 @@ pub enum ValidationError {
     /// The block hash misses the proof-of-work target.
     BadProofOfWork,
     /// The header does not connect to the current tip.
-    BadPrevHash { expected: Hash256, got: Hash256 },
+    BadPrevHash {
+        /// The tip hash the header was required to reference.
+        expected: Hash256,
+        /// The previous-block hash the header actually carried.
+        got: Hash256,
+    },
     /// The coinbase claims more than subsidy + fees.
-    ExcessiveCoinbase { claimed: Amount, allowed: Amount },
+    ExcessiveCoinbase {
+        /// Value the coinbase outputs claimed.
+        claimed: Amount,
+        /// Maximum allowed: block subsidy plus collected fees.
+        allowed: Amount,
+    },
     /// Two transactions in the same block spend the same outpoint.
     DoubleSpendInBlock(OutPoint),
 }

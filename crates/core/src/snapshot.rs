@@ -292,6 +292,21 @@ impl ClusterSnapshot {
         self.assignment.get(addr as usize).copied()
     }
 
+    /// True if this snapshot's dimensions match an index with the given
+    /// address and transaction counts — the cheap sanity check run before
+    /// pairing the frozen resolver with a transaction-graph index built
+    /// from the same [`ResolvedChain`] (`fistful_flow::graph::TxGraph`
+    /// exposes matching `address_count()` / `tx_count()` accessors).
+    ///
+    /// This is a dimension check, not a content fingerprint: two
+    /// different chains can coincidentally agree on both counts, so it
+    /// reliably *rejects* mismatched artifacts but cannot *prove*
+    /// provenance. Pair artifacts you derived from the same chain; use
+    /// this to catch wiring mistakes early.
+    pub fn pairs_with_chain(&self, address_count: usize, tx_count: u64) -> bool {
+        self.address_count() == address_count && self.tx_count() == tx_count
+    }
+
     /// Aggregates of cluster `cluster`, if it exists.
     pub fn info(&self, cluster: u32) -> Option<&ClusterInfo> {
         self.clusters.get(cluster as usize)
@@ -495,6 +510,19 @@ mod tests {
         let names = name_clusters(&clustering, &db);
         let snap = ClusterSnapshot::build(&t.chain, &clustering, &names);
         (t, snap)
+    }
+
+    #[test]
+    fn pairs_with_chain_checks_both_dimensions() {
+        let (t, snap) = snapshot_fixture();
+        let addrs = t.chain.address_count();
+        let txs = t.chain.tx_count() as u64;
+        assert!(snap.pairs_with_chain(addrs, txs));
+        // An index over a different chain (more addresses or more
+        // transactions) must be rejected in either dimension.
+        assert!(!snap.pairs_with_chain(addrs + 1, txs));
+        assert!(!snap.pairs_with_chain(addrs, txs + 1));
+        assert!(!snap.pairs_with_chain(0, 0));
     }
 
     #[test]

@@ -30,6 +30,8 @@
 //! assert!(kp.public().verify(&msg, &sig));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod base58;
 pub mod field;
 pub mod hash;

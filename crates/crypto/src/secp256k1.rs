@@ -13,8 +13,11 @@ use crate::u256::U256;
 /// A point on the curve in affine coordinates, or the point at infinity.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Affine {
+    /// The x coordinate (ignored when `infinity` is set).
     pub x: Fe,
+    /// The y coordinate (ignored when `infinity` is set).
     pub y: Fe,
+    /// True for the point at infinity, the group identity.
     pub infinity: bool,
 }
 
@@ -209,7 +212,9 @@ pub fn mul_double(a: &Scalar, q: &Affine, b: &Scalar) -> Affine {
 /// An ECDSA signature `(r, s)`, normalized to low-s.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Signature {
+    /// The x coordinate of the nonce point, reduced mod the group order.
     pub r: Scalar,
+    /// The proof scalar, normalized to the low half of the order.
     pub s: Scalar,
 }
 

@@ -12,12 +12,14 @@ use std::fmt;
 /// significant).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct U256 {
+    /// The four 64-bit limbs, least significant first.
     pub limbs: [u64; 4],
 }
 
 /// A 512-bit unsigned integer, the result of a widening 256×256 multiply.
 #[derive(Clone, Copy, PartialEq, Eq, Default)]
 pub struct U512 {
+    /// The eight 64-bit limbs, least significant first.
     pub limbs: [u64; 8],
 }
 

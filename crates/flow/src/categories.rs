@@ -41,79 +41,152 @@ impl ServiceResolver for ClusterSnapshot {
 }
 
 /// Per-address service name and category, resolved once up front.
+///
+/// The `(service, category)` strings are *interned*: each distinct pair is
+/// stored once in an entry table, and every address carries only a `u32`
+/// slot into it. A directory covering millions of addresses named after a
+/// few thousand clusters therefore holds a few thousand strings, not
+/// millions — and construction from a snapshot or naming report clones one
+/// string pair per *cluster*, never per address. Resolution is two array
+/// reads and never allocates.
 #[derive(Debug, Clone, Default)]
 pub struct AddressDirectory {
-    service: Vec<Option<String>>,
-    category: Vec<Option<String>>,
+    /// Distinct `(service, category)` pairs, in first-interned order.
+    entries: Vec<(Option<String>, Option<String>)>,
+    /// Per address: index into `entries`, or [`UNRESOLVED`].
+    slots: Vec<u32>,
+}
+
+/// Slot value for addresses with neither a service nor a category.
+const UNRESOLVED: u32 = u32::MAX;
+
+/// Interning helper used by the constructors: maps each distinct pair to
+/// its entry slot, creating entries on first sight.
+#[derive(Default)]
+struct Interner {
+    entries: Vec<(Option<String>, Option<String>)>,
+    index: std::collections::HashMap<(Option<String>, Option<String>), u32>,
+}
+
+impl Interner {
+    fn slot(&mut self, pair: (Option<String>, Option<String>)) -> u32 {
+        if pair == (None, None) {
+            return UNRESOLVED;
+        }
+        if let Some(&slot) = self.index.get(&pair) {
+            return slot;
+        }
+        let slot = self.entries.len() as u32;
+        assert!(slot != UNRESOLVED, "entry table full");
+        self.entries.push(pair.clone());
+        self.index.insert(pair, slot);
+        slot
+    }
 }
 
 impl AddressDirectory {
     /// Builds from a clustering plus its naming report — the paper's
-    /// pipeline: an address inherits its cluster's name.
+    /// pipeline: an address inherits its cluster's name. Each named
+    /// cluster's strings are interned once; addresses share the entry.
     pub fn from_naming(clustering: &Clustering, names: &NamingReport) -> AddressDirectory {
-        let n = clustering.assignment.len();
-        let mut dir = AddressDirectory {
-            service: vec![None; n],
-            category: vec![None; n],
-        };
-        for (addr, &cluster) in clustering.assignment.iter().enumerate() {
-            if let Some(name) = names.names.get(&cluster) {
-                dir.service[addr] = Some(name.to_string());
-                dir.category[addr] = names.categories.get(&cluster).cloned();
-            }
-        }
-        dir
+        let mut interner = Interner::default();
+        let mut cluster_slot: std::collections::HashMap<u32, u32> =
+            std::collections::HashMap::new();
+        let slots = clustering
+            .assignment
+            .iter()
+            .map(|&cluster| {
+                *cluster_slot.entry(cluster).or_insert_with(|| {
+                    match names.names.get(&cluster) {
+                        Some(name) => interner.slot((
+                            Some(name.clone()),
+                            names.categories.get(&cluster).cloned(),
+                        )),
+                        None => UNRESOLVED,
+                    }
+                })
+            })
+            .collect();
+        AddressDirectory { entries: interner.entries, slots }
     }
 
     /// Materializes a dense directory from a frozen snapshot. Prefer
     /// passing the snapshot itself to the flow entry points (it implements
     /// [`ServiceResolver`]); this copy is for callers that need an owned
-    /// per-address table.
+    /// per-address table. The snapshot already stores each cluster's
+    /// strings once, and so does the directory: one interned entry per
+    /// distinct named pair, one `u32` per address.
     pub fn from_snapshot(snapshot: &ClusterSnapshot) -> AddressDirectory {
-        let n = snapshot.address_count();
-        let mut dir = AddressDirectory {
-            service: vec![None; n],
-            category: vec![None; n],
-        };
-        for addr in 0..n as AddressId {
-            if let Some(info) = snapshot.info_of_address(addr) {
-                dir.service[addr as usize] = info.name.clone();
-                dir.category[addr as usize] = info.category.clone();
-            }
-        }
-        dir
+        let mut interner = Interner::default();
+        // One slot per cluster, cloned from the snapshot exactly once.
+        let cluster_slots: Vec<u32> = (0..snapshot.cluster_count() as u32)
+            .map(|c| {
+                let info = snapshot.info(c).expect("cluster id in range");
+                interner.slot((info.name.clone(), info.category.clone()))
+            })
+            .collect();
+        let slots = (0..snapshot.address_count() as AddressId)
+            .map(|addr| {
+                snapshot
+                    .cluster_of(addr)
+                    .map_or(UNRESOLVED, |c| cluster_slots[c as usize])
+            })
+            .collect();
+        AddressDirectory { entries: interner.entries, slots }
     }
 
     /// Builds from explicit per-address `(service, category)` pairs
-    /// (e.g. simulator ground truth).
+    /// (e.g. simulator ground truth). Repeated pairs are interned to one
+    /// entry.
     pub fn from_pairs(pairs: Vec<(Option<String>, Option<String>)>) -> AddressDirectory {
-        let (service, category) = pairs.into_iter().unzip();
-        AddressDirectory { service, category }
+        let mut interner = Interner::default();
+        let slots = pairs.into_iter().map(|pair| interner.slot(pair)).collect();
+        AddressDirectory { entries: interner.entries, slots }
     }
 
-    /// The service name an address resolves to, if any.
+    fn entry(&self, addr: AddressId) -> Option<&(Option<String>, Option<String>)> {
+        let slot = *self.slots.get(addr as usize)?;
+        self.entries.get(slot as usize)
+    }
+
+    /// The service name an address resolves to, if any. Two array reads;
+    /// never allocates.
     pub fn service(&self, addr: AddressId) -> Option<&str> {
-        self.service.get(addr as usize)?.as_deref()
+        self.entry(addr)?.0.as_deref()
     }
 
-    /// The category an address resolves to, if any.
+    /// The category an address resolves to, if any. Two array reads; never
+    /// allocates.
     pub fn category(&self, addr: AddressId) -> Option<&str> {
-        self.category.get(addr as usize)?.as_deref()
+        self.entry(addr)?.1.as_deref()
     }
 
     /// Number of addresses covered.
     pub fn len(&self) -> usize {
-        self.service.len()
+        self.slots.len()
     }
 
     /// True if no addresses are covered.
     pub fn is_empty(&self) -> bool {
-        self.service.is_empty()
+        self.slots.is_empty()
     }
 
     /// Count of addresses with a resolved service.
     pub fn resolved_count(&self) -> usize {
-        self.service.iter().filter(|s| s.is_some()).count()
+        self.slots
+            .iter()
+            .filter(|&&s| {
+                self.entries
+                    .get(s as usize)
+                    .is_some_and(|(service, _)| service.is_some())
+            })
+            .count()
+    }
+
+    /// Number of distinct interned `(service, category)` entries — bounded
+    /// by the number of distinct named clusters, not by the address count.
+    pub fn interned_entries(&self) -> usize {
+        self.entries.len()
     }
 }
 
@@ -148,6 +221,60 @@ mod tests {
         assert_eq!(dir.len(), 2);
         // Out of range is None, not a panic.
         assert_eq!(dir.service(99), None);
+    }
+
+    #[test]
+    fn from_pairs_interns_repeated_entries() {
+        let gox = || (Some("Mt. Gox".to_string()), Some("exchange".to_string()));
+        let dir = AddressDirectory::from_pairs(vec![gox(), (None, None), gox(), gox()]);
+        assert_eq!(dir.len(), 4);
+        assert_eq!(dir.resolved_count(), 3);
+        // Three resolved addresses, one stored string pair.
+        assert_eq!(dir.interned_entries(), 1);
+        // All three resolve to the *same allocation*: resolution hands out
+        // borrowed interned strings, it never clones per address or per
+        // call.
+        let a = dir.service(0).unwrap();
+        let b = dir.service(2).unwrap();
+        let c = dir.service(3).unwrap();
+        assert!(std::ptr::eq(a, b) && std::ptr::eq(b, c));
+        assert!(std::ptr::eq(dir.category(0).unwrap(), dir.category(3).unwrap()));
+    }
+
+    #[test]
+    fn from_snapshot_clones_per_cluster_not_per_address() {
+        let mut t = TestChain::new();
+        let cb1 = t.coinbase(1, 50);
+        let cb2 = t.coinbase(2, 50);
+        let cb3 = t.coinbase(3, 50);
+        // H1 cluster {1,2,3} (co-spent inputs): tagged. Addresses 4-9 pad
+        // the address space.
+        t.tx(&[(cb1, 0), (cb2, 0), (cb3, 0)], &[(4, 150)]);
+        for a in 5..10 {
+            t.coinbase(a, 1);
+        }
+        let clustering = Clusterer::h1_only().run(&t.chain);
+        let mut db = TagDb::new();
+        db.add(Tag {
+            address: t.id(1),
+            service: "Mt. Gox".into(),
+            category: "exchange".into(),
+            source: TagSource::OwnTransaction,
+        });
+        let names = name_clusters(&clustering, &db);
+        let snapshot = ClusterSnapshot::build(&t.chain, &clustering, &names);
+        let dir = AddressDirectory::from_snapshot(&snapshot);
+
+        assert_eq!(dir.len(), snapshot.address_count());
+        // The entry table is bounded by the cluster count, not the address
+        // count — the old implementation cloned a String pair per address.
+        assert!(dir.interned_entries() <= snapshot.named_cluster_count());
+        assert_eq!(dir.interned_entries(), 1);
+        // Every address of the tagged cluster borrows the same allocation.
+        let s1 = dir.service(t.id(1)).unwrap();
+        let s2 = dir.service(t.id(2)).unwrap();
+        assert!(std::ptr::eq(s1, s2));
+        assert_eq!(dir.resolved_count(), 3);
     }
 
     #[test]

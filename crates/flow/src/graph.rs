@@ -1,0 +1,604 @@
+//! Columnar (CSR) transaction-graph index — every multi-hop flow question
+//! answered from flat arrays.
+//!
+//! The paper's headline analyses (the Table 2 peeling chains, the §7 theft
+//! case studies) are all multi-hop traversals of the transaction graph:
+//! "who spends this output, and what does that transaction look like?".
+//! Walking a [`ResolvedChain`] answers each hop by chasing per-transaction
+//! `Vec`s and hashing `(tx, vout)` pairs into `HashSet`s — fine for one
+//! query, wasteful when the same chain is interrogated thousands of times.
+//!
+//! [`TxGraph`] takes the graph-first formulation instead (the scalable one
+//! in Reid & Harrigan's and Fleder et al.'s transaction-graph analyses):
+//! one pass over the chain produces a compressed-sparse-row adjacency
+//! structure —
+//!
+//! * `out_start` — per transaction, the range of its outputs within three
+//!   flat arrays (`out_address`, `out_value`, `out_spender`). The *flat
+//!   output id* `out_start[tx] + vout` names every outpoint with a single
+//!   `u32`, so taint frontiers become bitmaps instead of hash sets;
+//! * `in_start` / `in_source` — per transaction, the flat output ids its
+//!   inputs spend, which makes "how many inputs are tainted?" a handful of
+//!   array reads;
+//! * per-address `first_seen` / `last_spent` — the liveness interval of
+//!   every address, lifted from the resolver's event lists.
+//!
+//! Construction shards the fill across block-aligned ranges with
+//! [`std::thread::scope`], the same way `fistful_core::heuristic1`'s
+//! parallel pass shards Heuristic 1. The result is immutable, `Send +
+//! Sync`, and shareable via [`Arc`](std::sync::Arc): the batch taint engine
+//! ([`track_thefts_batch`](crate::theft::track_thefts_batch)) runs N theft
+//! walks concurrently over one graph with per-thread frontiers.
+//!
+//! # Example: build once, batch-track thefts
+//!
+//! ```
+//! use fistful_core::change::{identify, ChangeConfig};
+//! use fistful_core::testutil::TestChain;
+//! use fistful_flow::graph::TxGraph;
+//! use fistful_flow::theft::track_thefts_batch;
+//! use fistful_flow::AddressDirectory;
+//!
+//! // Two thefts; the first aggregates its loot and peels 30 BTC to an
+//! // exchange address, the second's loot never moves.
+//! let mut t = TestChain::new();
+//! let c1 = t.coinbase(1, 100);
+//! let c2 = t.coinbase(2, 100);
+//! let _gox = t.coinbase(50, 5); // exchange address, pre-seeded
+//! let theft1 = t.tx(&[(c1, 0)], &[(10, 80), (1, 20)]);
+//! let theft2 = t.tx(&[(c2, 0)], &[(11, 90), (2, 10)]);
+//! let _peel = t.tx(&[(theft1, 0)], &[(50, 30), (12, 50)]);
+//!
+//! // One pass builds the index; it is reused for every query thereafter.
+//! let graph = TxGraph::build(&t.chain);
+//! assert_eq!(graph.tx_count(), t.chain.tx_count());
+//!
+//! let labels = identify(&t.chain, &ChangeConfig::naive());
+//! let mut pairs = vec![(None, None); t.chain.address_count()];
+//! pairs[t.id(50) as usize] = (Some("Mt. Gox".into()), Some("exchange".into()));
+//! let directory = AddressDirectory::from_pairs(pairs);
+//!
+//! // N thefts, one shared graph, per-thread frontiers.
+//! let thefts = vec![vec![(theft1 as u32, 0)], vec![(theft2 as u32, 0)]];
+//! let traces = track_thefts_batch(&graph, &thefts, &labels, &directory, 100, 2);
+//! assert!(traces[0].reached_exchange());
+//! assert_eq!(traces[0].pattern, "P");
+//! assert!(!traces[1].reached_exchange());
+//! ```
+
+use fistful_chain::amount::Amount;
+use fistful_chain::resolve::{AddressId, ResolvedChain, TxId};
+use std::collections::VecDeque;
+use std::ops::Range;
+
+/// Sentinel flat value for "no transaction" in the spender / event arrays.
+const NO_TX: TxId = TxId::MAX;
+
+/// The columnar transaction-graph index. See the [module docs](self) for
+/// the layout and the construction strategy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxGraph {
+    /// Per transaction: first flat output id; length `tx_count + 1`.
+    out_start: Vec<u32>,
+    /// Per flat output: receiving address.
+    out_address: Vec<AddressId>,
+    /// Per flat output: value.
+    out_value: Vec<Amount>,
+    /// Per flat output: spending transaction, or [`NO_TX`] if unspent.
+    out_spender: Vec<TxId>,
+    /// Per transaction: first input slot; length `tx_count + 1`.
+    in_start: Vec<u32>,
+    /// Per input slot: the flat output id this input spends.
+    in_source: Vec<u32>,
+    /// Per address: first transaction it appeared in (input or output).
+    first_seen: Vec<TxId>,
+    /// Per address: last transaction it spent in, or [`NO_TX`].
+    last_spent: Vec<TxId>,
+}
+
+impl TxGraph {
+    /// Builds the index from a resolved chain, sharding the fill across
+    /// all available cores.
+    pub fn build(chain: &ResolvedChain) -> TxGraph {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        TxGraph::build_with_threads(chain, threads)
+    }
+
+    /// Builds the index with an explicit worker-thread count.
+    ///
+    /// One sequential O(txs) pass computes the CSR prefix arrays; the flat
+    /// per-output and per-input fills are then sharded over block-aligned
+    /// transaction ranges via [`std::thread::scope`] (each worker writes a
+    /// disjoint slice, so no synchronization is needed); the per-address
+    /// liveness arrays come straight from the resolver's height-sorted
+    /// event lists.
+    pub fn build_with_threads(chain: &ResolvedChain, threads: usize) -> TxGraph {
+        let n_tx = chain.tx_count();
+        let n_addr = chain.address_count();
+
+        // Pass 1 (sequential): prefix sums of output/input counts.
+        let mut out_start = Vec::with_capacity(n_tx + 1);
+        let mut in_start = Vec::with_capacity(n_tx + 1);
+        let (mut outs, mut ins) = (0u64, 0u64);
+        out_start.push(0u32);
+        in_start.push(0u32);
+        for tx in &chain.txs {
+            outs += tx.outputs.len() as u64;
+            ins += tx.inputs.len() as u64;
+            assert!(
+                outs < u64::from(u32::MAX) && ins < u64::from(u32::MAX),
+                "chain exceeds the u32 flat-index space of TxGraph"
+            );
+            out_start.push(outs as u32);
+            in_start.push(ins as u32);
+        }
+
+        // Pass 2 (parallel): fill the flat arrays over disjoint tx ranges.
+        let mut out_address = vec![0 as AddressId; outs as usize];
+        let mut out_value = vec![Amount::ZERO; outs as usize];
+        let mut out_spender = vec![NO_TX; outs as usize];
+        let mut in_source = vec![0u32; ins as usize];
+        {
+            let chunks = block_aligned_chunks(chain, threads);
+            let mut addr_rest: &mut [AddressId] = &mut out_address;
+            let mut val_rest: &mut [Amount] = &mut out_value;
+            let mut spend_rest: &mut [TxId] = &mut out_spender;
+            let mut src_rest: &mut [u32] = &mut in_source;
+            let out_start = &out_start;
+            let in_start = &in_start;
+            std::thread::scope(|s| {
+                for range in chunks {
+                    let out_len =
+                        (out_start[range.end] - out_start[range.start]) as usize;
+                    let in_len = (in_start[range.end] - in_start[range.start]) as usize;
+                    let (addr_part, rest) = addr_rest.split_at_mut(out_len);
+                    addr_rest = rest;
+                    let (val_part, rest) = val_rest.split_at_mut(out_len);
+                    val_rest = rest;
+                    let (spend_part, rest) = spend_rest.split_at_mut(out_len);
+                    spend_rest = rest;
+                    let (src_part, rest) = src_rest.split_at_mut(in_len);
+                    src_rest = rest;
+                    s.spawn(move || {
+                        let (mut o, mut i) = (0usize, 0usize);
+                        for tx in &chain.txs[range] {
+                            for out in &tx.outputs {
+                                addr_part[o] = out.address;
+                                val_part[o] = out.value;
+                                spend_part[o] = out.spent_by.unwrap_or(NO_TX);
+                                o += 1;
+                            }
+                            for input in &tx.inputs {
+                                src_part[i] =
+                                    out_start[input.prev_tx as usize] + input.prev_vout;
+                                i += 1;
+                            }
+                        }
+                    });
+                }
+            });
+        }
+
+        // Per-address liveness, straight from the resolver's accessors.
+        let first_seen = (0..n_addr as AddressId).map(|a| chain.first_seen(a)).collect();
+        let last_spent = (0..n_addr as AddressId)
+            .map(|a| chain.last_spent_in(a).unwrap_or(NO_TX))
+            .collect();
+
+        TxGraph {
+            out_start,
+            out_address,
+            out_value,
+            out_spender,
+            in_start,
+            in_source,
+            first_seen,
+            last_spent,
+        }
+    }
+
+    /// Number of transactions indexed.
+    pub fn tx_count(&self) -> usize {
+        self.out_start.len() - 1
+    }
+
+    /// Number of addresses covered by the liveness arrays.
+    pub fn address_count(&self) -> usize {
+        self.first_seen.len()
+    }
+
+    /// Total number of outputs (the length of the flat output arrays).
+    pub fn output_count(&self) -> usize {
+        *self.out_start.last().expect("out_start never empty") as usize
+    }
+
+    /// Total number of inputs across all transactions.
+    pub fn input_count(&self) -> usize {
+        *self.in_start.last().expect("in_start never empty") as usize
+    }
+
+    /// The flat output ids of transaction `tx`, in vout order.
+    pub fn outputs(&self, tx: TxId) -> Range<u32> {
+        self.out_start[tx as usize]..self.out_start[tx as usize + 1]
+    }
+
+    /// Number of outputs of transaction `tx`.
+    pub fn num_outputs(&self, tx: TxId) -> usize {
+        self.outputs(tx).len()
+    }
+
+    /// Number of inputs of transaction `tx` (zero for coinbases).
+    pub fn num_inputs(&self, tx: TxId) -> usize {
+        (self.in_start[tx as usize + 1] - self.in_start[tx as usize]) as usize
+    }
+
+    /// The flat output ids spent by transaction `tx`'s inputs, in input
+    /// order.
+    pub fn inputs(&self, tx: TxId) -> &[u32] {
+        &self.in_source[self.in_start[tx as usize] as usize..self.in_start[tx as usize + 1] as usize]
+    }
+
+    /// The flat output id of outpoint `(tx, vout)`.
+    pub fn flat(&self, tx: TxId, vout: u32) -> u32 {
+        debug_assert!((vout as usize) < self.num_outputs(tx), "vout out of range");
+        self.out_start[tx as usize] + vout
+    }
+
+    /// The `(tx, vout)` outpoint of a flat output id (binary search over
+    /// the prefix array; the forward mapping [`flat`](Self::flat) is O(1)).
+    pub fn outpoint(&self, flat: u32) -> (TxId, u32) {
+        let tx = self.out_start.partition_point(|&s| s <= flat) - 1;
+        (tx as TxId, flat - self.out_start[tx])
+    }
+
+    /// The receiving address of a flat output.
+    pub fn address_of(&self, flat: u32) -> AddressId {
+        self.out_address[flat as usize]
+    }
+
+    /// The value of a flat output.
+    pub fn value_of(&self, flat: u32) -> Amount {
+        self.out_value[flat as usize]
+    }
+
+    /// The transaction spending a flat output, if any.
+    pub fn spender_of(&self, flat: u32) -> Option<TxId> {
+        match self.out_spender[flat as usize] {
+            NO_TX => None,
+            t => Some(t),
+        }
+    }
+
+    /// The transaction spending outpoint `(tx, vout)`, if any — the
+    /// columnar equivalent of `ResolvedOutput::spent_by`.
+    pub fn spender(&self, tx: TxId, vout: u32) -> Option<TxId> {
+        self.spender_of(self.flat(tx, vout))
+    }
+
+    /// The first transaction in which `addr` appeared (as input or
+    /// output), or `None` for an address id the graph has never seen.
+    pub fn first_seen(&self, addr: AddressId) -> Option<TxId> {
+        match self.first_seen.get(addr as usize) {
+            Some(&t) if t != NO_TX => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The last transaction in which `addr` spent an input, or `None` if
+    /// the address never spent (a *sink* in the paper's terminology).
+    pub fn last_spent(&self, addr: AddressId) -> Option<TxId> {
+        match self.last_spent.get(addr as usize) {
+            Some(&t) if t != NO_TX => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Partitions `0..tx_count` into at most `threads` contiguous ranges cut
+/// on block boundaries, each covering roughly equal transaction counts.
+fn block_aligned_chunks(chain: &ResolvedChain, threads: usize) -> Vec<Range<usize>> {
+    let n_tx = chain.tx_count();
+    if n_tx == 0 {
+        return Vec::new();
+    }
+    let target = n_tx.div_ceil(threads.max(1)).max(1);
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
+    for block in chain.blocks() {
+        let end = block.tx_end() as usize;
+        if end - start >= target {
+            chunks.push(start..end);
+            start = end;
+        }
+    }
+    if start < n_tx {
+        chunks.push(start..n_tx);
+    }
+    chunks
+}
+
+/// An open-addressed set of `u32` keys with multiplicative (Fibonacci)
+/// hashing — the taint frontier's working set.
+///
+/// Taint walks touch a few hundred outputs of a multi-million-output
+/// graph, so the frontier must cost O(walk), not O(chain): a bitmap over
+/// all flat ids would spend more time being allocated and zeroed than the
+/// walk itself, and the standard library's `HashSet` pays SipHash on every
+/// probe. This table hashes with one multiply, probes linearly, keeps a
+/// power-of-two capacity, and clears in O(capacity) — where capacity is
+/// proportional to the largest walk this scratch has seen, not to the
+/// chain.
+///
+/// Keys must be below `u32::MAX` (the empty-slot sentinel); the graph
+/// builder guarantees that for flat output ids and transaction ids alike.
+#[derive(Debug, Clone)]
+pub(crate) struct FlatSet {
+    /// Power-of-two table of keys; `EMPTY` marks free slots.
+    table: Vec<u32>,
+    /// Number of keys present.
+    len: usize,
+}
+
+/// Free-slot marker.
+const EMPTY: u32 = u32::MAX;
+
+impl FlatSet {
+    /// A set with room for a small walk; grows on demand.
+    pub(crate) fn new() -> FlatSet {
+        FlatSet { table: vec![EMPTY; 64], len: 0 }
+    }
+
+    #[inline]
+    fn slot(&self, key: u32) -> usize {
+        // Fibonacci hashing: multiply by 2^32/φ and keep the HIGH bits —
+        // the low bits of the product are just `key % len` (the odd
+        // multiplier is invertible mod 2^32), which would cluster strided
+        // keys into one probe chain. The table length is a power of two,
+        // so the shift yields an in-range index.
+        let h = key.wrapping_mul(0x9E37_79B9);
+        (h >> (32 - self.table.len().trailing_zeros())) as usize
+    }
+
+    /// True if `key` is present.
+    #[inline]
+    pub(crate) fn contains(&self, key: u32) -> bool {
+        let mut i = self.slot(key);
+        loop {
+            match self.table[i] {
+                EMPTY => return false,
+                k if k == key => return true,
+                _ => i = (i + 1) & (self.table.len() - 1),
+            }
+        }
+    }
+
+    /// Inserts `key`; returns true if it was newly added.
+    #[inline]
+    pub(crate) fn insert(&mut self, key: u32) -> bool {
+        debug_assert!(key != EMPTY, "u32::MAX is the empty sentinel");
+        if self.len * 4 >= self.table.len() * 3 {
+            self.grow();
+        }
+        let mut i = self.slot(key);
+        loop {
+            match self.table[i] {
+                EMPTY => {
+                    self.table[i] = key;
+                    self.len += 1;
+                    return true;
+                }
+                k if k == key => return false,
+                _ => i = (i + 1) & (self.table.len() - 1),
+            }
+        }
+    }
+
+    /// Removes every key, keeping the capacity for the next walk.
+    pub(crate) fn clear(&mut self) {
+        if self.len > 0 {
+            self.table.fill(EMPTY);
+            self.len = 0;
+        }
+    }
+
+    fn grow(&mut self) {
+        let old = std::mem::replace(&mut self.table, vec![EMPTY; 0]);
+        self.table = vec![EMPTY; old.len() * 2];
+        self.len = 0;
+        for key in old {
+            if key != EMPTY {
+                self.insert(key);
+            }
+        }
+    }
+}
+
+/// Reusable per-thread walk state for taint traversals over a [`TxGraph`]:
+/// the tainted-output and visited-transaction sets (sparse
+/// open-addressed tables over flat ids — O(walk) memory regardless of
+/// chain size) plus the FIFO work queue.
+///
+/// One scratch per worker thread is the memory model of the batch engine
+/// ([`track_thefts_batch`](crate::theft::track_thefts_batch)): the tables
+/// are allocated once per thread and reused across every theft that worker
+/// picks up, so steady-state walks allocate nothing beyond their own
+/// result records.
+#[derive(Debug, Clone)]
+pub struct TaintScratch {
+    /// Tainted flat output ids.
+    pub(crate) tainted: FlatSet,
+    /// Visited transaction ids.
+    pub(crate) visited: FlatSet,
+    /// FIFO frontier of tainted flat output ids.
+    pub(crate) queue: VecDeque<u32>,
+}
+
+impl TaintScratch {
+    /// Allocates an empty scratch for walks over `graph`. The parameter
+    /// only anchors the scratch to a graph conceptually — state is sized
+    /// by the walks, not the chain, and grows on demand.
+    pub fn for_graph(_graph: &TxGraph) -> TaintScratch {
+        TaintScratch {
+            tainted: FlatSet::new(),
+            visited: FlatSet::new(),
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Clears all walk state, keeping capacity for the next walk.
+    pub fn reset(&mut self) {
+        self.tainted.clear();
+        self.visited.clear();
+        self.queue.clear();
+    }
+
+    /// Marks a flat output tainted; returns whether it was newly tainted.
+    #[inline]
+    pub(crate) fn taint(&mut self, flat: u32) -> bool {
+        self.tainted.insert(flat)
+    }
+
+    /// Marks a transaction visited; returns whether it was newly visited.
+    #[inline]
+    pub(crate) fn visit(&mut self, tx: TxId) -> bool {
+        self.visited.insert(tx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fistful_core::testutil::TestChain;
+
+    /// A small chain exercising multi-block, multi-output shapes.
+    fn sample() -> TestChain {
+        let mut t = TestChain::new();
+        let c1 = t.coinbase(1, 100);
+        let c2 = t.coinbase(2, 50);
+        let a = t.tx(&[(c1, 0)], &[(3, 60), (1, 40)]);
+        let _b = t.tx(&[(a, 0), (c2, 0)], &[(4, 50), (5, 30), (6, 30)]);
+        t
+    }
+
+    #[test]
+    fn csr_shape_matches_chain() {
+        let t = sample();
+        for threads in [1, 2, 4] {
+            let g = TxGraph::build_with_threads(&t.chain, threads);
+            assert_eq!(g.tx_count(), t.chain.tx_count());
+            assert_eq!(g.address_count(), t.chain.address_count());
+            assert_eq!(g.output_count(), t.chain.total_output_count());
+            assert_eq!(g.input_count(), t.chain.total_input_count());
+            for (tx_id, tx) in t.chain.txs.iter().enumerate() {
+                let tx_id = tx_id as TxId;
+                assert_eq!(g.num_outputs(tx_id), tx.outputs.len());
+                assert_eq!(g.num_inputs(tx_id), tx.inputs.len());
+                for (v, o) in tx.outputs.iter().enumerate() {
+                    let flat = g.flat(tx_id, v as u32);
+                    assert_eq!(g.address_of(flat), o.address);
+                    assert_eq!(g.value_of(flat), o.value);
+                    assert_eq!(g.spender_of(flat), o.spent_by);
+                    assert_eq!(g.spender(tx_id, v as u32), o.spent_by);
+                    assert_eq!(g.outpoint(flat), (tx_id, v as u32));
+                }
+                for (slot, input) in tx.inputs.iter().enumerate() {
+                    assert_eq!(
+                        g.inputs(tx_id)[slot],
+                        g.flat(input.prev_tx, input.prev_vout)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn liveness_matches_resolver() {
+        let t = sample();
+        let g = TxGraph::build_with_threads(&t.chain, 2);
+        for a in 0..t.chain.address_count() as AddressId {
+            assert_eq!(g.first_seen(a), Some(t.chain.first_seen(a)));
+            assert_eq!(g.last_spent(a), t.chain.last_spent_in(a));
+        }
+        // Out-of-range ids resolve to None, not a panic.
+        assert_eq!(g.first_seen(u32::MAX), None);
+        assert_eq!(g.last_spent(u32::MAX), None);
+        // Address 1 spent in the first non-coinbase tx; address 4 never.
+        assert_eq!(g.last_spent(t.id(1)), Some(2));
+        assert_eq!(g.last_spent(t.id(4)), None);
+    }
+
+    #[test]
+    fn empty_chain_builds() {
+        let t = TestChain::new();
+        let g = TxGraph::build(&t.chain);
+        assert_eq!(g.tx_count(), 0);
+        assert_eq!(g.output_count(), 0);
+        assert_eq!(g.input_count(), 0);
+        assert_eq!(g.address_count(), 0);
+    }
+
+    #[test]
+    fn chunks_cover_and_align() {
+        let t = sample();
+        for threads in [1, 2, 3, 8] {
+            let chunks = block_aligned_chunks(&t.chain, threads);
+            // Chunks partition 0..tx_count without gaps or overlaps.
+            let mut next = 0usize;
+            for c in &chunks {
+                assert_eq!(c.start, next);
+                assert!(c.end > c.start);
+                next = c.end;
+            }
+            assert_eq!(next, t.chain.tx_count());
+            // Every boundary except the last is a block boundary.
+            let starts: Vec<usize> =
+                t.chain.blocks().map(|b| b.tx_start() as usize).collect();
+            for c in chunks.iter().take(chunks.len().saturating_sub(1)) {
+                assert!(starts.contains(&c.end) || c.end == t.chain.tx_count());
+            }
+        }
+        assert!(block_aligned_chunks(&TestChain::new().chain, 4).is_empty());
+    }
+
+    #[test]
+    fn scratch_reset_is_complete() {
+        let t = sample();
+        let g = TxGraph::build(&t.chain);
+        let mut s = TaintScratch::for_graph(&g);
+        assert!(s.taint(0));
+        assert!(!s.taint(0), "double taint reports false");
+        assert!(s.visit(1));
+        assert!(!s.visit(1), "double visit reports false");
+        s.queue.push_back(0);
+        s.reset();
+        assert!(!s.tainted.contains(0));
+        assert!(!s.visited.contains(1));
+        assert!(s.queue.is_empty());
+        // Reset state behaves like new: the same walk replays identically.
+        assert!(s.taint(0) && s.visit(1));
+    }
+
+    /// The frontier set must behave exactly like a `HashSet<u32>` through
+    /// growth, duplicate inserts, collisions and clears.
+    #[test]
+    fn flat_set_matches_std_hashset() {
+        let mut ours = FlatSet::new();
+        let mut std_set = std::collections::HashSet::new();
+        // A mix of clustered and scattered keys, far beyond the initial
+        // capacity so the table grows several times; many collide modulo
+        // small powers of two.
+        let keys: Vec<u32> = (0..2_000u32)
+            .map(|i| i.wrapping_mul(64).wrapping_add(i % 3))
+            .chain((0..500).map(|i| i * 7919))
+            .collect();
+        for &k in &keys {
+            assert_eq!(ours.insert(k), std_set.insert(k), "insert {k}");
+        }
+        for k in 0..200_000u32 {
+            assert_eq!(ours.contains(k), std_set.contains(&k), "contains {k}");
+        }
+        ours.clear();
+        assert!(!ours.contains(keys[0]));
+        assert!(ours.insert(keys[0]), "insert after clear");
+    }
+}

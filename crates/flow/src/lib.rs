@@ -2,6 +2,10 @@
 //!
 //! Implements §5 of the paper:
 //!
+//! * [`graph`] — the columnar (CSR) transaction-graph index
+//!   ([`graph::TxGraph`]): one parallel pass over the chain produces flat
+//!   adjacency arrays that every multi-hop traversal below runs on,
+//!   instead of re-resolving spenders hop by hop per query;
 //! * [`peel`] — systematic traversal of *peeling chains* by following
 //!   Heuristic-2 change links hop by hop;
 //! * [`track`] — attributing the "peels" to named services
@@ -9,7 +13,9 @@
 //! * [`movement`] — classifying how stolen money moves: aggregation,
 //!   peeling, splits, folding (Table 3's A/P/S/F notation);
 //! * [`theft`] — end-to-end theft tracking: did the loot reach an
-//!   exchange? (Table 3);
+//!   exchange? (Table 3), including the batch engine
+//!   ([`theft::track_thefts_batch`]) that tracks N thefts concurrently
+//!   over one shared graph with per-thread frontiers;
 //! * [`balance`] — per-category balance time series as a percentage of
 //!   active (non-sink) bitcoins (Figure 2);
 //! * [`categories`] — address → category/service resolution, either from
@@ -24,6 +30,7 @@
 
 pub mod balance;
 pub mod categories;
+pub mod graph;
 pub mod movement;
 pub mod peel;
 pub mod theft;
@@ -31,7 +38,10 @@ pub mod track;
 
 pub use balance::{balance_series, BalancePoint};
 pub use categories::{AddressDirectory, ServiceResolver};
-pub use movement::{classify_movements, MovementKind};
-pub use peel::{follow_chain, FollowStrategy, Hop, PeelChain};
-pub use theft::{track_theft, TheftTrace};
-pub use track::{service_arrivals, ArrivalRow};
+pub use graph::{TaintScratch, TxGraph};
+pub use movement::{classify_movements, classify_movements_indexed, MovementKind};
+pub use peel::{
+    follow_chain, follow_chain_indexed, follow_chains_indexed, FollowStrategy, Hop, PeelChain,
+};
+pub use theft::{track_theft, track_theft_indexed, track_thefts_batch, TheftTrace};
+pub use track::{service_arrivals, service_arrivals_indexed, ArrivalRow};

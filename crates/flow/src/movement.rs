@@ -13,6 +13,7 @@
 //! only through the change side of a peeling hop — the peel itself has
 //! left the thief's control and is recorded as a recipient, not followed.
 
+use crate::graph::{TaintScratch, TxGraph};
 use fistful_chain::amount::Amount;
 use fistful_chain::resolve::{AddressId, ResolvedChain, TxId};
 use fistful_core::change::ChangeLabels;
@@ -47,7 +48,7 @@ impl MovementKind {
 }
 
 /// The taint walk's per-transaction record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaintedTx {
     /// The transaction.
     pub tx: TxId,
@@ -62,11 +63,11 @@ pub struct TaintedTx {
     pub departures: Vec<(AddressId, Amount)>,
 }
 
-/// Classifies a single transaction given which of its inputs are tainted.
-pub fn classify_tx(chain: &ResolvedChain, tx: TxId, tainted_inputs: usize) -> MovementKind {
-    let t = &chain.txs[tx as usize];
-    let ins = t.inputs.len();
-    let outs = t.outputs.len();
+/// Classifies a transaction shape from its input/output counts — the one
+/// copy of the A/P/S/F decision table, shared by the legacy
+/// [`classify_tx`] and the graph-indexed walk so the two paths cannot
+/// drift.
+pub fn classify_counts(ins: usize, outs: usize, tainted_inputs: usize) -> MovementKind {
     if ins >= 3 && outs <= 2 {
         if tainted_inputs < ins {
             MovementKind::Fold
@@ -80,6 +81,12 @@ pub fn classify_tx(chain: &ResolvedChain, tx: TxId, tainted_inputs: usize) -> Mo
     } else {
         MovementKind::Transfer
     }
+}
+
+/// Classifies a single transaction given which of its inputs are tainted.
+pub fn classify_tx(chain: &ResolvedChain, tx: TxId, tainted_inputs: usize) -> MovementKind {
+    let t = &chain.txs[tx as usize];
+    classify_counts(t.inputs.len(), t.outputs.len(), tainted_inputs)
 }
 
 /// Walks forward from specific loot outputs (`(tx, vout)` pairs) for up to
@@ -152,6 +159,103 @@ pub fn classify_movements(
             kind,
             tainted_inputs,
             total_inputs: t.inputs.len(),
+            departures,
+        });
+    }
+    // Chain order for a readable narrative.
+    out.sort_by_key(|t| t.tx);
+    out
+}
+
+/// [`classify_movements`] over the columnar [`TxGraph`] index: identical
+/// movement records (same transactions, same classifications, same
+/// departures — proven by the differential tests), with the taint frontier
+/// kept as a bitmap over flat output ids instead of a hash set of
+/// `(tx, vout)` pairs.
+pub fn classify_movements_indexed(
+    graph: &TxGraph,
+    loot: &[(TxId, u32)],
+    labels: &ChangeLabels,
+    max_txs: usize,
+) -> Vec<TaintedTx> {
+    let mut scratch = TaintScratch::for_graph(graph);
+    classify_movements_with_scratch(graph, loot, labels, max_txs, &mut scratch)
+}
+
+/// The scratch-reusing form of [`classify_movements_indexed`], for callers
+/// that run many walks over one graph (the batch taint engine hands each
+/// worker thread its own [`TaintScratch`] and amortizes the bitmap
+/// allocations across every theft that worker processes).
+pub fn classify_movements_with_scratch(
+    graph: &TxGraph,
+    loot: &[(TxId, u32)],
+    labels: &ChangeLabels,
+    max_txs: usize,
+    scratch: &mut TaintScratch,
+) -> Vec<TaintedTx> {
+    scratch.reset();
+    for &(tx, vout) in loot {
+        let flat = graph.flat(tx, vout);
+        scratch.taint(flat);
+        scratch.queue.push_back(flat);
+    }
+    let mut out = Vec::new();
+
+    while let Some(flat) = scratch.queue.pop_front() {
+        if out.len() >= max_txs {
+            break;
+        }
+        // Who spends this tainted output?
+        let Some(next) = graph.spender_of(flat) else {
+            continue;
+        };
+        if !scratch.visit(next) {
+            continue;
+        }
+        let tainted_inputs = graph
+            .inputs(next)
+            .iter()
+            .filter(|&&src| scratch.tainted.contains(src))
+            .count();
+        let total_inputs = graph.num_inputs(next);
+        let outputs = graph.outputs(next);
+        let kind = classify_counts(total_inputs, outputs.len(), tainted_inputs);
+
+        // Decide which outputs stay under the thief's control, mirroring
+        // the legacy walk exactly (including its peel fallback, which
+        // keeps the *last* maximum among equal-value outputs).
+        let mut departures: Vec<(AddressId, Amount)> = Vec::new();
+        match kind {
+            MovementKind::Aggregation | MovementKind::Fold | MovementKind::Split
+            | MovementKind::Transfer => {
+                for f in outputs {
+                    scratch.taint(f);
+                    scratch.queue.push_back(f);
+                }
+            }
+            MovementKind::Peel => {
+                let change_flat = match labels.change_vout(next) {
+                    Some(v) => outputs.start + v,
+                    None => outputs
+                        .clone()
+                        .max_by_key(|&f| graph.value_of(f))
+                        .unwrap_or(outputs.start),
+                };
+                for f in outputs {
+                    if f == change_flat {
+                        scratch.taint(f);
+                        scratch.queue.push_back(f);
+                    } else {
+                        departures.push((graph.address_of(f), graph.value_of(f)));
+                    }
+                }
+            }
+        }
+        out.push(TaintedTx {
+            tx: next,
+            kind,
+            tainted_inputs,
+            total_inputs,
             departures,
         });
     }
@@ -262,6 +366,53 @@ mod tests {
         assert!(txs.contains(&(p1 as u32)));
         assert!(txs.contains(&(p2 as u32)));
         assert_eq!(movements.len(), 2, "recipient's spend excluded: {txs:?}");
+    }
+
+    /// Random-ish hand-built shapes where legacy and indexed walks must
+    /// agree record-for-record, including the max_txs bound.
+    #[test]
+    fn indexed_matches_legacy_walk() {
+        let mut t = TestChain::new();
+        let c1 = t.coinbase(1, 50);
+        let c2 = t.coinbase(2, 50);
+        let c3 = t.coinbase(3, 50);
+        let _r = t.coinbase(100, 5);
+        let theft = t.tx(&[(c1, 0)], &[(10, 30), (1, 20)]);
+        let agg = t.tx(&[(theft, 0), (c2, 0), (c3, 0)], &[(11, 130)]);
+        let split = t.tx(&[(agg, 0)], &[(12, 40), (13, 40), (14, 50)]);
+        let p1 = t.tx(&[(split, 2)], &[(100, 10), (15, 40)]);
+        let _p2 = t.tx(&[(p1, 1)], &[(100, 10), (16, 30)]);
+        let labels = labels_for(&t);
+        let graph = TxGraph::build_with_threads(&t.chain, 2);
+        let loot = [(theft as u32, 0)];
+        for max_txs in [0, 1, 2, 3, 100] {
+            let legacy = classify_movements(&t.chain, &loot, &labels, max_txs);
+            let indexed = classify_movements_indexed(&graph, &loot, &labels, max_txs);
+            assert_eq!(legacy, indexed, "max_txs {max_txs}");
+        }
+        let movements = classify_movements_indexed(&graph, &loot, &labels, 100);
+        assert_eq!(pattern_string(&movements), "F/S/P");
+    }
+
+    /// A reused scratch must leave no state behind between walks.
+    #[test]
+    fn scratch_reuse_is_stateless() {
+        let mut t = TestChain::new();
+        let c1 = t.coinbase(1, 100);
+        let _r = t.coinbase(100, 5);
+        let theft = t.tx(&[(c1, 0)], &[(10, 90), (1, 10)]);
+        let p1 = t.tx(&[(theft, 0)], &[(100, 10), (11, 80)]);
+        let _p2 = t.tx(&[(p1, 1)], &[(100, 10), (12, 70)]);
+        let labels = labels_for(&t);
+        let graph = TxGraph::build(&t.chain);
+        let mut scratch = crate::graph::TaintScratch::for_graph(&graph);
+        let loot = [(theft as u32, 0)];
+        let first =
+            classify_movements_with_scratch(&graph, &loot, &labels, 100, &mut scratch);
+        let second =
+            classify_movements_with_scratch(&graph, &loot, &labels, 100, &mut scratch);
+        assert_eq!(first, second);
+        assert_eq!(first, classify_movements(&t.chain, &loot, &labels, 100));
     }
 
     #[test]

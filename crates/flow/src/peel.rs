@@ -7,6 +7,7 @@
 //! spends its bitcoins), and can identify the meaningful recipient in the
 //! transaction as the other output address (the 'peel')."
 
+use crate::graph::TxGraph;
 use fistful_chain::amount::Amount;
 use fistful_chain::resolve::{AddressId, ResolvedChain, TxId};
 use fistful_core::change::ChangeLabels;
@@ -25,7 +26,7 @@ pub enum FollowStrategy {
 }
 
 /// One hop of a peeling chain.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Hop {
     /// The transaction at this hop.
     pub tx: TxId,
@@ -38,7 +39,7 @@ pub struct Hop {
 }
 
 /// A traversed peeling chain.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PeelChain {
     /// Hops in order.
     pub hops: Vec<Hop>,
@@ -138,6 +139,84 @@ pub fn follow_chain(
     out
 }
 
+/// [`follow_chain`] over the columnar [`TxGraph`] index: hop-for-hop
+/// identical output (same hops, same peels, same stop reason — proven by
+/// the differential tests), but every hop is a handful of flat-array reads
+/// instead of a `Vec`-of-structs walk through the resolver.
+///
+/// Build the graph once ([`TxGraph::build`]) and reuse it across queries;
+/// this is the traversal `repro tab2` and the batch taint engine run on.
+pub fn follow_chain_indexed(
+    graph: &TxGraph,
+    labels: &ChangeLabels,
+    start: TxId,
+    max_hops: usize,
+    strategy: FollowStrategy,
+) -> PeelChain {
+    let mut out = PeelChain::default();
+    let mut tx_id = start;
+    for _ in 0..max_hops {
+        let outputs = graph.outputs(tx_id);
+        if outputs.is_empty() {
+            out.stopped = StopReason::Malformed;
+            return out;
+        }
+        // Identify the change output.
+        let (change_vout, fallback) = match labels.change_vout(tx_id) {
+            Some(v) => (v, false),
+            None => match strategy {
+                FollowStrategy::Strict => {
+                    out.stopped = StopReason::NoChangeIdentified;
+                    return out;
+                }
+                FollowStrategy::LargestFallback => {
+                    // Same explicit tie-break as the legacy path: among
+                    // equal-value outputs the lowest vout wins.
+                    let flat = outputs
+                        .clone()
+                        .rev()
+                        .max_by_key(|&f| graph.value_of(f))
+                        .expect("non-empty outputs");
+                    (flat - outputs.start, true)
+                }
+            },
+        };
+        let change_flat = outputs.start + change_vout;
+        let peels = outputs
+            .clone()
+            .filter(|&f| f != change_flat)
+            .map(|f| (graph.address_of(f), graph.value_of(f)))
+            .collect();
+        out.hops.push(Hop { tx: tx_id, change_vout, peels, fallback });
+
+        // Next hop: the transaction in which the change is spent.
+        match graph.spender_of(change_flat) {
+            Some(next) => tx_id = next,
+            None => {
+                out.stopped = StopReason::UnspentChange;
+                return out;
+            }
+        }
+    }
+    out.stopped = StopReason::HopLimit;
+    out
+}
+
+/// Follows many peeling chains over one shared index — the multi-source
+/// form `repro tab2` uses for the three Silk Road dissolution chains.
+pub fn follow_chains_indexed(
+    graph: &TxGraph,
+    labels: &ChangeLabels,
+    starts: &[TxId],
+    max_hops: usize,
+    strategy: FollowStrategy,
+) -> Vec<PeelChain> {
+    starts
+        .iter()
+        .map(|&s| follow_chain_indexed(graph, labels, s, max_hops, strategy))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +311,54 @@ mod tests {
         assert!(chain.hops[0].fallback);
         assert_eq!(chain.hops[0].change_vout, 0);
         assert_eq!(chain.hops[0].peels, vec![(t.id(11), Amount::from_btc(495))]);
+    }
+
+    #[test]
+    fn indexed_matches_legacy_hop_for_hop() {
+        let (t, _) = peeling_chain();
+        let labels = identify(&t.chain, &ChangeConfig::naive());
+        let graph = TxGraph::build_with_threads(&t.chain, 2);
+        for start in 0..t.chain.tx_count() as u32 {
+            for strategy in [FollowStrategy::Strict, FollowStrategy::LargestFallback] {
+                for max_hops in [0, 1, 2, 100] {
+                    let legacy = follow_chain(&t.chain, &labels, start, max_hops, strategy);
+                    let indexed =
+                        follow_chain_indexed(&graph, &labels, start, max_hops, strategy);
+                    assert_eq!(legacy, indexed, "start {start} {strategy:?} {max_hops}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_fallback_tie_breaks_to_lowest_vout() {
+        let mut t = TestChain::new();
+        let funding = t.coinbase(1, 1000);
+        let hop1 = t.tx(&[(funding, 0)], &[(10, 495), (11, 495)]);
+        let labels = identify(&t.chain, &ChangeConfig::naive());
+        let graph = TxGraph::build(&t.chain);
+        let chain = follow_chain_indexed(
+            &graph,
+            &labels,
+            hop1 as u32,
+            100,
+            FollowStrategy::LargestFallback,
+        );
+        assert_eq!(chain.hops[0].change_vout, 0);
+        assert_eq!(chain.hops[0].peels, vec![(t.id(11), Amount::from_btc(495))]);
+    }
+
+    #[test]
+    fn follow_chains_indexed_covers_every_start() {
+        let (t, start) = peeling_chain();
+        let labels = identify(&t.chain, &ChangeConfig::naive());
+        let graph = TxGraph::build(&t.chain);
+        let starts = [start as u32, start as u32 + 1];
+        let chains =
+            follow_chains_indexed(&graph, &labels, &starts, 100, FollowStrategy::Strict);
+        assert_eq!(chains.len(), 2);
+        assert_eq!(chains[0].hops.len(), 3);
+        assert_eq!(chains[1].hops.len(), 2);
     }
 
     #[test]

@@ -6,13 +6,16 @@
 //! address directory.
 
 use crate::categories::ServiceResolver;
-use crate::movement::{classify_movements, pattern_string, TaintedTx};
+use crate::graph::{TaintScratch, TxGraph};
+use crate::movement::{
+    classify_movements, classify_movements_with_scratch, pattern_string, TaintedTx,
+};
 use fistful_chain::amount::Amount;
 use fistful_chain::resolve::{ResolvedChain, TxId};
 use fistful_core::change::ChangeLabels;
 
 /// The derived trace of one theft.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TheftTrace {
     /// Transactions the walk visited, classified.
     pub movements: Vec<TaintedTx>,
@@ -47,6 +50,108 @@ pub fn track_theft(
     max_txs: usize,
 ) -> TheftTrace {
     let movements = classify_movements(chain, loot, labels, max_txs);
+    let mut dormant = Amount::ZERO;
+    for &(t, v) in loot {
+        let out = &chain.txs[t as usize].outputs[v as usize];
+        if out.spent_by.is_none() {
+            dormant = dormant.checked_add(out.value).expect("overflow");
+        }
+    }
+    summarize(movements, dormant, directory)
+}
+
+/// [`track_theft`] over the columnar [`TxGraph`] index: identical trace
+/// (movements, pattern, exchange arrivals, dormant loot — proven by the
+/// differential tests), with the walk running on flat arrays and the
+/// caller-supplied reusable [`TaintScratch`].
+pub fn track_theft_indexed(
+    graph: &TxGraph,
+    loot: &[(TxId, u32)],
+    labels: &ChangeLabels,
+    directory: &impl ServiceResolver,
+    max_txs: usize,
+    scratch: &mut TaintScratch,
+) -> TheftTrace {
+    let movements = classify_movements_with_scratch(graph, loot, labels, max_txs, scratch);
+    let mut dormant = Amount::ZERO;
+    for &(t, v) in loot {
+        let flat = graph.flat(t, v);
+        if graph.spender_of(flat).is_none() {
+            dormant = dormant.checked_add(graph.value_of(flat)).expect("overflow");
+        }
+    }
+    summarize(movements, dormant, directory)
+}
+
+/// The batch multi-source taint engine: tracks `thefts.len()` independent
+/// thefts concurrently over one shared graph.
+///
+/// Workers are spawned with [`std::thread::scope`]; each owns one
+/// [`TaintScratch`] (allocated once, reset per theft) and pulls theft
+/// indices from a shared atomic counter, so an expensive case does not
+/// stall the rest of the batch. Results land in input order. With
+/// `threads <= 1` this degrades to a sequential loop that still reuses a
+/// single scratch — the right mode on one core, and still well ahead of
+/// per-theft legacy re-walks (see `bench_graph`).
+///
+/// The graph, labels, and directory are shared immutably across workers —
+/// wrap the graph in an [`Arc`](std::sync::Arc) if the caller also needs
+/// it on `'static` threads elsewhere.
+pub fn track_thefts_batch(
+    graph: &TxGraph,
+    thefts: &[Vec<(TxId, u32)>],
+    labels: &ChangeLabels,
+    directory: &(impl ServiceResolver + Sync),
+    max_txs: usize,
+    threads: usize,
+) -> Vec<TheftTrace> {
+    let workers = threads.max(1).min(thefts.len().max(1));
+    if workers <= 1 {
+        let mut scratch = TaintScratch::for_graph(graph);
+        return thefts
+            .iter()
+            .map(|loot| track_theft_indexed(graph, loot, labels, directory, max_txs, &mut scratch))
+            .collect();
+    }
+
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut done: Vec<(usize, TheftTrace)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let next = &next;
+                s.spawn(move || {
+                    let mut scratch = TaintScratch::for_graph(graph);
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(loot) = thefts.get(i) else { break };
+                        let trace = track_theft_indexed(
+                            graph, loot, labels, directory, max_txs, &mut scratch,
+                        );
+                        produced.push((i, trace));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("taint worker panicked"))
+            .collect()
+    });
+    done.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(done.len(), thefts.len());
+    done.into_iter().map(|(_, trace)| trace).collect()
+}
+
+/// Folds a movement list plus the dormant total into a [`TheftTrace`] —
+/// the one copy of the exchange-arrival accounting, shared by the legacy
+/// and indexed paths.
+fn summarize(
+    movements: Vec<TaintedTx>,
+    dormant: Amount,
+    directory: &impl ServiceResolver,
+) -> TheftTrace {
     let pattern = pattern_string(&movements);
 
     // Exchange arrivals: departures landing on exchange-category addresses.
@@ -60,15 +165,6 @@ pub fn track_theft(
                     exchange_services.insert(s.to_string());
                 }
             }
-        }
-    }
-
-    // Dormant loot: loot outputs never spent.
-    let mut dormant = Amount::ZERO;
-    for &(t, v) in loot {
-        let out = &chain.txs[t as usize].outputs[v as usize];
-        if out.spent_by.is_none() {
-            dormant = dormant.checked_add(out.value).expect("overflow");
         }
     }
 
@@ -134,6 +230,40 @@ mod tests {
         assert!(!trace.reached_exchange());
         assert_eq!(trace.to_exchanges, Amount::ZERO);
         assert_eq!(trace.pattern, "F");
+    }
+
+    #[test]
+    fn indexed_and_batch_match_legacy() {
+        let (t, a, b) = theft_chain(true);
+        let dir = exchange_dir(&t);
+        let labels = identify(&t.chain, &ChangeConfig::naive());
+        let graph = TxGraph::build_with_threads(&t.chain, 2);
+
+        let legacy = track_theft(&t.chain, &[a, b], &labels, &dir, 100);
+        let mut scratch = TaintScratch::for_graph(&graph);
+        let indexed = track_theft_indexed(&graph, &[a, b], &labels, &dir, 100, &mut scratch);
+        assert_eq!(legacy, indexed);
+
+        // The batch engine agrees case-for-case at every thread count,
+        // including more workers than thefts.
+        let thefts = vec![vec![a, b], vec![a], vec![b]];
+        let expected: Vec<TheftTrace> = thefts
+            .iter()
+            .map(|loot| track_theft(&t.chain, loot, &labels, &dir, 100))
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            let batch = track_thefts_batch(&graph, &thefts, &labels, &dir, 100, threads);
+            assert_eq!(batch, expected, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn batch_handles_empty_input() {
+        let (t, ..) = theft_chain(false);
+        let dir = exchange_dir(&t);
+        let labels = identify(&t.chain, &ChangeConfig::naive());
+        let graph = TxGraph::build(&t.chain);
+        assert!(track_thefts_batch(&graph, &[], &labels, &dir, 100, 4).is_empty());
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! [`event::EventQueue`] orders message deliveries by virtual time, nodes
 //! are plain state machines, and everything derives from one RNG seed.
 
+#![warn(missing_docs)]
+
 pub mod event;
 pub mod message;
 pub mod metrics;

@@ -30,6 +30,8 @@
 //! assert!(eco.chain.resolved().tx_count() > 100);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod engine;
 pub mod entity;

@@ -1,0 +1,198 @@
+//! Differential tests for the columnar transaction-graph index: the
+//! graph-based traversals must be hop-for-hop and record-for-record
+//! identical to the legacy per-hop resolver walks, on whole simulated
+//! economies — and the batch taint engine must agree with both at every
+//! thread count. This suite is what keeps the legacy path honest while
+//! `repro` runs on the index.
+
+use fistful::core::change::{self, ChangeConfig};
+use fistful::flow::graph::{TaintScratch, TxGraph};
+use fistful::flow::movement::{classify_movements, classify_movements_indexed, pattern_string};
+use fistful::flow::peel::{follow_chain, follow_chain_indexed, FollowStrategy};
+use fistful::flow::theft::{track_theft, track_theft_indexed, track_thefts_batch};
+use fistful::flow::track::{service_arrivals, service_arrivals_indexed};
+use fistful::sim::SimConfig;
+use fistful_bench::{silk_road_starts, theft_loots, Workbench};
+use std::sync::Arc;
+
+fn workbench() -> &'static Workbench {
+    static WB: std::sync::OnceLock<Workbench> = std::sync::OnceLock::new();
+    WB.get_or_init(|| Workbench::build(SimConfig::tiny()))
+}
+
+#[test]
+fn graph_structure_matches_resolver() {
+    let wb = workbench();
+    let chain = wb.eco.chain.resolved();
+    let graph = TxGraph::build_with_threads(chain, 3);
+
+    assert_eq!(graph.tx_count(), chain.tx_count());
+    assert_eq!(graph.address_count(), chain.address_count());
+    assert_eq!(graph.output_count(), chain.total_output_count());
+    assert_eq!(graph.input_count(), chain.total_input_count());
+
+    // Every output's address/value/spender and every input's source agree
+    // with the resolver, and the thread count cannot change the result.
+    for (t, tx) in chain.txs.iter().enumerate() {
+        let t = t as u32;
+        for (v, o) in tx.outputs.iter().enumerate() {
+            let flat = graph.flat(t, v as u32);
+            assert_eq!(graph.address_of(flat), o.address);
+            assert_eq!(graph.value_of(flat), o.value);
+            assert_eq!(graph.spender(t, v as u32), o.spent_by);
+            assert_eq!(graph.outpoint(flat), (t, v as u32));
+        }
+        for (slot, input) in tx.inputs.iter().enumerate() {
+            assert_eq!(graph.inputs(t)[slot], graph.flat(input.prev_tx, input.prev_vout));
+        }
+    }
+    for a in 0..chain.address_count() as u32 {
+        assert_eq!(graph.first_seen(a), Some(chain.first_seen(a)));
+        assert_eq!(graph.last_spent(a), chain.last_spent_in(a));
+    }
+    assert_eq!(graph, TxGraph::build_with_threads(chain, 1));
+}
+
+#[test]
+fn indexed_peel_identical_over_economy() {
+    let wb = workbench();
+    let chain = wb.eco.chain.resolved();
+    let labels = change::identify(chain, &wb.refined_config());
+    let graph = TxGraph::build(chain);
+
+    // Every 13th transaction as a start, both strategies, several bounds.
+    for start in (0..chain.tx_count() as u32).step_by(13) {
+        for strategy in [FollowStrategy::Strict, FollowStrategy::LargestFallback] {
+            for max_hops in [1, 7, 100] {
+                let legacy = follow_chain(chain, &labels, start, max_hops, strategy);
+                let indexed = follow_chain_indexed(&graph, &labels, start, max_hops, strategy);
+                assert_eq!(legacy, indexed, "start {start} {strategy:?} {max_hops}");
+            }
+        }
+    }
+}
+
+#[test]
+fn silk_road_arrivals_identical_over_economy() {
+    let wb = workbench();
+    let chain = wb.eco.chain.resolved();
+    let Some(sr) = &wb.eco.script_report.silk_road else {
+        panic!("tiny scale scripts the Silk Road dissolution");
+    };
+    let labels = change::identify(chain, &wb.refined_config());
+    let snapshot = wb.snapshot();
+    let graph = TxGraph::build(chain);
+    let starts = silk_road_starts(chain, sr);
+    assert!(!starts.is_empty(), "dissolution chains present");
+
+    let (chains, rows) = service_arrivals_indexed(
+        &graph,
+        &labels,
+        &starts,
+        100,
+        FollowStrategy::LargestFallback,
+        &snapshot,
+    );
+    let legacy: Vec<_> = starts
+        .iter()
+        .map(|&s| follow_chain(chain, &labels, s, 100, FollowStrategy::LargestFallback))
+        .collect();
+    assert_eq!(chains, legacy);
+    assert_eq!(rows, service_arrivals(&legacy, &snapshot));
+}
+
+#[test]
+fn theft_traces_identical_and_batch_agrees_at_every_thread_count() {
+    let wb = workbench();
+    let chain = wb.eco.chain.resolved();
+    let labels = change::identify(chain, &wb.refined_config());
+    let snapshot = wb.snapshot();
+    let graph = TxGraph::build(chain);
+    let cases = theft_loots(chain, &wb.eco.script_report.thefts);
+    assert!(cases.len() >= 3, "tiny scale scripts several thefts");
+    let loots: Vec<Vec<(u32, u32)>> = cases.into_iter().map(|(_, loot)| loot).collect();
+
+    // Legacy, indexed (shared scratch), and batch all agree, including
+    // under tight walk bounds.
+    for max_txs in [0, 1, 5, 5_000] {
+        let legacy: Vec<_> = loots
+            .iter()
+            .map(|loot| track_theft(chain, loot, &labels, &snapshot, max_txs))
+            .collect();
+        let mut scratch = TaintScratch::for_graph(&graph);
+        let indexed: Vec<_> = loots
+            .iter()
+            .map(|loot| track_theft_indexed(&graph, loot, &labels, &snapshot, max_txs, &mut scratch))
+            .collect();
+        assert_eq!(legacy, indexed, "max_txs {max_txs}");
+        for threads in [1, 2, 4, 8] {
+            let batch = track_thefts_batch(&graph, &loots, &labels, &snapshot, max_txs, threads);
+            assert_eq!(batch, legacy, "threads {threads} max_txs {max_txs}");
+        }
+    }
+}
+
+#[test]
+fn movement_walks_identical_from_arbitrary_loot() {
+    let wb = workbench();
+    let chain = wb.eco.chain.resolved();
+    let labels = change::identify(chain, &ChangeConfig::naive());
+    let graph = TxGraph::build(chain);
+
+    // Treat a deterministic sample of outputs as loot, including
+    // multi-source sets that share downstream transactions.
+    let mut loot = Vec::new();
+    for (t, tx) in chain.txs.iter().enumerate() {
+        if !tx.outputs.is_empty() && t % 97 == 0 {
+            loot.push((t as u32, (t / 97 % tx.outputs.len()) as u32));
+        }
+    }
+    assert!(loot.len() >= 2);
+    for max_txs in [0, 3, 50, 10_000] {
+        let legacy = classify_movements(chain, &loot, &labels, max_txs);
+        let indexed = classify_movements_indexed(&graph, &loot, &labels, max_txs);
+        assert_eq!(legacy, indexed, "max_txs {max_txs}");
+        assert_eq!(pattern_string(&legacy), pattern_string(&indexed));
+    }
+}
+
+#[test]
+fn snapshot_pairs_with_graph_from_the_same_chain() {
+    let wb = workbench();
+    let chain = wb.eco.chain.resolved();
+    let snapshot = wb.snapshot();
+    let graph = TxGraph::build(chain);
+    assert!(snapshot.pairs_with_chain(graph.address_count(), graph.tx_count() as u64));
+
+    // A graph over a different economy must be rejected.
+    let mut other_cfg = SimConfig::tiny();
+    other_cfg.blocks = 60;
+    other_cfg.users = 10;
+    let other = Workbench::build(other_cfg);
+    let other_graph = TxGraph::build(other.eco.chain.resolved());
+    assert!(!snapshot.pairs_with_chain(other_graph.address_count(), other_graph.tx_count() as u64));
+}
+
+#[test]
+fn graph_is_shareable_across_reader_threads() {
+    let wb = workbench();
+    let chain = wb.eco.chain.resolved();
+    let labels = change::identify(chain, &wb.refined_config());
+    let graph = Arc::new(TxGraph::build(chain));
+    let expected = follow_chain_indexed(&graph, &labels, 0, 100, FollowStrategy::LargestFallback);
+
+    // One Arc<TxGraph>, eight readers, no locks: everyone sees the same
+    // traversal.
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let graph = Arc::clone(&graph);
+            let labels = &labels;
+            let expected = &expected;
+            s.spawn(move || {
+                let got =
+                    follow_chain_indexed(&graph, labels, 0, 100, FollowStrategy::LargestFallback);
+                assert_eq!(&got, expected);
+            });
+        }
+    });
+}

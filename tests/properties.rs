@@ -272,6 +272,116 @@ proptest! {
     }
 }
 
+// ---------- graph differential: indexed vs legacy traversals ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// On arbitrary chains, the columnar graph index must reproduce the
+    /// resolver exactly, and the indexed peel / taint walks must agree
+    /// with the legacy per-hop paths hop-for-hop — peel chains, movement
+    /// records, pattern strings, and the `max_txs` walk bound included.
+    #[test]
+    fn graph_traversals_match_legacy(
+        seed in any::<u64>(),
+        txs in 20usize..120,
+        threads in 1usize..5,
+        max_txs in 0usize..40,
+        max_hops in 1usize..60,
+    ) {
+        use fistful::flow::graph::TxGraph;
+        use fistful::flow::movement::{
+            classify_movements, classify_movements_indexed, pattern_string,
+        };
+        use fistful::flow::peel::{follow_chain, follow_chain_indexed, FollowStrategy};
+
+        let t = random_chain(seed, txs);
+        let chain = &t.chain;
+        let labels = change::identify(chain, &ChangeConfig::naive());
+        let graph = TxGraph::build_with_threads(chain, threads);
+
+        // Structure: the CSR arrays are a lossless view of the resolver,
+        // regardless of how many threads built them.
+        prop_assert_eq!(graph.tx_count(), chain.tx_count());
+        prop_assert_eq!(graph.output_count(), chain.total_output_count());
+        prop_assert_eq!(graph.input_count(), chain.total_input_count());
+        for (tx_id, tx) in chain.txs.iter().enumerate() {
+            for (v, o) in tx.outputs.iter().enumerate() {
+                let flat = graph.flat(tx_id as u32, v as u32);
+                prop_assert_eq!(graph.spender_of(flat), o.spent_by);
+                prop_assert_eq!(graph.address_of(flat), o.address);
+                prop_assert_eq!(graph.value_of(flat), o.value);
+            }
+        }
+
+        // Peeling chains from a sample of starts, both strategies.
+        for start in (0..chain.tx_count() as u32).step_by(5) {
+            for strategy in [FollowStrategy::Strict, FollowStrategy::LargestFallback] {
+                let legacy = follow_chain(chain, &labels, start, max_hops, strategy);
+                let indexed = follow_chain_indexed(&graph, &labels, start, max_hops, strategy);
+                prop_assert_eq!(legacy, indexed);
+            }
+        }
+
+        // Taint walks from a seed-derived loot set (multi-source, so
+        // frontiers can merge), under the given walk bound and a loose one.
+        let mut loot = Vec::new();
+        for (i, tx) in chain.txs.iter().enumerate() {
+            if tx.outputs.is_empty() {
+                continue;
+            }
+            if (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(seed) % 5 == 0 {
+                loot.push((i as u32, (seed as usize % tx.outputs.len()) as u32));
+            }
+        }
+        for bound in [max_txs, 10_000] {
+            let legacy = classify_movements(chain, &loot, &labels, bound);
+            let indexed = classify_movements_indexed(&graph, &loot, &labels, bound);
+            prop_assert_eq!(pattern_string(&legacy), pattern_string(&indexed));
+            prop_assert_eq!(legacy, indexed);
+        }
+    }
+}
+
+proptest! {
+    // Economies are expensive; a handful of seeds suffices.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// On random simulated economies, the batch taint engine over the
+    /// graph must agree with the legacy per-theft walk on every scripted
+    /// theft — verdicts, patterns, exchange arrivals, dormant totals.
+    #[test]
+    fn graph_theft_tracking_matches_legacy_on_economies(seed in 0u64..1000) {
+        use fistful::flow::graph::TxGraph;
+        use fistful::flow::theft::{track_theft, track_thefts_batch};
+        use fistful_bench::{theft_loots, Workbench};
+
+        let mut cfg = SimConfig::tiny();
+        cfg.seed = seed;
+        cfg.blocks = 100;
+        cfg.users = 25;
+        let wb = Workbench::build(cfg);
+        let chain = wb.eco.chain.resolved();
+        let labels = change::identify(chain, &wb.refined_config());
+        let snapshot = wb.snapshot();
+        let graph = TxGraph::build(chain);
+        prop_assert!(snapshot.pairs_with_chain(graph.address_count(), graph.tx_count() as u64));
+
+        let loots: Vec<Vec<(u32, u32)>> = theft_loots(chain, &wb.eco.script_report.thefts)
+            .into_iter()
+            .map(|(_, loot)| loot)
+            .collect();
+        let legacy: Vec<_> = loots
+            .iter()
+            .map(|loot| track_theft(chain, loot, &labels, &snapshot, 5_000))
+            .collect();
+        for threads in [1usize, 3] {
+            let batch = track_thefts_batch(&graph, &loots, &labels, &snapshot, 5_000, threads);
+            prop_assert_eq!(&batch, &legacy);
+        }
+    }
+}
+
 // ---------- snapshot wire format ----------
 
 proptest! {
