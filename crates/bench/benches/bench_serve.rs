@@ -1,0 +1,145 @@
+//! Experiment `serve`: what the query service costs per request.
+//!
+//! Three claims under test:
+//!
+//! 1. **The codec is not the bottleneck.** Request decode and response
+//!    encode are a few array reads and appends — nanoseconds against the
+//!    microseconds of a socket round trip.
+//! 2. **The response cache pays for itself on repeated keys.** A cache hit
+//!    skips decode, handling, and re-encode; for taint requests it skips
+//!    an entire graph walk. Measured end-to-end through the socket with
+//!    the cache on and off over a repeated-key workload.
+//! 3. **Round trips scale with workers.** End-to-end socket round-trip
+//!    throughput with concurrent closed-loop clients at 1/2/4/8 server
+//!    workers (on a single-core container the sweep measures dispatch
+//!    overhead; on multicore it spreads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fistful_bench::{serve_artifacts, theft_loots, Workbench};
+use fistful_chain::encode::Encodable;
+use fistful_serve::{Client, Request, Response, ServeArtifacts, ServeConfig, Server};
+use fistful_sim::SimConfig;
+use std::sync::{Arc, OnceLock};
+
+fn artifacts() -> &'static (Workbench, Arc<ServeArtifacts>) {
+    static FIX: OnceLock<(Workbench, Arc<ServeArtifacts>)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let wb = Workbench::build(SimConfig::default());
+        let artifacts = Arc::new(serve_artifacts(&wb));
+        (wb, artifacts)
+    })
+}
+
+fn start_server(workers: usize, cache_entries: usize) -> Server {
+    let (_, artifacts) = artifacts();
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        cache_entries,
+        ..ServeConfig::default()
+    };
+    Server::start(config, Arc::clone(artifacts)).expect("start bench server")
+}
+
+/// Claim 1: request decode and response encode cost, on a realistic
+/// taint request (the largest request) and an address response.
+fn bench_codec(c: &mut Criterion) {
+    let (wb, artifacts) = artifacts();
+    let loots = theft_loots(wb.eco.chain.resolved(), &wb.eco.script_report.thefts);
+    let loot = loots.first().map(|(_, l)| l.clone()).unwrap_or_else(|| vec![(0, 0)]);
+    let request = Request::TaintTrace { loot, max_txs: 5_000 };
+    let request_payload = request.encode_to_vec();
+    let probe = (artifacts.snapshot.address_count() / 2) as u32;
+    let report = fistful_serve::AddressReport {
+        address: probe,
+        cluster: artifacts.snapshot.cluster_of(probe).expect("covered"),
+        info: artifacts.snapshot.info_of_address(probe).expect("covered").clone(),
+    };
+    let response = Response::AddressInfo(Some(report));
+    let response_payload = response.encode_to_vec();
+
+    let mut g = c.benchmark_group("serve/codec");
+    g.throughput(Throughput::Bytes(request_payload.len() as u64));
+    g.bench_function("request_decode", |b| {
+        b.iter(|| std::hint::black_box(Request::decode_payload(&request_payload).unwrap()))
+    });
+    g.throughput(Throughput::Bytes(response_payload.len() as u64));
+    g.bench_function("response_encode", |b| {
+        b.iter(|| std::hint::black_box(response.encode_to_vec()))
+    });
+    g.bench_function("response_decode", |b| {
+        b.iter(|| std::hint::black_box(Response::decode_payload(&response_payload).unwrap()))
+    });
+    g.finish();
+}
+
+/// Claim 2: cache-on vs cache-off, end to end through the socket, over a
+/// repeated-key workload (the same taint request over and over — the
+/// worst case without a cache, the best case with one).
+fn bench_cache_on_off(c: &mut Criterion) {
+    let (wb, _) = artifacts();
+    let loots = theft_loots(wb.eco.chain.resolved(), &wb.eco.script_report.thefts);
+    let loot = loots.first().map(|(_, l)| l.clone()).unwrap_or_else(|| vec![(0, 0)]);
+    let taint = Request::TaintTrace { loot, max_txs: 5_000 }.encode_to_vec();
+    let addr = Request::AddressInfo { address: 1 }.encode_to_vec();
+
+    let mut g = c.benchmark_group("serve/cache");
+    g.sample_size(10);
+    for (label, cache_entries) in [("on", 4096), ("off", 0)] {
+        let server = start_server(2, cache_entries);
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        // Prime the cache so the measured loop is the steady state.
+        client.call_raw(&taint).expect("prime taint");
+        client.call_raw(&addr).expect("prime addr");
+        g.bench_function(format!("taint_repeated_key_{label}"), |b| {
+            b.iter(|| std::hint::black_box(client.call_raw(&taint).expect("taint")))
+        });
+        g.bench_function(format!("addr_repeated_key_{label}"), |b| {
+            b.iter(|| std::hint::black_box(client.call_raw(&addr).expect("addr")))
+        });
+        drop(client);
+        server.shutdown();
+    }
+    g.finish();
+}
+
+/// Claim 3: end-to-end round-trip throughput at 1/2/4/8 workers, with as
+/// many concurrent closed-loop clients as workers.
+fn bench_round_trips(c: &mut Criterion) {
+    const ROUND_TRIPS_PER_CLIENT: usize = 200;
+    let (_, artifacts) = artifacts();
+    let n = artifacts.snapshot.address_count() as u32;
+
+    let mut g = c.benchmark_group("serve/round_trips");
+    g.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        let server = start_server(workers, 4096);
+        let addr = server.local_addr();
+        g.throughput(Throughput::Elements((workers * ROUND_TRIPS_PER_CLIENT) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &workers| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for t in 0..workers {
+                        s.spawn(move || {
+                            let mut client = Client::connect(addr).expect("connect");
+                            let mut a = (t as u32).wrapping_mul(2_654_435_761) % n;
+                            for _ in 0..ROUND_TRIPS_PER_CLIENT {
+                                a = a.wrapping_mul(1_664_525).wrapping_add(1_013_904_223) % n;
+                                let payload =
+                                    Request::AddressInfo { address: a }.encode_to_vec();
+                                std::hint::black_box(
+                                    client.call_raw(&payload).expect("lookup"),
+                                );
+                            }
+                        });
+                    }
+                })
+            })
+        });
+        server.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_cache_on_off, bench_round_trips);
+criterion_main!(benches);

@@ -1,20 +1,27 @@
 //! `repro` — regenerates every table and figure of the paper, writes /
-//! serves frozen cluster snapshots, and batch-tracks thefts over the
-//! transaction-graph index.
+//! serves frozen cluster snapshots, batch-tracks thefts over the
+//! transaction-graph index, and runs / load-tests the TCP query service.
 //!
-//! Usage: `repro [--scale tiny|default|paper] [experiment...]`
-//! where each `experiment` is one of `fig1 tab1 h1 fp super h2 fig2 tab2
-//! tab3` (default: `all`). Repeated experiments run once; `all` must stand
-//! alone. `repro snapshot save <file>` clusters the simulated economy once
-//! and writes the [`ClusterSnapshot`] artifact; `repro snapshot query
-//! <file>` reloads it and answers address → cluster lookups without
-//! replaying the chain. `repro taint` builds the columnar
-//! [`TxGraph`] once and tracks the scripted thefts concurrently over it,
-//! cross-checking the batch result against the legacy per-theft walk.
-//! Parsing lives in [`fistful_bench::cli`].
+//! Usage: `repro [--scale tiny|default|paper] [--json] [--out FILE]
+//! [experiment...]` where each `experiment` is one of `fig1 tab1 h1 fp
+//! super h2 fig2 tab2 tab3` (default: `all`). Repeated experiments run
+//! once; `all` must stand alone; `--json` additionally emits one
+//! machine-readable timing object per experiment. `repro snapshot save
+//! <file>` clusters the simulated economy once and writes the
+//! [`ClusterSnapshot`] artifact; `repro snapshot query <file>` reloads it
+//! and answers address → cluster lookups without replaying the chain.
+//! `repro taint` builds the columnar [`TxGraph`] once and tracks the
+//! scripted thefts concurrently over it, cross-checking the batch result
+//! against the legacy per-theft walk. `repro serve` starts the
+//! `fistful-serve` query server over the simulated economy; `repro
+//! serve-bench` drives a closed-loop load generator against it, sweeping
+//! worker counts with the response cache on and off. Parsing lives in
+//! [`fistful_bench::cli`].
 
-use fistful_bench::cli::{self, CliOutcome, Command, RunPlan};
-use fistful_bench::{btc_round, silk_road_starts, theft_loots, Workbench};
+use fistful_bench::cli::{self, CliOutcome, Command, RunPlan, DEFAULT_SERVE_CACHE};
+use fistful_bench::json::Json;
+use fistful_bench::servebench::{self, RequestKind, RequestPools};
+use fistful_bench::{btc_round, serve_artifacts, silk_road_starts, theft_loots, Workbench};
 use fistful_chain::amount::Amount;
 use fistful_core::change::{self, ChangeConfig, BLOCKS_PER_DAY, BLOCKS_PER_WEEK};
 use fistful_core::fp;
@@ -48,6 +55,52 @@ fn main() {
         Command::Taint { scale, thefts, threads, max_txs } => {
             taint(&scale, &thefts, threads, max_txs)
         }
+        Command::Serve { scale, port, workers, cache } => serve(&scale, port, workers, cache),
+        Command::ServeBench { scale, threads, connections, requests, mix, json, out } => {
+            serve_bench(&scale, &threads, connections, requests, &mix, json, out.as_deref())
+        }
+    }
+}
+
+/// Collects `--json` output lines and delivers them at exit: to stdout
+/// (after the human-readable output) or to the `--out` file.
+struct JsonSink {
+    enabled: bool,
+    out: Option<String>,
+    lines: Vec<String>,
+}
+
+impl JsonSink {
+    fn new(enabled: bool, out: Option<&str>) -> JsonSink {
+        JsonSink { enabled, out: out.map(str::to_string), lines: Vec::new() }
+    }
+
+    fn push(&mut self, object: Json) {
+        if self.enabled {
+            self.lines.push(object.emit());
+        }
+    }
+
+    fn finish(self) {
+        if !self.enabled {
+            return;
+        }
+        match self.out {
+            None => {
+                for line in &self.lines {
+                    println!("{line}");
+                }
+            }
+            Some(path) => {
+                let mut body = self.lines.join("\n");
+                body.push('\n');
+                if let Err(e) = std::fs::write(&path, body) {
+                    eprintln!("repro: cannot write `{path}`: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("# wrote {} JSON object(s) to {path}", self.lines.len());
+            }
+        }
     }
 }
 
@@ -63,10 +116,24 @@ fn sim_config(scale: &str) -> SimConfig {
 fn run_experiments(plan: &RunPlan) {
     let cfg = sim_config(&plan.scale);
     let want = |name: &str| plan.experiments.iter().any(|e| e == name);
+    let mut sink = JsonSink::new(plan.json, plan.out.as_deref());
+    // One timing object per experiment: the stable perf-trajectory record
+    // (schema `fistful.repro.run/1`) a BENCH_*.json file accumulates
+    // across PRs.
+    let record = |sink: &mut JsonSink, experiment: &str, scale: &str, seconds: f64| {
+        sink.push(Json::obj(vec![
+            ("schema", "fistful.repro.run/1".into()),
+            ("experiment", experiment.into()),
+            ("scale", scale.into()),
+            ("seconds", seconds.into()),
+        ]));
+    };
 
     // Figure 1 needs no economy.
     if want("fig1") {
+        let t = std::time::Instant::now();
         fig1();
+        record(&mut sink, "fig1", &plan.scale, t.elapsed().as_secs_f64());
     }
 
     // Everything except fig1 runs over the simulated economy.
@@ -83,6 +150,7 @@ fn run_experiments(plan: &RunPlan) {
             wb.eco.chain.resolved().tx_count(),
             wb.eco.chain.resolved().address_count()
         );
+        record(&mut sink, "economy", &plan.scale, t0.elapsed().as_secs_f64());
         // The graph-backed experiments share one index, built once.
         let graph = plan
             .experiments
@@ -90,8 +158,9 @@ fn run_experiments(plan: &RunPlan) {
             .any(|e| e == "tab2" || e == "tab3")
             .then(|| TxGraph::build(wb.eco.chain.resolved()));
         for exp in &plan.experiments {
+            let t = std::time::Instant::now();
             match exp.as_str() {
-                "fig1" => {} // already ran, economy-free
+                "fig1" => continue, // already ran, economy-free
                 "tab1" => tab1(&wb),
                 "h1" => h1_stats(&wb),
                 "fp" => fp_ladder(&wb),
@@ -102,7 +171,155 @@ fn run_experiments(plan: &RunPlan) {
                 "tab3" => tab3(&wb, graph.as_ref().expect("graph built for tab3")),
                 other => unreachable!("cli::parse admitted unknown experiment `{other}`"),
             }
+            record(&mut sink, exp, &plan.scale, t.elapsed().as_secs_f64());
         }
+    }
+    sink.finish();
+}
+
+/// `serve`: build the serving artifacts once, then answer the binary
+/// query protocol until the process is killed.
+fn serve(scale: &str, port: u16, workers: usize, cache: usize) {
+    let cfg = sim_config(scale);
+    eprintln!(
+        "# building economy (scale={scale}, blocks={}, users={}) ...",
+        cfg.blocks, cfg.users
+    );
+    let t0 = std::time::Instant::now();
+    let wb = Workbench::build(cfg);
+    eprintln!("# economy ready in {:.1?}; clustering + indexing ...", t0.elapsed());
+    let t1 = std::time::Instant::now();
+    let artifacts = std::sync::Arc::new(serve_artifacts(&wb));
+    eprintln!("# serving artifacts ready in {:.1?}", t1.elapsed());
+
+    let config = fistful_serve::ServeConfig {
+        addr: format!("127.0.0.1:{port}"),
+        workers,
+        cache_entries: cache,
+        max_taint_txs: cli::DEFAULT_TAINT_MAX_TXS,
+    };
+    let server = match fistful_serve::Server::start(config, artifacts) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("repro: cannot start server: {e}");
+            std::process::exit(1);
+        }
+    };
+    let stats = server.stats();
+    println!(
+        "serving {} addresses / {} clusters / {} txs on {} with {} workers (cache: {})",
+        stats.address_count,
+        stats.cluster_count,
+        stats.tx_count,
+        server.local_addr(),
+        stats.workers,
+        if cache > 0 { format!("{cache} entries") } else { "off".to_string() }
+    );
+    println!("query it with fistful_serve::Client; stop with ctrl-c");
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// `serve-bench`: sweep server worker counts with the response cache on
+/// and off, driving the closed-loop load generator against each.
+fn serve_bench(
+    scale: &str,
+    threads: &[usize],
+    connections: usize,
+    requests: usize,
+    mix: &[(String, u32)],
+    json: bool,
+    out: Option<&str>,
+) {
+    let cfg = sim_config(scale);
+    eprintln!(
+        "# building economy (scale={scale}, blocks={}, users={}) ...",
+        cfg.blocks, cfg.users
+    );
+    let wb = Workbench::build(cfg);
+    let artifacts = std::sync::Arc::new(serve_artifacts(&wb));
+    let loots: Vec<Vec<(u32, u32)>> =
+        theft_loots(wb.eco.chain.resolved(), &wb.eco.script_report.thefts)
+            .into_iter()
+            .map(|(_, loot)| loot)
+            .collect();
+    let pools = RequestPools::build(&artifacts, &loots, 256, cli::DEFAULT_TAINT_MAX_TXS as u32);
+    let mix: Vec<(RequestKind, u32)> = mix
+        .iter()
+        .map(|(name, weight)| {
+            (RequestKind::from_name(name).expect("cli validated mix kinds"), *weight)
+        })
+        .collect();
+
+    let mut sink = JsonSink::new(json, out);
+    for &workers in threads {
+        for cache_entries in [DEFAULT_SERVE_CACHE, 0] {
+            let config = fistful_serve::ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers,
+                cache_entries,
+                max_taint_txs: cli::DEFAULT_TAINT_MAX_TXS,
+            };
+            let server =
+                match fistful_serve::Server::start(config, std::sync::Arc::clone(&artifacts)) {
+                    Ok(server) => server,
+                    Err(e) => {
+                        eprintln!("repro: cannot start bench server: {e}");
+                        std::process::exit(1);
+                    }
+                };
+            let before = server.stats();
+            let measured =
+                servebench::run_load(server.local_addr(), &pools, &mix, connections, requests);
+            let after = server.stats();
+            server.shutdown();
+            let summary = servebench::summarize(
+                measured,
+                workers,
+                cache_entries,
+                connections,
+                requests,
+                &before,
+                &after,
+            );
+            print_serve_bench_run(&summary);
+            sink.push(summary.to_json(scale));
+        }
+    }
+    sink.finish();
+}
+
+/// Human-readable report of one serve-bench run.
+fn print_serve_bench_run(s: &servebench::RunSummary) {
+    println!(
+        "\n== serve-bench: {} worker(s), cache {} ==",
+        s.workers,
+        if s.cache_entries > 0 { format!("on ({} entries)", s.cache_entries) } else { "off".to_string() }
+    );
+    println!(
+        "{} connection(s) x {} requests = {} total in {:.2}s ({:.0} req/s); cache {} hits / {} misses",
+        s.connections,
+        s.requests_per_connection,
+        s.total_requests,
+        s.elapsed_secs,
+        s.rps,
+        s.cache_hits,
+        s.cache_misses
+    );
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>10}",
+        "type", "count", "req/s", "p50 us", "p99 us"
+    );
+    for t in &s.types {
+        println!(
+            "{:<10} {:>8} {:>10.0} {:>10.1} {:>10.1}",
+            t.kind.label(),
+            t.count,
+            t.rps,
+            t.p50_us,
+            t.p99_us
+        );
     }
 }
 

@@ -1,6 +1,8 @@
 //! Argument parsing for the `repro` binary, factored out so the dedupe,
-//! `all`-mixing, `snapshot` and `taint` subcommand rules are unit-testable
-//! without spawning the binary.
+//! `all`-mixing, `--json`, and `snapshot`/`taint`/`serve`/`serve-bench`
+//! subcommand rules are unit-testable without spawning the binary.
+
+use crate::servebench::RequestKind;
 
 /// Every experiment `repro` knows, in presentation order.
 pub const EXPERIMENTS: [&str; 9] =
@@ -16,18 +18,43 @@ pub const DEFAULT_QUERY_TOP: usize = 10;
 /// `tab3` uses).
 pub const DEFAULT_TAINT_MAX_TXS: usize = 5_000;
 
+/// Default port for `repro serve`.
+pub const DEFAULT_SERVE_PORT: u16 = 7833;
+
+/// Default response-cache capacity for `repro serve` and `serve-bench`.
+pub const DEFAULT_SERVE_CACHE: usize = 4096;
+
+/// Default concurrent connections for `repro serve-bench`.
+pub const DEFAULT_BENCH_CONNECTIONS: usize = 4;
+
+/// Default requests per connection for `repro serve-bench`.
+pub const DEFAULT_BENCH_REQUESTS: usize = 2_000;
+
+/// Default server-worker sweep for `repro serve-bench`.
+pub const DEFAULT_BENCH_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Default request mix for `repro serve-bench`.
+pub const DEFAULT_BENCH_MIX: &str = "addr:6,cluster:2,balance:1,taint:1";
+
 /// The usage string printed by `--help` and on argument errors. Derives
 /// the experiment and scale lists from [`EXPERIMENTS`] / [`SCALES`] so the
 /// help text cannot drift from what the parser accepts.
 pub fn usage() -> String {
     let scales = SCALES.join("|");
+    let mix_kinds = RequestKind::ALL.map(RequestKind::label).join("|");
     format!(
-        "usage: repro [--scale {scales}] [experiment...]\n\
+        "usage: repro [--scale {scales}] [--json] [--out FILE] [experiment...]\n\
          \x20      repro snapshot save <file> [--scale {scales}]\n\
          \x20      repro snapshot query <file> [address-id...] [--top N]\n\
          \x20      repro taint [--scale {scales}] [--thefts all|name,name,...]\n\
          \x20                  [--threads N] [--max-txs M]\n\
+         \x20      repro serve [--scale {scales}] [--port P] [--workers N] [--cache N]\n\
+         \x20      repro serve-bench [--scale {scales}] [--threads N,N,...]\n\
+         \x20                  [--connections M] [--requests R] [--mix kind:w,...]\n\
+         \x20                  [--json] [--out FILE]\n\
          experiments: all {} (default: all)\n\
+         --json emits one machine-readable JSON object per experiment (to\n\
+         \x20      stdout, or to FILE with --out, which implies --json)\n\
          snapshot subcommands:\n\
          \x20 save  — cluster the simulated economy (refined H2 + naming) and\n\
          \x20         write the frozen ClusterSnapshot artifact to <file>\n\
@@ -36,7 +63,14 @@ pub fn usage() -> String {
          taint — build the columnar transaction-graph index once and track\n\
          \x20        the scripted thefts concurrently over it (batch engine),\n\
          \x20        checked against and timed versus the legacy per-theft\n\
-         \x20        walk; --thefts selects cases by name (default: all)",
+         \x20        walk; --thefts selects cases by name (default: all)\n\
+         serve — cluster once, build the graph, and answer the binary query\n\
+         \x20        protocol on --port until killed (--workers 0 = one per\n\
+         \x20        core; --cache 0 disables the response cache)\n\
+         serve-bench — closed-loop load generator against an in-process\n\
+         \x20        server: sweeps --threads worker counts with the cache on\n\
+         \x20        and off, reporting throughput and p50/p99 latency per\n\
+         \x20        request type; mix kinds: {mix_kinds}",
         EXPERIMENTS.join(" ")
     )
 }
@@ -50,6 +84,10 @@ pub struct RunPlan {
     /// Experiments to run, in first-mention order, deduplicated. Contains
     /// every experiment when `all` (or nothing) was requested.
     pub experiments: Vec<String>,
+    /// Emit one machine-readable JSON timing object per experiment.
+    pub json: bool,
+    /// Where the JSON objects go (`None` = stdout). Implies `json`.
+    pub out: Option<String>,
 }
 
 /// A fully parsed `repro` invocation.
@@ -86,6 +124,36 @@ pub enum Command {
         threads: usize,
         /// Per-theft taint-walk transaction bound.
         max_txs: usize,
+    },
+    /// `serve`: build the serving artifacts once and run the TCP query
+    /// server until killed.
+    Serve {
+        /// One of [`SCALES`].
+        scale: String,
+        /// TCP port to listen on.
+        port: u16,
+        /// Worker threads; `0` means one per core.
+        workers: usize,
+        /// Response-cache capacity; `0` disables caching.
+        cache: usize,
+    },
+    /// `serve-bench`: the closed-loop load generator over an in-process
+    /// server, swept across worker counts with the cache on and off.
+    ServeBench {
+        /// One of [`SCALES`].
+        scale: String,
+        /// Server worker counts to sweep, in order.
+        threads: Vec<usize>,
+        /// Concurrent client connections.
+        connections: usize,
+        /// Requests per connection.
+        requests: usize,
+        /// Weighted request mix as `(kind, weight)` pairs.
+        mix: Vec<(String, u32)>,
+        /// Emit one machine-readable JSON object per run.
+        json: bool,
+        /// Where the JSON objects go (`None` = stdout). Implies `json`.
+        out: Option<String>,
     },
 }
 
@@ -124,20 +192,31 @@ fn parse_scale(next: Option<&String>) -> Result<String, CliOutcome> {
 ///   and `--max-txs`, plus `--thefts` naming the cases to track (`all`, the
 ///   default, must stand alone — the same rule as the experiment list).
 pub fn parse(args: &[String]) -> Result<Command, CliOutcome> {
-    if args.first().map(String::as_str) == Some("snapshot") {
-        return parse_snapshot(&args[1..]);
-    }
-    if args.first().map(String::as_str) == Some("taint") {
-        return parse_taint(&args[1..]);
+    match args.first().map(String::as_str) {
+        Some("snapshot") => return parse_snapshot(&args[1..]),
+        Some("taint") => return parse_taint(&args[1..]),
+        Some("serve") => return parse_serve(&args[1..]),
+        Some("serve-bench") => return parse_serve_bench(&args[1..]),
+        _ => {}
     }
     let mut scale = "default".to_string();
     let mut named: Vec<String> = Vec::new();
     let mut saw_all = false;
+    let mut json = false;
+    let mut out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => scale = parse_scale(it.next())?,
             "--help" | "-h" => return Err(CliOutcome::Help),
+            "--json" => json = true,
+            "--out" => {
+                let Some(path) = it.next() else {
+                    return Err(CliOutcome::Error("--out requires a file path".to_string()));
+                };
+                out = Some(path.clone());
+                json = true;
+            }
             "all" => saw_all = true,
             other => {
                 if !EXPERIMENTS.contains(&other) {
@@ -159,7 +238,143 @@ pub fn parse(args: &[String]) -> Result<Command, CliOutcome> {
     } else {
         named
     };
-    Ok(Command::Run(RunPlan { scale, experiments }))
+    Ok(Command::Run(RunPlan { scale, experiments, json, out }))
+}
+
+/// Parses a positive integer option value.
+fn parse_count(flag: &str, next: Option<&String>) -> Result<usize, CliOutcome> {
+    match next.and_then(|s| s.parse().ok()) {
+        Some(n) if n > 0 => Ok(n),
+        _ => Err(CliOutcome::Error(format!("invalid {flag} value"))),
+    }
+}
+
+/// Parses the arguments after the `serve` keyword.
+fn parse_serve(args: &[String]) -> Result<Command, CliOutcome> {
+    let mut scale = "default".to_string();
+    let mut port = DEFAULT_SERVE_PORT;
+    let mut workers = 0usize;
+    let mut cache = DEFAULT_SERVE_CACHE;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => scale = parse_scale(it.next())?,
+            "--help" | "-h" => return Err(CliOutcome::Help),
+            "--port" => {
+                port = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(p) => p,
+                    None => return Err(CliOutcome::Error("invalid --port value".to_string())),
+                };
+            }
+            "--workers" => {
+                workers = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => return Err(CliOutcome::Error("invalid --workers value".to_string())),
+                };
+            }
+            "--cache" => {
+                cache = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => return Err(CliOutcome::Error("invalid --cache value".to_string())),
+                };
+            }
+            other => return Err(CliOutcome::Error(format!("unknown serve option `{other}`"))),
+        }
+    }
+    Ok(Command::Serve { scale, port, workers, cache })
+}
+
+/// Parses a `--mix kind:weight,...` specification.
+fn parse_mix(spec: &str) -> Result<Vec<(String, u32)>, CliOutcome> {
+    let mut mix: Vec<(String, u32)> = Vec::new();
+    for entry in spec.split(',') {
+        let Some((kind, weight)) = entry.split_once(':') else {
+            return Err(CliOutcome::Error(format!(
+                "mix entry `{entry}` is not of the form kind:weight"
+            )));
+        };
+        let kind = kind.trim();
+        if RequestKind::from_name(kind).is_none() {
+            let known = RequestKind::ALL.map(RequestKind::label).join(", ");
+            return Err(CliOutcome::Error(format!(
+                "unknown mix kind `{kind}` (known: {known})"
+            )));
+        }
+        let weight: u32 = match weight.trim().parse() {
+            Ok(w) if w > 0 => w,
+            _ => {
+                return Err(CliOutcome::Error(format!(
+                    "mix weight for `{kind}` must be a positive integer"
+                )))
+            }
+        };
+        if mix.iter().any(|(k, _)| k == kind) {
+            return Err(CliOutcome::Error(format!("mix names `{kind}` twice")));
+        }
+        mix.push((kind.to_string(), weight));
+    }
+    Ok(mix)
+}
+
+/// Parses the arguments after the `serve-bench` keyword.
+fn parse_serve_bench(args: &[String]) -> Result<Command, CliOutcome> {
+    let mut scale = "default".to_string();
+    let mut threads: Vec<usize> = DEFAULT_BENCH_THREADS.to_vec();
+    let mut connections = DEFAULT_BENCH_CONNECTIONS;
+    let mut requests = DEFAULT_BENCH_REQUESTS;
+    let mut mix = parse_mix(DEFAULT_BENCH_MIX).expect("default mix parses");
+    let mut json = false;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => scale = parse_scale(it.next())?,
+            "--help" | "-h" => return Err(CliOutcome::Help),
+            "--threads" => {
+                let Some(list) = it.next() else {
+                    return Err(CliOutcome::Error("invalid --threads value".to_string()));
+                };
+                threads = Vec::new();
+                for part in list.split(',') {
+                    match part.trim().parse::<usize>() {
+                        Ok(n) if n > 0 => {
+                            if !threads.contains(&n) {
+                                threads.push(n);
+                            }
+                        }
+                        _ => {
+                            return Err(CliOutcome::Error(format!(
+                                "invalid worker count `{part}` in --threads"
+                            )))
+                        }
+                    }
+                }
+                if threads.is_empty() {
+                    return Err(CliOutcome::Error("--threads names no worker counts".to_string()));
+                }
+            }
+            "--connections" => connections = parse_count("--connections", it.next())?,
+            "--requests" => requests = parse_count("--requests", it.next())?,
+            "--mix" => {
+                let Some(spec) = it.next() else {
+                    return Err(CliOutcome::Error("--mix requires a value".to_string()));
+                };
+                mix = parse_mix(spec)?;
+            }
+            "--json" => json = true,
+            "--out" => {
+                let Some(path) = it.next() else {
+                    return Err(CliOutcome::Error("--out requires a file path".to_string()));
+                };
+                out = Some(path.clone());
+                json = true;
+            }
+            other => {
+                return Err(CliOutcome::Error(format!("unknown serve-bench option `{other}`")))
+            }
+        }
+    }
+    Ok(Command::ServeBench { scale, threads, connections, requests, mix, json, out })
 }
 
 /// Parses the arguments after the `snapshot` keyword.
@@ -484,8 +699,142 @@ mod tests {
         for scale in SCALES {
             assert!(usage.contains(scale), "usage is missing scale `{scale}`");
         }
-        for needle in ["snapshot save", "snapshot query", "--top", "taint", "--thefts"] {
+        for needle in [
+            "snapshot save",
+            "snapshot query",
+            "--top",
+            "taint",
+            "--thefts",
+            "serve",
+            "serve-bench",
+            "--json",
+            "--out",
+            "--connections",
+            "--mix",
+        ] {
             assert!(usage.contains(needle), "usage is missing `{needle}`");
         }
+        for kind in RequestKind::ALL {
+            assert!(usage.contains(kind.label()), "usage is missing mix kind `{}`", kind.label());
+        }
+    }
+
+    #[test]
+    fn json_and_out_flags_parse_on_run_mode() {
+        let plan = run_plan(&["--json", "fig1"]);
+        assert!(plan.json);
+        assert_eq!(plan.out, None);
+        // --out implies --json.
+        let plan = run_plan(&["--out", "results.json", "h1"]);
+        assert!(plan.json);
+        assert_eq!(plan.out.as_deref(), Some("results.json"));
+        // Neither flag set by default.
+        let plan = run_plan(&["fig1"]);
+        assert!(!plan.json);
+        assert!(plan.out.is_none());
+        assert!(matches!(parse(&args(&["--out"])), Err(CliOutcome::Error(_))));
+    }
+
+    #[test]
+    fn serve_parses_defaults_and_overrides() {
+        assert_eq!(
+            parse(&args(&["serve"])).unwrap(),
+            Command::Serve {
+                scale: "default".into(),
+                port: DEFAULT_SERVE_PORT,
+                workers: 0,
+                cache: DEFAULT_SERVE_CACHE
+            }
+        );
+        assert_eq!(
+            parse(&args(&[
+                "serve", "--scale", "tiny", "--port", "9000", "--workers", "4", "--cache", "0"
+            ]))
+            .unwrap(),
+            Command::Serve { scale: "tiny".into(), port: 9000, workers: 4, cache: 0 }
+        );
+    }
+
+    #[test]
+    fn serve_errors_are_usage_errors() {
+        for bad in [
+            &["serve", "--port", "notaport"][..],
+            &["serve", "--port", "99999"],
+            &["serve", "--workers", "many"],
+            &["serve", "--cache"],
+            &["serve", "--scale", "huge"],
+            &["serve", "stray"],
+        ] {
+            assert!(
+                matches!(parse(&args(bad)), Err(CliOutcome::Error(_))),
+                "expected usage error for {bad:?}"
+            );
+        }
+        assert_eq!(parse(&args(&["serve", "--help"])), Err(CliOutcome::Help));
+    }
+
+    #[test]
+    fn serve_bench_parses_defaults_and_overrides() {
+        let Command::ServeBench { scale, threads, connections, requests, mix, json, out } =
+            parse(&args(&["serve-bench"])).unwrap()
+        else {
+            panic!("expected serve-bench");
+        };
+        assert_eq!(scale, "default");
+        assert_eq!(threads, DEFAULT_BENCH_THREADS.to_vec());
+        assert_eq!(connections, DEFAULT_BENCH_CONNECTIONS);
+        assert_eq!(requests, DEFAULT_BENCH_REQUESTS);
+        assert_eq!(mix, parse_mix(DEFAULT_BENCH_MIX).unwrap());
+        assert!(!json && out.is_none());
+
+        let Command::ServeBench { threads, connections, requests, mix, json, out, .. } =
+            parse(&args(&[
+                "serve-bench",
+                "--threads",
+                "2,1,2",
+                "--connections",
+                "8",
+                "--requests",
+                "100",
+                "--mix",
+                "ping:1,taint:3",
+                "--out",
+                "bench.json",
+            ]))
+            .unwrap()
+        else {
+            panic!("expected serve-bench");
+        };
+        // Duplicate worker counts collapse, order kept.
+        assert_eq!(threads, vec![2, 1]);
+        assert_eq!(connections, 8);
+        assert_eq!(requests, 100);
+        assert_eq!(mix, vec![("ping".to_string(), 1), ("taint".to_string(), 3)]);
+        assert!(json, "--out implies --json");
+        assert_eq!(out.as_deref(), Some("bench.json"));
+    }
+
+    #[test]
+    fn serve_bench_errors_are_usage_errors() {
+        for bad in [
+            &["serve-bench", "--threads", "0"][..],
+            &["serve-bench", "--threads", "1,x"],
+            &["serve-bench", "--threads"],
+            &["serve-bench", "--connections", "0"],
+            &["serve-bench", "--requests", "none"],
+            &["serve-bench", "--mix", "addr"],
+            &["serve-bench", "--mix", "addr:0"],
+            &["serve-bench", "--mix", "bogus:1"],
+            &["serve-bench", "--mix", "addr:1,addr:2"],
+            &["serve-bench", "--mix"],
+            &["serve-bench", "--out"],
+            &["serve-bench", "--bogus"],
+        ] {
+            assert!(
+                matches!(parse(&args(bad)), Err(CliOutcome::Error(_))),
+                "expected usage error for {bad:?}"
+            );
+        }
+        assert_eq!(parse(&args(&["serve-bench", "-h"])), Err(CliOutcome::Help));
     }
 }

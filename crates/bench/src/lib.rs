@@ -2,6 +2,8 @@
 //! derives everything the paper's tables and figures need.
 
 pub mod cli;
+pub mod json;
+pub mod servebench;
 
 use fistful_chain::resolve::AddressId;
 use fistful_core::change::ChangeConfig;
@@ -70,6 +72,32 @@ impl Workbench {
             .collect::<HashSet<_>>()
             .len()
     }
+}
+
+/// Derives the query service's full serving bundle from a finished
+/// workbench: the frozen snapshot, the transaction-graph index, the
+/// refined Heuristic-2 change labels, and the precomputed balance series
+/// (sampled like `repro fig2`). Shared by `repro serve`, `repro
+/// serve-bench`, `bench_serve`, and the socket integration suite.
+///
+/// The refined clustering is run once and its own change labels
+/// (`Clustering::change_labels`) are reused for the taint handlers —
+/// identical to a fresh `change::identify` pass with the same
+/// configuration, without paying the O(chain) scan twice.
+pub fn serve_artifacts(wb: &Workbench) -> fistful_serve::ServeArtifacts {
+    let chain = wb.eco.chain.resolved();
+    let mut refined = wb.cluster_with(wb.refined_config());
+    let labels = refined
+        .change_labels
+        .take()
+        .expect("with_h2 clustering keeps its change labels");
+    let names = name_clusters(&refined, &wb.tagdb);
+    let snapshot = ClusterSnapshot::build(chain, &refined, &names);
+    let every = (wb.eco.cfg.blocks / 24).max(1);
+    let balances = fistful_flow::balance_series(chain, &snapshot, every);
+    let graph = fistful_flow::graph::TxGraph::build(chain);
+    fistful_serve::ServeArtifacts::new(snapshot, graph, labels, balances)
+        .expect("artifacts all derive from one chain")
 }
 
 /// Converts the simulator's raw tags into an interned [`TagDb`].

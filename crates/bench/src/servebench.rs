@@ -1,0 +1,378 @@
+//! The closed-loop load generator behind `repro serve-bench`.
+//!
+//! Each connection is one thread in a closed loop: send a request, block
+//! for the response, record the latency, repeat. Requests are drawn from
+//! a weighted mix over pre-encoded payload pools (so the measurement
+//! covers the socket round trip, not client-side encoding), with keys
+//! drawn from a deliberately small *hot set* — the repeated-key workload
+//! that lets the server's response cache show its worth. All draws come
+//! from a per-connection deterministic LCG, so runs are reproducible.
+
+use crate::json::Json;
+use fistful_serve::protocol::Request;
+use fistful_serve::{Client, ServeArtifacts, ServerStats};
+use fistful_chain::encode::Encodable;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+/// The request kinds the mix can name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// `Ping` liveness probes.
+    Ping,
+    /// `Stats` counter reads.
+    Stats,
+    /// `AddressInfo` lookups.
+    Addr,
+    /// `ClusterSummary` lookups.
+    Cluster,
+    /// `TaintTrace` walks.
+    Taint,
+    /// `BalancePoint` samples.
+    Balance,
+}
+
+impl RequestKind {
+    /// Every kind, in presentation order.
+    pub const ALL: [RequestKind; 6] = [
+        RequestKind::Ping,
+        RequestKind::Stats,
+        RequestKind::Addr,
+        RequestKind::Cluster,
+        RequestKind::Taint,
+        RequestKind::Balance,
+    ];
+
+    /// The name used in `--mix` specs and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            RequestKind::Ping => "ping",
+            RequestKind::Stats => "stats",
+            RequestKind::Addr => "addr",
+            RequestKind::Cluster => "cluster",
+            RequestKind::Taint => "taint",
+            RequestKind::Balance => "balance",
+        }
+    }
+
+    /// Parses a `--mix` kind name.
+    pub fn from_name(name: &str) -> Option<RequestKind> {
+        RequestKind::ALL.into_iter().find(|k| k.label() == name)
+    }
+
+    fn index(self) -> usize {
+        RequestKind::ALL.iter().position(|&k| k == self).expect("kind in ALL")
+    }
+}
+
+/// Pre-encoded request payloads, one pool per kind, keys drawn from small
+/// hot sets so repeated requests actually repeat.
+pub struct RequestPools {
+    pools: [Vec<Vec<u8>>; 6],
+}
+
+impl RequestPools {
+    /// Builds the pools from the serving artifacts: `hot_keys` distinct
+    /// addresses / clusters / heights (strided over each space), plus one
+    /// taint request per supplied loot set.
+    pub fn build(
+        artifacts: &ServeArtifacts,
+        loots: &[Vec<(u32, u32)>],
+        hot_keys: usize,
+        max_txs: u32,
+    ) -> RequestPools {
+        let hot = hot_keys.max(1) as u64;
+        let addresses = artifacts.snapshot.address_count().max(1) as u64;
+        let clusters = artifacts.snapshot.cluster_count().max(1) as u64;
+        let tip = artifacts.snapshot.tip_height().max(1);
+        let pool = |requests: Vec<Request>| -> Vec<Vec<u8>> {
+            requests.iter().map(Encodable::encode_to_vec).collect()
+        };
+        let strided = |space: u64| -> Vec<u64> {
+            (0..hot.min(space)).map(|i| i.wrapping_mul(2_654_435_761) % space).collect()
+        };
+        let taint: Vec<Request> = if loots.is_empty() {
+            // No scripted thefts on this chain: fall back to output 0 of
+            // transaction 0 so the mix kind still exercises the walk path.
+            vec![Request::TaintTrace { loot: vec![(0, 0)], max_txs }]
+        } else {
+            loots
+                .iter()
+                .map(|loot| Request::TaintTrace { loot: loot.clone(), max_txs })
+                .collect()
+        };
+        RequestPools {
+            pools: [
+                pool(vec![Request::Ping]),
+                pool(vec![Request::Stats]),
+                pool(strided(addresses).iter().map(|&a| Request::AddressInfo { address: a as u32 }).collect()),
+                pool(strided(clusters).iter().map(|&c| Request::ClusterSummary { cluster: c as u32 }).collect()),
+                pool(taint),
+                pool((0..hot).map(|i| Request::BalancePoint { height: tip * (i + 1) / hot }).collect()),
+            ],
+        }
+    }
+}
+
+/// The measured latencies of one run: nanoseconds per request, grouped by
+/// kind (indexed like [`RequestKind::ALL`]), plus the wall-clock elapsed.
+pub struct LoadMeasurement {
+    /// Per-kind latencies in nanoseconds, unsorted.
+    pub latencies_ns: [Vec<u64>; 6],
+    /// Wall-clock time from first request to last response.
+    pub elapsed: Duration,
+}
+
+/// Drives `connections` closed-loop client threads, each issuing
+/// `requests_per_connection` requests drawn from the weighted `mix`.
+///
+/// Panics if a response cannot be read or decodes to an error frame —
+/// a load run against a healthy server must be error-free to mean
+/// anything.
+pub fn run_load(
+    addr: SocketAddr,
+    pools: &RequestPools,
+    mix: &[(RequestKind, u32)],
+    connections: usize,
+    requests_per_connection: usize,
+) -> LoadMeasurement {
+    assert!(!mix.is_empty(), "mix must name at least one request kind");
+    let total_weight: u64 = mix.iter().map(|&(_, w)| w as u64).sum();
+    assert!(total_weight > 0, "mix weights must not all be zero");
+
+    let started = Instant::now();
+    let per_thread: Vec<Vec<(u8, u64)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..connections)
+            .map(|conn| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect to bench server");
+                    // Deterministic per-connection LCG (splitmix-style seed).
+                    let mut state: u64 =
+                        (conn as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03;
+                    let mut lcg = move || {
+                        state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+                        state >> 33
+                    };
+                    let mut recorded = Vec::with_capacity(requests_per_connection);
+                    for _ in 0..requests_per_connection {
+                        // Weighted kind choice, then a hot key from its pool.
+                        let mut pick = lcg() % total_weight;
+                        let kind = mix
+                            .iter()
+                            .find(|&&(_, w)| {
+                                if pick < w as u64 {
+                                    true
+                                } else {
+                                    pick -= w as u64;
+                                    false
+                                }
+                            })
+                            .expect("weights cover the range")
+                            .0;
+                        let pool = &pools.pools[kind.index()];
+                        let payload = &pool[(lcg() % pool.len() as u64) as usize];
+                        let t0 = Instant::now();
+                        let response = client.call_raw(payload).expect("bench request failed");
+                        let nanos = t0.elapsed().as_nanos() as u64;
+                        assert_ne!(response.first(), Some(&0xEE), "server answered an error frame");
+                        recorded.push((kind.index() as u8, nanos));
+                    }
+                    recorded
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("bench connection panicked")).collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut latencies_ns: [Vec<u64>; 6] = Default::default();
+    for thread in per_thread {
+        for (kind, nanos) in thread {
+            latencies_ns[kind as usize].push(nanos);
+        }
+    }
+    LoadMeasurement { latencies_ns, elapsed }
+}
+
+/// Per-request-type digest of one run.
+#[derive(Debug, Clone)]
+pub struct TypeSummary {
+    /// Which request kind.
+    pub kind: RequestKind,
+    /// Requests of this kind issued.
+    pub count: usize,
+    /// Median latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: f64,
+    /// This kind's share of throughput, in requests per second.
+    pub rps: f64,
+}
+
+/// The digest of one server configuration's run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Server worker threads.
+    pub workers: usize,
+    /// Response-cache capacity (0 = disabled).
+    pub cache_entries: usize,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Requests issued per connection.
+    pub requests_per_connection: usize,
+    /// Total requests across all connections.
+    pub total_requests: usize,
+    /// Wall-clock seconds for the whole run.
+    pub elapsed_secs: f64,
+    /// Aggregate throughput in requests per second.
+    pub rps: f64,
+    /// Cache hits observed by the server during the run.
+    pub cache_hits: u64,
+    /// Cache misses observed by the server during the run.
+    pub cache_misses: u64,
+    /// Per-kind digests, only for kinds that ran.
+    pub types: Vec<TypeSummary>,
+}
+
+/// The `q`-quantile (0..=1) of a latency set, in microseconds.
+fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[rank] as f64 / 1_000.0
+}
+
+/// Folds a measurement plus the server's counter movement into the
+/// reportable digest.
+pub fn summarize(
+    mut measured: LoadMeasurement,
+    workers: usize,
+    cache_entries: usize,
+    connections: usize,
+    requests_per_connection: usize,
+    stats_before: &ServerStats,
+    stats_after: &ServerStats,
+) -> RunSummary {
+    let elapsed_secs = measured.elapsed.as_secs_f64().max(1e-9);
+    let total_requests: usize = measured.latencies_ns.iter().map(Vec::len).sum();
+    let mut types = Vec::new();
+    for kind in RequestKind::ALL {
+        let lat = &mut measured.latencies_ns[kind.index()];
+        if lat.is_empty() {
+            continue;
+        }
+        lat.sort_unstable();
+        types.push(TypeSummary {
+            kind,
+            count: lat.len(),
+            p50_us: percentile_us(lat, 0.50),
+            p99_us: percentile_us(lat, 0.99),
+            rps: lat.len() as f64 / elapsed_secs,
+        });
+    }
+    RunSummary {
+        workers,
+        cache_entries,
+        connections,
+        requests_per_connection,
+        total_requests,
+        elapsed_secs,
+        rps: total_requests as f64 / elapsed_secs,
+        cache_hits: stats_after.cache_hits - stats_before.cache_hits,
+        cache_misses: stats_after.cache_misses - stats_before.cache_misses,
+        types,
+    }
+}
+
+impl RunSummary {
+    /// The stable machine-readable form emitted under `--json`
+    /// (schema `fistful.repro.serve-bench/1`).
+    pub fn to_json(&self, scale: &str) -> Json {
+        Json::obj(vec![
+            ("schema", "fistful.repro.serve-bench/1".into()),
+            ("scale", scale.into()),
+            ("workers", self.workers.into()),
+            ("cache_entries", self.cache_entries.into()),
+            ("connections", self.connections.into()),
+            ("requests_per_connection", self.requests_per_connection.into()),
+            ("total_requests", self.total_requests.into()),
+            ("elapsed_seconds", self.elapsed_secs.into()),
+            ("throughput_rps", self.rps.into()),
+            ("cache_hits", self.cache_hits.into()),
+            ("cache_misses", self.cache_misses.into()),
+            (
+                "types",
+                Json::Obj(
+                    self.types
+                        .iter()
+                        .map(|t| {
+                            (
+                                t.kind.label().to_string(),
+                                Json::obj(vec![
+                                    ("count", t.count.into()),
+                                    ("p50_us", t.p50_us.into()),
+                                    ("p99_us", t.p99_us.into()),
+                                    ("rps", t.rps.into()),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in RequestKind::ALL {
+            assert_eq!(RequestKind::from_name(kind.label()), Some(kind));
+        }
+        assert_eq!(RequestKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn percentiles_pick_order_statistics() {
+        let sorted: Vec<u64> = (1..=100).map(|i| i * 1_000).collect();
+        assert!((percentile_us(&sorted, 0.5) - 50.0).abs() <= 1.0);
+        assert!((percentile_us(&sorted, 0.99) - 99.0).abs() <= 1.0);
+        assert_eq!(percentile_us(&[], 0.5), 0.0);
+        assert_eq!(percentile_us(&[7_000], 0.99), 7.0);
+    }
+
+    #[test]
+    fn summary_json_has_the_stable_schema() {
+        let measured = LoadMeasurement {
+            latencies_ns: [
+                vec![1_000, 2_000],
+                vec![],
+                vec![3_000],
+                vec![],
+                vec![],
+                vec![],
+            ],
+            elapsed: Duration::from_millis(10),
+        };
+        let before = ServerStats::default();
+        let after = ServerStats { cache_hits: 5, cache_misses: 7, ..ServerStats::default() };
+        let summary = summarize(measured, 2, 64, 1, 3, &before, &after);
+        assert_eq!(summary.total_requests, 3);
+        assert_eq!(summary.cache_hits, 5);
+        assert_eq!(summary.types.len(), 2);
+
+        let json = summary.to_json("tiny");
+        assert_eq!(json.get("schema").unwrap().as_str(), Some("fistful.repro.serve-bench/1"));
+        assert_eq!(json.get("workers").unwrap().as_f64(), Some(2.0));
+        let types = json.get("types").unwrap();
+        assert!(types.get("ping").is_some());
+        assert!(types.get("addr").is_some());
+        assert!(types.get("taint").is_none(), "kinds that never ran are omitted");
+        // The emitted line parses back.
+        assert_eq!(crate::json::parse(&json.emit()).unwrap(), json);
+    }
+}

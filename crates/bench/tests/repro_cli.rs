@@ -165,6 +165,131 @@ fn taint_rejects_unknown_theft_names() {
     assert!(stderr.contains("known:"), "{stderr}");
 }
 
+/// Parses every JSON line (the `--json` output convention: one compact
+/// object per line, each starting with `{`) out of a blob of mixed
+/// human/machine output.
+fn json_lines(stdout: &str) -> Vec<fistful_bench::json::Json> {
+    stdout
+        .lines()
+        .filter(|l| l.starts_with('{'))
+        .map(|l| fistful_bench::json::parse(l).unwrap_or_else(|e| panic!("bad JSON `{l}`: {e}")))
+        .collect()
+}
+
+#[test]
+fn json_flag_emits_one_parseable_timing_object_per_experiment() {
+    // fig1 needs no simulated economy, so this stays fast.
+    let out = repro(&["--json", "fig1"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let objects = json_lines(&stdout);
+    assert_eq!(objects.len(), 1, "one object per experiment:\n{stdout}");
+    let obj = &objects[0];
+    assert_eq!(obj.get("schema").unwrap().as_str(), Some("fistful.repro.run/1"));
+    assert_eq!(obj.get("experiment").unwrap().as_str(), Some("fig1"));
+    assert_eq!(obj.get("scale").unwrap().as_str(), Some("default"));
+    let seconds = obj.get("seconds").unwrap().as_f64().unwrap();
+    assert!((0.0..600.0).contains(&seconds), "implausible timing {seconds}");
+    // The human-readable output still prints.
+    assert!(stdout.contains("== Figure 1"), "{stdout}");
+}
+
+#[test]
+fn json_out_flag_writes_the_objects_to_a_file() {
+    let dir = std::env::temp_dir().join(format!("repro-json-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bench.json");
+
+    let out = repro(&["--out", path.to_str().unwrap(), "fig1"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // With --out, the JSON goes to the file, not stdout.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(json_lines(&stdout).is_empty(), "{stdout}");
+    let body = std::fs::read_to_string(&path).unwrap();
+    let objects = json_lines(&body);
+    assert_eq!(objects.len(), 1, "{body}");
+    assert_eq!(objects[0].get("experiment").unwrap().as_str(), Some("fig1"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_bench_reports_per_type_latency_and_cache_counters() {
+    let out = repro(&[
+        "serve-bench",
+        "--scale",
+        "tiny",
+        "--threads",
+        "2",
+        "--connections",
+        "2",
+        "--requests",
+        "150",
+        "--mix",
+        "addr:3,taint:1",
+        "--json",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Human-readable report: one run with the cache on, one with it off.
+    assert!(stdout.contains("cache on"), "{stdout}");
+    assert!(stdout.contains("cache off"), "{stdout}");
+    assert!(stdout.contains("p50 us"), "{stdout}");
+
+    // Machine-readable: one object per run, with per-type stats.
+    let objects = json_lines(&stdout);
+    assert_eq!(objects.len(), 2, "{stdout}");
+    let cached = &objects[0];
+    assert_eq!(
+        cached.get("schema").unwrap().as_str(),
+        Some("fistful.repro.serve-bench/1")
+    );
+    assert_eq!(cached.get("workers").unwrap().as_f64(), Some(2.0));
+    assert_eq!(cached.get("total_requests").unwrap().as_f64(), Some(300.0));
+    assert!(cached.get("throughput_rps").unwrap().as_f64().unwrap() > 0.0);
+    // The repeated-key workload actually hits the cache.
+    assert!(cached.get("cache_hits").unwrap().as_f64().unwrap() > 0.0, "{stdout}");
+    for kind in ["addr", "taint"] {
+        let t = cached.get("types").unwrap().get(kind).unwrap_or_else(|| {
+            panic!("missing per-type stats for `{kind}`:\n{stdout}")
+        });
+        assert!(t.get("count").unwrap().as_f64().unwrap() > 0.0);
+        assert!(t.get("p99_us").unwrap().as_f64().unwrap() >= t.get("p50_us").unwrap().as_f64().unwrap());
+    }
+    // The cache-off run reports zero cache traffic.
+    let uncached = &objects[1];
+    assert_eq!(uncached.get("cache_entries").unwrap().as_f64(), Some(0.0));
+    assert_eq!(uncached.get("cache_hits").unwrap().as_f64(), Some(0.0));
+}
+
+#[test]
+fn serve_bench_usage_errors_exit_two() {
+    for bad in [
+        &["serve-bench", "--mix", "bogus:1"][..],
+        &["serve-bench", "--mix", "addr"],
+        &["serve-bench", "--threads", "0"],
+        &["serve-bench", "--connections", "none"],
+        &["serve-bench", "--bogus"],
+        &["serve", "--port", "notaport"],
+    ] {
+        let out = repro(bad);
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("usage: repro"),
+            "args {bad:?}"
+        );
+    }
+}
+
+#[test]
+fn help_lists_the_serve_commands() {
+    let out = repro(&["--help"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["repro serve", "serve-bench", "--json", "--mix"] {
+        assert!(stdout.contains(needle), "--help is missing `{needle}`:\n{stdout}");
+    }
+}
+
 #[test]
 fn duplicated_experiment_runs_once() {
     // fig1 needs no simulated economy, so this stays fast.

@@ -47,6 +47,18 @@ impl BalancePoint {
     }
 }
 
+/// The last sampled point at or before `height`, or `None` when `height`
+/// precedes the first sample.
+///
+/// `series` must be height-sorted, which [`balance_series`] guarantees
+/// (it samples in chain order). This is the serving-path lookup behind the
+/// query service's `BalancePoint` request: one binary search over the
+/// precomputed series, no chain access.
+pub fn point_at(series: &[BalancePoint], height: u64) -> Option<&BalancePoint> {
+    let idx = series.partition_point(|p| p.height <= height);
+    idx.checked_sub(1).map(|i| &series[i])
+}
+
 /// Computes the balance series, sampling every `every` blocks.
 ///
 /// `directory` assigns addresses to categories — any
@@ -205,6 +217,28 @@ mod tests {
         // supply is the full 100 BTC, of which Mt. Gox (addr 4) holds 25.
         assert_eq!(last.active(), Amount::from_btc(100));
         assert!((last.percent_of_active("exchange") - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn point_at_finds_the_sample_at_or_before_a_height() {
+        let mut t = TestChain::new();
+        let cb = t.coinbase(1, 50);
+        t.tx(&[(cb, 0)], &[(2, 20), (3, 29)]);
+        let dir = AddressDirectory::from_pairs(vec![(None, None); t.chain.address_count()]);
+        let series = balance_series(&t.chain, &dir, 1);
+        assert!(series.len() >= 2);
+
+        let first = series.first().unwrap().height;
+        let last = series.last().unwrap().height;
+        assert!(point_at(&series, first.wrapping_sub(1)).is_none() || first == 0);
+        assert_eq!(point_at(&series, first).unwrap().height, first);
+        // Past the end clamps to the last sample.
+        assert_eq!(point_at(&series, last + 1_000).unwrap().height, last);
+        // Every sampled height finds exactly itself.
+        for p in &series {
+            assert_eq!(point_at(&series, p.height).unwrap().height, p.height);
+        }
+        assert!(point_at(&[], 5).is_none());
     }
 
     #[test]

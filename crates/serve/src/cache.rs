@@ -1,0 +1,302 @@
+//! A sharded LRU cache for encoded responses, keyed by request bytes.
+//!
+//! The serving artifacts are immutable, so every cacheable request maps to
+//! exactly one response payload for the lifetime of the server — the cache
+//! never needs invalidation, only bounded memory. Keys are the raw request
+//! payload bytes (canonical encodings, so equal requests have equal keys);
+//! values are the encoded response payloads, stored ready to write so a
+//! hit skips decode, handling, *and* re-encode.
+//!
+//! Contention is kept off the hot path by sharding: the key is hashed
+//! (FNV-1a) to one of [`ShardedCache::SHARDS`] independent mutexes, so
+//! concurrent workers only collide when they touch the same shard. Each
+//! shard is a classic O(1) LRU — a hash map into a slab of entries linked
+//! into a recency list — evicting the least-recently-used entry when full.
+//! Hit/miss counters are process-wide atomics, surfaced through the
+//! `Stats` request and `repro serve-bench`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shared immutable byte buffer: keys and values live in one allocation
+/// each, referenced from both the map and the recency slab, and a cache
+/// hit hands the caller a refcount bump instead of a copy of the
+/// response body (which would otherwise be memcpy'd while holding the
+/// shard lock).
+type Bytes = Arc<[u8]>;
+
+/// Slot sentinel for "no entry" in the recency links.
+const NIL: usize = usize::MAX;
+
+/// One LRU shard: a slab of entries doubly linked in recency order, plus a
+/// map from key to slab slot.
+struct LruShard {
+    /// Maximum entries this shard may hold.
+    cap: usize,
+    /// Key → slab slot (the key allocation is shared with the slab entry).
+    map: HashMap<Bytes, usize>,
+    /// Entry slab; freed slots are recycled via `free`.
+    slab: Vec<Entry>,
+    /// Recycled slots.
+    free: Vec<usize>,
+    /// Most recently used slot, or [`NIL`].
+    head: usize,
+    /// Least recently used slot, or [`NIL`].
+    tail: usize,
+}
+
+struct Entry {
+    key: Bytes,
+    value: Bytes,
+    prev: usize,
+    next: usize,
+}
+
+impl LruShard {
+    fn new(cap: usize) -> LruShard {
+        LruShard {
+            cap,
+            map: HashMap::with_capacity(cap),
+            slab: Vec::with_capacity(cap),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Unlinks `slot` from the recency list (it must be linked).
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slab[slot].prev, self.slab[slot].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slab[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slab[n].prev = prev,
+        }
+    }
+
+    /// Links `slot` at the head (most recently used).
+    fn link_front(&mut self, slot: usize) {
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = self.head;
+        match self.head {
+            NIL => self.tail = slot,
+            h => self.slab[h].prev = slot,
+        }
+        self.head = slot;
+    }
+
+    fn get(&mut self, key: &[u8]) -> Option<Bytes> {
+        let slot = *self.map.get(key)?;
+        self.unlink(slot);
+        self.link_front(slot);
+        Some(Arc::clone(&self.slab[slot].value))
+    }
+
+    fn insert(&mut self, key: Bytes, value: Bytes) {
+        if self.cap == 0 {
+            return;
+        }
+        if let Some(&slot) = self.map.get(&key) {
+            // Same request raced in twice; refresh recency and keep the
+            // (identical, both derived from immutable artifacts) value.
+            self.slab[slot].value = value;
+            self.unlink(slot);
+            self.link_front(slot);
+            return;
+        }
+        if self.map.len() == self.cap {
+            // Evict the least recently used entry, recycling its slot.
+            let victim = self.tail;
+            self.unlink(victim);
+            let old_key = Arc::clone(&self.slab[victim].key);
+            self.map.remove(&old_key);
+            self.free.push(victim);
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot] = Entry { key: Arc::clone(&key), value, prev: NIL, next: NIL };
+                slot
+            }
+            None => {
+                self.slab.push(Entry { key: Arc::clone(&key), value, prev: NIL, next: NIL });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(key, slot);
+        self.link_front(slot);
+    }
+}
+
+/// The sharded response cache. See the [module docs](self).
+pub struct ShardedCache {
+    shards: Vec<Mutex<LruShard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ShardedCache {
+    /// Number of independent shards (and mutexes).
+    pub const SHARDS: usize = 8;
+
+    /// A cache holding at most `total_entries` responses across all
+    /// shards (rounded up to a multiple of [`Self::SHARDS`]).
+    pub fn new(total_entries: usize) -> ShardedCache {
+        let per_shard = total_entries.div_ceil(Self::SHARDS);
+        ShardedCache {
+            shards: (0..Self::SHARDS).map(|_| Mutex::new(LruShard::new(per_shard))).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// FNV-1a over the key bytes, reduced to a shard index.
+    fn shard_of(&self, key: &[u8]) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in key {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % Self::SHARDS as u64) as usize
+    }
+
+    /// Looks up the response for a request key, refreshing its recency and
+    /// counting the hit or miss. A hit is a refcount bump, not a copy —
+    /// nothing large is cloned while the shard lock is held.
+    pub fn get(&self, key: &[u8]) -> Option<Bytes> {
+        let found = self.shards[self.shard_of(key)].lock().expect("cache shard poisoned").get(key);
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a response, evicting the shard's least-recently-used entry
+    /// when it is full.
+    pub fn insert(&self, key: Vec<u8>, value: Vec<u8>) {
+        let key: Bytes = key.into();
+        let shard = self.shard_of(&key);
+        self.shards[shard].lock().expect("cache shard poisoned").insert(key, value.into());
+    }
+
+    /// Lookups answered from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently cached across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u32) -> Vec<u8> {
+        n.to_le_bytes().to_vec()
+    }
+
+    #[test]
+    fn hit_and_miss_counters_track_lookups() {
+        let cache = ShardedCache::new(16);
+        assert_eq!(cache.get(&key(1)), None);
+        cache.insert(key(1), vec![0xAA]);
+        assert_eq!(cache.get(&key(1)).as_deref(), Some(&[0xAAu8][..]));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used_per_shard() {
+        // One shard so recency order is fully observable.
+        let mut shard = LruShard::new(3);
+        for n in 0..3u32 {
+            shard.insert(key(n).into(), vec![n as u8].into());
+        }
+        // Touch 0 so 1 becomes the LRU victim.
+        assert!(shard.get(&key(0)).is_some());
+        shard.insert(key(3).into(), vec![3u8].into());
+        assert_eq!(shard.get(&key(1)), None, "LRU entry evicted");
+        for n in [0u32, 2, 3] {
+            assert_eq!(shard.get(&key(n)).as_deref(), Some(&[n as u8][..]), "key {n} survives");
+        }
+        assert_eq!(shard.map.len(), 3);
+    }
+
+    #[test]
+    fn eviction_churn_recycles_slots() {
+        let mut shard = LruShard::new(4);
+        for n in 0..100u32 {
+            shard.insert(key(n).into(), vec![n as u8].into());
+        }
+        // Only the last 4 remain, and the slab never outgrew the capacity
+        // (evicted slots are recycled, not leaked).
+        assert_eq!(shard.map.len(), 4);
+        assert!(shard.slab.len() <= 5, "slab grew to {}", shard.slab.len());
+        for n in 96..100u32 {
+            assert_eq!(shard.get(&key(n)).as_deref(), Some(&[n as u8][..]));
+        }
+        assert_eq!(shard.get(&key(0)), None);
+    }
+
+    #[test]
+    fn reinsert_refreshes_value_and_recency() {
+        let mut shard = LruShard::new(2);
+        shard.insert(key(1).into(), vec![1u8].into());
+        shard.insert(key(2).into(), vec![2u8].into());
+        shard.insert(key(1).into(), vec![9u8].into()); // refresh: 2 is now the LRU
+        shard.insert(key(3).into(), vec![3u8].into());
+        assert_eq!(shard.get(&key(1)).as_deref(), Some(&[9u8][..]));
+        assert_eq!(shard.get(&key(2)), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let cache = ShardedCache::new(0);
+        cache.insert(key(1), vec![1]);
+        assert_eq!(cache.get(&key(1)), None);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_mixed_load_is_consistent() {
+        use std::sync::Arc;
+        let cache = Arc::new(ShardedCache::new(64));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cache = Arc::clone(&cache);
+                s.spawn(move || {
+                    for i in 0..1000u32 {
+                        let k = key(i % 97);
+                        if let Some(v) = cache.get(&k) {
+                            // A hit must return what some thread inserted
+                            // for this key.
+                            assert_eq!(&*v, &k[..], "thread {t}");
+                        } else {
+                            cache.insert(k.clone(), k);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 64 + ShardedCache::SHARDS);
+        assert!(cache.hits() + cache.misses() >= 4000);
+    }
+}

@@ -1,0 +1,523 @@
+//! The multithreaded TCP query server: one acceptor thread, a fixed
+//! worker pool, shared immutable artifacts, and a sharded response cache.
+//!
+//! # Threading model
+//!
+//! [`Server::start`] binds a [`TcpListener`] and spawns one acceptor
+//! thread plus `workers` worker threads. The acceptor pushes accepted
+//! connections onto a condvar-guarded queue; each worker pops a
+//! connection and serves it to completion (many requests per connection)
+//! before taking the next — a deliberately simple thread-per-active-
+//! connection model with a bounded thread count, the std-only shape of a
+//! serving tier (no vendored async runtime; see `vendor/README.md` for
+//! why the dependency set is closed). Connections that go quiet are
+//! closed after a keep-alive timeout (~60 s) and connections that stall
+//! mid-frame after a read deadline (~30 s), so silent or half-open peers
+//! cannot pin workers and starve the queue.
+//!
+//! All request handling reads from one [`Arc<ServeArtifacts>`] — the
+//! frozen [`ClusterSnapshot`], the columnar [`TxGraph`], the
+//! [`ChangeLabels`], and the precomputed balance series are immutable and
+//! `Send + Sync`, so workers share them with zero locks. Each worker owns
+//! one reusable [`TaintScratch`], so steady-state taint walks allocate
+//! nothing beyond their result records — the same memory model as the
+//! batch taint engine.
+//!
+//! # Graceful shutdown
+//!
+//! [`Server::shutdown`] flips the shutdown flag, wakes the acceptor with
+//! a loopback connection, and joins every thread. Workers notice the flag
+//! only *between* requests (reads poll with a short timeout while idle),
+//! so any request already being read or handled is answered in full
+//! before its connection closes — in-flight requests drain, queued-but-
+//! unserved connections are dropped.
+
+use crate::cache::ShardedCache;
+use crate::protocol::{
+    frame, parse_frame_header, AddressReport, BalanceReport, ClusterReport, Request, Response,
+    ServeError, ServerStats, TaintReport, WireError, FRAME_HEADER_LEN, MAX_REQUEST_PAYLOAD,
+};
+use fistful_core::change::ChangeLabels;
+use fistful_core::snapshot::ClusterSnapshot;
+use fistful_flow::graph::{TaintScratch, TxGraph};
+use fistful_flow::theft::track_theft_indexed;
+use fistful_flow::{point_at, BalancePoint};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How long an idle worker read waits before re-checking the shutdown
+/// flag. Bounds shutdown latency without costing anything on busy
+/// connections.
+const IDLE_POLL: Duration = Duration::from_millis(25);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind, e.g. `"127.0.0.1:0"` for an ephemeral port.
+    pub addr: String,
+    /// Worker threads. `0` means one per available core.
+    pub workers: usize,
+    /// Total response-cache entries across all shards; `0` disables the
+    /// cache entirely.
+    pub cache_entries: usize,
+    /// Server-side ceiling on a taint request's `max_txs` walk bound (the
+    /// client's value is clamped to this).
+    pub max_taint_txs: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            cache_entries: 4096,
+            max_taint_txs: 5_000,
+        }
+    }
+}
+
+/// Everything the handlers read: the frozen artifacts of one finished
+/// clustering run over one chain.
+///
+/// Immutable after construction and shared across workers through an
+/// [`Arc`]; [`ServeArtifacts::new`] refuses pairs that do not describe
+/// the same chain (`ClusterSnapshot::pairs_with_chain` plus a labels
+/// dimension check), so a server can never be started on mismatched
+/// artifacts.
+pub struct ServeArtifacts {
+    /// The frozen clustering: address → cluster → aggregates + names.
+    pub snapshot: ClusterSnapshot,
+    /// The columnar transaction-graph index taint walks run on.
+    pub graph: TxGraph,
+    /// Heuristic-2 change labels steering peel-side taint propagation.
+    pub labels: ChangeLabels,
+    /// The precomputed balance series served by `BalancePoint` requests
+    /// (height-sorted, as `balance_series` produces it).
+    pub balances: Vec<BalancePoint>,
+}
+
+impl ServeArtifacts {
+    /// Validates that the four artifacts describe the same chain and
+    /// fuses them into the serving bundle.
+    pub fn new(
+        snapshot: ClusterSnapshot,
+        graph: TxGraph,
+        labels: ChangeLabels,
+        balances: Vec<BalancePoint>,
+    ) -> Result<ServeArtifacts, ServeError> {
+        if !snapshot.pairs_with_chain(graph.address_count(), graph.tx_count() as u64) {
+            return Err(ServeError::MismatchedArtifacts(
+                "snapshot and graph disagree on address/transaction counts",
+            ));
+        }
+        if labels.vout_of.len() != graph.tx_count() {
+            return Err(ServeError::MismatchedArtifacts(
+                "change labels and graph disagree on transaction count",
+            ));
+        }
+        if balances.windows(2).any(|w| w[0].height > w[1].height) {
+            return Err(ServeError::MismatchedArtifacts(
+                "balance series is not height-sorted",
+            ));
+        }
+        Ok(ServeArtifacts { snapshot, graph, labels, balances })
+    }
+}
+
+/// State shared by the acceptor, the workers, and the [`Server`] handle.
+struct Shared {
+    artifacts: Arc<ServeArtifacts>,
+    cache: Option<ShardedCache>,
+    max_taint_txs: usize,
+    workers: u32,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+}
+
+impl Shared {
+    /// A point-in-time copy of the served counters and artifact
+    /// dimensions — the `Stats` answer.
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            cache_hits: self.cache.as_ref().map(ShardedCache::hits).unwrap_or(0),
+            cache_misses: self.cache.as_ref().map(ShardedCache::misses).unwrap_or(0),
+            workers: self.workers,
+            address_count: self.artifacts.snapshot.address_count() as u64,
+            tx_count: self.artifacts.graph.tx_count() as u64,
+            cluster_count: self.artifacts.snapshot.cluster_count() as u64,
+            tip_height: self.artifacts.snapshot.tip_height(),
+        }
+    }
+}
+
+/// A running query server. Dropping the handle shuts the server down; call
+/// [`Server::shutdown`] to do it explicitly and observe completion.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the acceptor and worker threads.
+    pub fn start(config: ServeConfig, artifacts: Arc<ServeArtifacts>) -> Result<Server, ServeError> {
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            artifacts,
+            cache: (config.cache_entries > 0).then(|| ShardedCache::new(config.cache_entries)),
+            max_taint_txs: config.max_taint_txs,
+            workers: workers as u32,
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    shared.queue.lock().expect("queue poisoned").push_back(stream);
+                    shared.available.notify_one();
+                }
+            })
+        };
+        let worker_handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        Ok(Server { shared, local_addr, acceptor: Some(acceptor), workers: worker_handles })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Current counters and artifact dimensions, without a socket round
+    /// trip.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Signals shutdown, drains in-flight requests, and joins every
+    /// thread. Idempotent through [`Drop`].
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of accept(); it observes the flag first.
+        let _ = TcpStream::connect(self.local_addr);
+        self.shared.available.notify_all();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// One worker: pop connections until shutdown, serving each to
+/// completion with a thread-local reusable taint scratch.
+fn worker_loop(shared: &Shared) {
+    let mut scratch = TaintScratch::for_graph(&shared.artifacts.graph);
+    loop {
+        let conn = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(conn) = queue.pop_front() {
+                    break Some(conn);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared
+                    .available
+                    .wait_timeout(queue, IDLE_POLL)
+                    .expect("queue poisoned")
+                    .0;
+            }
+        };
+        match conn {
+            Some(stream) => serve_connection(stream, shared, &mut scratch),
+            None => return,
+        }
+    }
+}
+
+/// What one attempt to read a request frame produced.
+enum FrameRead {
+    /// A complete payload.
+    Payload(Vec<u8>),
+    /// The peer closed at a frame boundary.
+    Eof,
+    /// Shutdown was signalled while the connection sat idle.
+    Shutdown,
+    /// The frame was unacceptable; tell the peer and close.
+    Bad(ServeError),
+}
+
+/// How many consecutive idle polls a *started* frame may sit stalled
+/// before the worker gives up on the connection (`IDLE_POLL` apart, so
+/// this is a ~30-second mid-frame read deadline). Without it, a peer that
+/// sends half a frame and then goes silent would pin a worker forever.
+const STALLED_READ_LIMIT: u32 = 1200;
+
+/// How many consecutive idle polls a connection may sit with *no* frame
+/// started before the worker closes it (~60 seconds) — the keep-alive
+/// timeout. Workers serve one connection at a time, so without this,
+/// `workers` idle-but-open clients would starve every queued connection.
+const KEEP_ALIVE_LIMIT: u32 = 2400;
+
+/// Reads one frame. While no byte of the frame has arrived, idle polls
+/// check the shutdown flag (and the [`KEEP_ALIVE_LIMIT`] idle timeout);
+/// once a frame has started, a fully delivered frame is always read to
+/// completion (and later answered — that is what lets shutdown drain
+/// in-flight work), but a *stalled* partial frame is abandoned on
+/// shutdown, and after [`STALLED_READ_LIMIT`] idle polls even without
+/// one — a half-received request was never being processed, so dropping
+/// it loses nothing that was promised.
+fn read_request_frame(stream: &mut TcpStream, shared: &Shared) -> FrameRead {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    let mut filled = 0usize;
+    let mut stalled = 0u32;
+    while filled < FRAME_HEADER_LEN {
+        match stream.read(&mut header[filled..]) {
+            Ok(0) => {
+                return if filled == 0 { FrameRead::Eof } else { FrameRead::Bad(ServeError::Truncated) }
+            }
+            Ok(n) => {
+                filled += n;
+                stalled = 0;
+            }
+            Err(e) => match e.kind() {
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return FrameRead::Shutdown;
+                    }
+                    stalled += 1;
+                    if filled == 0 && stalled >= KEEP_ALIVE_LIMIT {
+                        return FrameRead::Eof; // keep-alive expired; free the worker
+                    }
+                    if filled > 0 && stalled >= STALLED_READ_LIMIT {
+                        return FrameRead::Bad(ServeError::Io("mid-frame read stalled".into()));
+                    }
+                }
+                std::io::ErrorKind::Interrupted => {}
+                _ => return FrameRead::Bad(ServeError::Io(e.to_string())),
+            },
+        }
+    }
+    let len = match parse_frame_header(&header, MAX_REQUEST_PAYLOAD) {
+        Ok(len) => len as usize,
+        Err(e) => return FrameRead::Bad(e),
+    };
+    let mut payload = vec![0u8; len];
+    let mut filled = 0usize;
+    let mut stalled = 0u32;
+    while filled < len {
+        match stream.read(&mut payload[filled..]) {
+            Ok(0) => return FrameRead::Bad(ServeError::Truncated),
+            Ok(n) => {
+                filled += n;
+                stalled = 0;
+            }
+            Err(e) => match e.kind() {
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                    if shared.shutdown.load(Ordering::SeqCst) {
+                        return FrameRead::Shutdown;
+                    }
+                    stalled += 1;
+                    if stalled >= STALLED_READ_LIMIT {
+                        return FrameRead::Bad(ServeError::Io("mid-frame read stalled".into()));
+                    }
+                }
+                std::io::ErrorKind::Interrupted => {}
+                _ => return FrameRead::Bad(ServeError::Io(e.to_string())),
+            },
+        }
+    }
+    FrameRead::Payload(payload)
+}
+
+/// Serves one connection until EOF, a protocol error, or shutdown.
+fn serve_connection(mut stream: TcpStream, shared: &Shared, scratch: &mut TaintScratch) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
+        return;
+    }
+    loop {
+        // Between requests is the drain point: the previous request (if
+        // any) was answered in full; if shutdown has been signalled, close
+        // now instead of starting another read. Without this check a
+        // client pumping requests back-to-back would keep the socket
+        // readable forever and the idle-timeout path would never fire.
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let payload = match read_request_frame(&mut stream, shared) {
+            FrameRead::Payload(payload) => payload,
+            FrameRead::Eof | FrameRead::Shutdown => return,
+            FrameRead::Bad(e) => {
+                // Tell the peer what was wrong with its frame, then close:
+                // after a framing error the stream cannot be resynced.
+                let wire = WireError::from_serve_error(&e);
+                let _ = stream.write_all(&Response::Error(wire).to_frame());
+                close_gracefully(stream);
+                return;
+            }
+        };
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+
+        // Cache fast path: the key is the raw request payload, so a hit
+        // skips decoding, handling, and re-encoding alike. Only consult it
+        // for request types whose answers are pure functions of the
+        // artifacts (never Ping/Stats).
+        let cacheable = payload
+            .first()
+            .is_some_and(|&t| Request::type_byte_is_cacheable(t));
+        if cacheable {
+            if let Some(cached) = shared.cache.as_ref().and_then(|c| c.get(&payload)) {
+                if stream.write_all(&frame(&cached)).is_err() {
+                    return;
+                }
+                continue;
+            }
+        }
+
+        let (mut response, mut close_after) = match Request::decode_payload(&payload) {
+            Ok(request) => handle(&request, shared, scratch),
+            Err(e) => (Response::Error(WireError::from_serve_error(&e)), true),
+        };
+        let mut encoded = fistful_chain::encode::Encodable::encode_to_vec(&response);
+        // The client enforces MAX_RESPONSE_PAYLOAD on its side of the
+        // protocol; a response beyond it (e.g. a taint trace under an
+        // operator-raised `max_taint_txs` ceiling) must become a typed
+        // error here, not a frame every conforming peer rejects.
+        if encoded.len() > crate::protocol::MAX_RESPONSE_PAYLOAD as usize {
+            let e = ServeError::InvalidRequest(format!(
+                "response of {} bytes exceeds the {}-byte frame limit; lower the walk bounds",
+                encoded.len(),
+                crate::protocol::MAX_RESPONSE_PAYLOAD
+            ));
+            response = Response::Error(WireError::from_serve_error(&e));
+            close_after = true;
+            encoded = fistful_chain::encode::Encodable::encode_to_vec(&response);
+        }
+        if cacheable && !close_after {
+            if let Some(cache) = shared.cache.as_ref() {
+                cache.insert(payload, encoded.clone());
+            }
+        }
+        if stream.write_all(&frame(&encoded)).is_err() {
+            return;
+        }
+        if close_after {
+            close_gracefully(stream);
+            return;
+        }
+    }
+}
+
+/// Closes a connection without losing the response just written: half-
+/// close the write side (FIN after the queued bytes) and briefly drain
+/// whatever the peer still has in flight, so dropping the socket does not
+/// turn into a RST that discards the error frame before the peer reads
+/// it. The drain is bounded in both bytes and time, so a hostile peer
+/// cannot pin the worker.
+fn close_gracefully(mut stream: TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 4096];
+    let mut drained = 0usize;
+    let mut idle_rounds = 0u32;
+    while drained <= MAX_REQUEST_PAYLOAD as usize && idle_rounds < 8 {
+        match stream.read(&mut sink) {
+            Ok(0) => return, // peer finished; fully clean close
+            Ok(n) => drained += n,
+            Err(e) => match e.kind() {
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => idle_rounds += 1,
+                std::io::ErrorKind::Interrupted => {}
+                _ => return,
+            },
+        }
+    }
+}
+
+/// Answers one decoded request. Returns the response and whether the
+/// connection must close afterwards (semantic errors close, like framing
+/// errors do).
+fn handle(request: &Request, shared: &Shared, scratch: &mut TaintScratch) -> (Response, bool) {
+    let artifacts = &shared.artifacts;
+    let response = match request {
+        Request::Ping => Response::Pong,
+        Request::Stats => Response::Stats(shared.stats()),
+        Request::AddressInfo { address } => Response::AddressInfo(
+            artifacts.snapshot.cluster_of(*address).map(|cluster| AddressReport {
+                address: *address,
+                cluster,
+                info: artifacts.snapshot.info(cluster).expect("cluster_of implies info").clone(),
+            }),
+        ),
+        Request::ClusterSummary { cluster } => Response::ClusterSummary(
+            artifacts
+                .snapshot
+                .info(*cluster)
+                .map(|info| ClusterReport { cluster: *cluster, info: info.clone() }),
+        ),
+        Request::TaintTrace { loot, max_txs } => {
+            let graph = &artifacts.graph;
+            for &(tx, vout) in loot {
+                if tx as usize >= graph.tx_count() || vout as usize >= graph.num_outputs(tx) {
+                    let e = ServeError::InvalidRequest(format!(
+                        "loot outpoint ({tx}, {vout}) is beyond the graph"
+                    ));
+                    return (Response::Error(WireError::from_serve_error(&e)), true);
+                }
+            }
+            let bound = (*max_txs as usize).min(shared.max_taint_txs);
+            let trace = track_theft_indexed(
+                graph,
+                loot,
+                &artifacts.labels,
+                &artifacts.snapshot,
+                bound,
+                scratch,
+            );
+            Response::TaintTrace(TaintReport::from_trace(&trace))
+        }
+        Request::BalancePoint { height } => {
+            Response::BalancePoint(point_at(&artifacts.balances, *height).map(BalanceReport::from))
+        }
+    };
+    (response, false)
+}

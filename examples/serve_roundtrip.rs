@@ -1,0 +1,76 @@
+//! The query service end to end: simulate a small economy, freeze the
+//! serving artifacts (snapshot + graph + labels + balance series), start
+//! the TCP server on an ephemeral port, and issue one of every request
+//! type through the typed client.
+//!
+//! Run with: `cargo run --release --example serve_roundtrip`
+
+use fistful::serve::{Client, ServeConfig, Server};
+use fistful::sim::SimConfig;
+use fistful_bench::{serve_artifacts, theft_loots, Workbench};
+use std::sync::Arc;
+
+fn main() {
+    println!("simulating the economy and freezing the serving artifacts ...");
+    let wb = Workbench::build(SimConfig::tiny());
+    let artifacts = Arc::new(serve_artifacts(&wb));
+    let loots = theft_loots(wb.eco.chain.resolved(), &wb.eco.script_report.thefts);
+
+    let config = ServeConfig { addr: "127.0.0.1:0".to_string(), workers: 2, ..Default::default() };
+    let server = Server::start(config, Arc::clone(&artifacts)).expect("start server");
+    println!("serving on {}", server.local_addr());
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Ping: liveness.
+    client.ping().expect("ping");
+    println!("ping: pong");
+
+    // AddressInfo: who owns an address, and what do we know about them?
+    let probe = (artifacts.snapshot.address_count() / 2) as u32;
+    let info = client.address_info(probe).expect("address_info").expect("covered");
+    println!(
+        "address {probe}: cluster {} (size {}, received {}, service {})",
+        info.cluster,
+        info.info.size,
+        info.info.received,
+        info.info.name.as_deref().unwrap_or("-")
+    );
+
+    // ClusterSummary: the biggest cluster's aggregates.
+    let (largest, _) = artifacts.snapshot.largest_cluster().expect("clusters exist");
+    let summary = client.cluster_summary(largest).expect("cluster_summary").expect("exists");
+    println!(
+        "largest cluster {largest}: {} addresses, received {}, spent {}",
+        summary.info.size, summary.info.received, summary.info.spent
+    );
+
+    // TaintTrace: where did the first scripted theft's loot go?
+    let (name, loot) = loots.first().expect("tiny scale scripts thefts");
+    let trace = client.taint_trace(loot, 5_000).expect("taint_trace");
+    println!(
+        "theft {name}: pattern {}, {} movements, exchanges reached: {}",
+        if trace.pattern.is_empty() { "-" } else { &trace.pattern },
+        trace.movements.len(),
+        trace.exchanges_reached
+    );
+
+    // BalancePoint: the category balances at the chain tip.
+    let tip = artifacts.snapshot.tip_height();
+    let point = client.balance_point(tip).expect("balance_point").expect("tip sampled");
+    println!(
+        "balances at height {}: active {}, {} categories tracked",
+        point.height,
+        point.active(),
+        point.balances.len()
+    );
+
+    // Stats: the server's own counters.
+    let stats = client.stats().expect("stats");
+    println!(
+        "server stats: {} requests, cache {}/{} hit/miss, {} workers",
+        stats.requests, stats.cache_hits, stats.cache_misses, stats.workers
+    );
+
+    server.shutdown();
+    println!("server drained and shut down cleanly");
+}

@@ -14,6 +14,9 @@
 //!   and 2 with all refinements), tagging and cluster naming.
 //! * [`flow`] — flow analysis: peeling chains, movement classification,
 //!   balance time series and theft tracking.
+//! * [`serve`] — the concurrent TCP query service (and its client) that
+//!   answers address/cluster/taint/balance queries from the frozen
+//!   snapshot and graph artifacts.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -22,4 +25,5 @@ pub use fistful_core as core;
 pub use fistful_crypto as crypto;
 pub use fistful_flow as flow;
 pub use fistful_net as net;
+pub use fistful_serve as serve;
 pub use fistful_sim as sim;

@@ -449,6 +449,161 @@ proptest! {
     }
 }
 
+// ---------- serve wire protocol ----------
+
+/// Builds one of every [`Request`](fistful::serve::Request) variant from
+/// drawn integers (the vendored proptest has no `prop_oneof`).
+fn serve_request_from(
+    sel: u8,
+    a: u32,
+    height: u64,
+    loot: Vec<(u32, u32)>,
+    max_txs: u32,
+) -> fistful::serve::Request {
+    use fistful::serve::Request;
+    match sel % 6 {
+        0 => Request::Ping,
+        1 => Request::Stats,
+        2 => Request::AddressInfo { address: a },
+        3 => Request::ClusterSummary { cluster: a },
+        4 => Request::TaintTrace { loot, max_txs },
+        _ => Request::BalancePoint { height },
+    }
+}
+
+/// Builds one of every [`Response`](fistful::serve::Response) variant
+/// from drawn integers and strings.
+fn serve_response_from(sel: u8, nums: &[u64], text: &str) -> fistful::serve::Response {
+    use fistful::core::snapshot::ClusterInfo;
+    use fistful::flow::movement::MovementKind;
+    use fistful::serve::{
+        AddressReport, BalanceReport, ClusterReport, ErrorCode, Response, ServerStats,
+        TaintReport, WireError, WireMovement,
+    };
+    let n = |i: usize| nums[i % nums.len()];
+    let info = ClusterInfo {
+        size: n(0) as u32,
+        received: Amount::from_sat(n(1)),
+        spent: Amount::from_sat(n(2)),
+        name: (n(3) % 2 == 0).then(|| text.to_string()),
+        category: (n(4) % 3 == 0).then(|| format!("cat-{}", n(5) % 7)),
+    };
+    match sel % 9 {
+        0 => Response::Pong,
+        1 => Response::Stats(ServerStats {
+            requests: n(0),
+            cache_hits: n(1),
+            cache_misses: n(2),
+            workers: n(3) as u32,
+            address_count: n(4),
+            tx_count: n(5),
+            cluster_count: n(6),
+            tip_height: n(7),
+        }),
+        2 => Response::AddressInfo(None),
+        3 => Response::AddressInfo(Some(AddressReport {
+            address: n(0) as u32,
+            cluster: n(1) as u32,
+            info,
+        })),
+        4 => Response::ClusterSummary(Some(ClusterReport { cluster: n(2) as u32, info })),
+        5 => Response::TaintTrace(TaintReport {
+            movements: (0..n(0) % 4)
+                .map(|i| {
+                    let i = i as usize;
+                    WireMovement {
+                        tx: n(i) as u32,
+                        kind: match n(i + 1) % 5 {
+                            0 => MovementKind::Aggregation,
+                            1 => MovementKind::Peel,
+                            2 => MovementKind::Split,
+                            3 => MovementKind::Fold,
+                            _ => MovementKind::Transfer,
+                        },
+                        tainted_inputs: n(i + 2) as u32,
+                        total_inputs: n(i + 3) as u32,
+                        departures: vec![(n(i + 4) as u32, Amount::from_sat(n(i + 5)))],
+                    }
+                })
+                .collect(),
+            pattern: text.chars().take(12).collect(),
+            to_exchanges: Amount::from_sat(n(1)),
+            exchanges_reached: n(2) as u32,
+            dormant: Amount::from_sat(n(3)),
+        }),
+        6 => Response::BalancePoint(Some(BalanceReport {
+            height: n(0),
+            time: n(1),
+            supply: Amount::from_sat(n(2)),
+            sink_held: Amount::from_sat(n(3)),
+            balances: (0..n(4) % 4)
+                .map(|i| (format!("category-{i}"), Amount::from_sat(n(i as usize))))
+                .collect(),
+        })),
+        7 => Response::BalancePoint(None),
+        _ => Response::Error(WireError {
+            code: match n(0) % 6 {
+                0 => ErrorCode::BadMagic,
+                1 => ErrorCode::UnsupportedVersion,
+                2 => ErrorCode::FrameTooLarge,
+                3 => ErrorCode::Malformed,
+                4 => ErrorCode::UnknownRequest,
+                _ => ErrorCode::InvalidRequest,
+            },
+            message: text.chars().take(40).collect(),
+        }),
+    }
+}
+
+proptest! {
+    /// The wire decoders are total: arbitrary bytes produce a typed error
+    /// or a value whose canonical re-encoding is exactly the input —
+    /// never a panic, never an allocation blowup, never a non-canonical
+    /// acceptance.
+    #[test]
+    fn serve_decoders_never_panic_on_arbitrary_frames(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        header in any::<[u8; 9]>(),
+    ) {
+        use fistful::serve::{Request, Response};
+        if let Ok(request) = Request::decode_payload(&bytes) {
+            prop_assert_eq!(request.encode_to_vec(), bytes.clone());
+        }
+        if let Ok(response) = Response::decode_payload(&bytes) {
+            prop_assert_eq!(response.encode_to_vec(), bytes.clone());
+        }
+        // The frame-header check is total too, and never admits a length
+        // beyond the receiver's cap.
+        if let Ok(len) =
+            fistful::serve::protocol::parse_frame_header(&header, fistful::serve::MAX_REQUEST_PAYLOAD)
+        {
+            prop_assert!(len <= fistful::serve::MAX_REQUEST_PAYLOAD);
+        }
+    }
+
+    /// Encode → decode round-trips every request and response variant.
+    #[test]
+    fn serve_messages_round_trip(
+        sel in any::<u8>(),
+        a in any::<u32>(),
+        height in any::<u64>(),
+        loot in proptest::collection::vec((any::<u32>(), any::<u32>()), 0..12),
+        max_txs in any::<u32>(),
+        nums in proptest::collection::vec(any::<u64>(), 8..16),
+        text_seed in any::<u64>(),
+    ) {
+        use fistful::serve::{Request, Response};
+        let text = format!("svc-{text_seed} ☃ \"quoted\"");
+        let request = serve_request_from(sel, a, height, loot, max_txs);
+        let payload = request.encode_to_vec();
+        prop_assert_eq!(Request::decode_payload(&payload).unwrap(), request);
+
+        let response = serve_response_from(sel, &nums, &text);
+        let payload = response.encode_to_vec();
+        prop_assert_eq!(Response::decode_payload(&payload).unwrap(), response);
+    }
+}
+
 // ---------- heuristic safety on simulated economies ----------
 
 proptest! {
