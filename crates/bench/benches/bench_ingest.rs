@@ -1,0 +1,93 @@
+//! Experiment `ingest`: the sharded ingest sweep.
+//!
+//! The claim under test: the sharded pipeline does the same total work as
+//! the batch clusterer — per-block cost at shard count 1 is within a small
+//! constant of the batch engine's amortized per-block cost, and widening
+//! the shard count changes only *where* the work happens (per-shard scans
+//! plus an epoch reconcile), never *what* is computed. On a single-core
+//! container the sweep therefore charts coordination overhead per shard
+//! count, not speedup; the differential tests pin the output itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fistful_bench::Workbench;
+use fistful_core::change::ChangeConfig;
+use fistful_core::cluster::Clusterer;
+use fistful_core::incremental::sharded::{IngestConfig, ShardedIngest};
+use fistful_core::incremental::IncrementalClusterer;
+use fistful_sim::SimConfig;
+use std::sync::OnceLock;
+
+fn workbench() -> &'static Workbench {
+    static WB: OnceLock<Workbench> = OnceLock::new();
+    WB.get_or_init(|| Workbench::build(SimConfig::tiny()))
+}
+
+/// Full-chain replay cost per shard count, against the batch and
+/// single-threaded incremental engines as baselines. Throughput is in
+/// transactions, so criterion reports a comparable ns/tx for every engine.
+fn bench_sharded_sweep(c: &mut Criterion) {
+    let wb = workbench();
+    let chain = wb.eco.chain.resolved();
+    let mut g = c.benchmark_group("ingest/full_chain");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(chain.tx_count() as u64));
+    g.bench_function("batch", |b| {
+        b.iter(|| {
+            let clustering = Clusterer::with_h2(ChangeConfig::naive()).run(chain);
+            std::hint::black_box(clustering.cluster_count())
+        })
+    });
+    g.bench_function("incremental", |b| {
+        b.iter(|| {
+            let mut inc = IncrementalClusterer::with_h2(ChangeConfig::naive());
+            for block in chain.blocks() {
+                inc.ingest_block(&block);
+            }
+            inc.flush(chain);
+            std::hint::black_box(inc.cluster_count())
+        })
+    });
+    for shards in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("sharded", shards), &shards, |b, &shards| {
+            b.iter(|| {
+                let mut pipe =
+                    ShardedIngest::new(IngestConfig::with_h2(shards, 16, ChangeConfig::naive()));
+                for block in chain.blocks() {
+                    pipe.ingest_block(&block);
+                }
+                pipe.flush(chain);
+                std::hint::black_box(pipe.cluster_count())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Reconcile cadence: the same 4-shard replay at epoch lengths from every
+/// block to effectively-once. Short epochs reconcile often over small
+/// buffers; long epochs reconcile rarely over large ones — total work
+/// should stay flat, charting the cadence as a tunable, not a cost cliff.
+fn bench_epoch_cadence(c: &mut Criterion) {
+    let wb = workbench();
+    let chain = wb.eco.chain.resolved();
+    let mut g = c.benchmark_group("ingest/epoch_cadence");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(chain.tx_count() as u64));
+    for epoch in [1usize, 4, 16, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(epoch), &epoch, |b, &epoch| {
+            b.iter(|| {
+                let mut pipe =
+                    ShardedIngest::new(IngestConfig::with_h2(4, epoch, ChangeConfig::naive()));
+                for block in chain.blocks() {
+                    pipe.ingest_block(&block);
+                }
+                pipe.flush(chain);
+                std::hint::black_box(pipe.cluster_count())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sharded_sweep, bench_epoch_cadence);
+criterion_main!(benches);

@@ -12,7 +12,10 @@
 //! and answers address → cluster lookups without replaying the chain.
 //! `repro taint` builds the columnar [`TxGraph`] once and tracks the
 //! scripted thefts concurrently over it, cross-checking the batch result
-//! against the legacy per-theft walk. `repro serve` starts the
+//! against the legacy per-theft walk. `repro ingest` replays the economy
+//! block by block through the sharded ingest pipeline across a sweep of
+//! shard counts, asserting each sweep point reproduces the batch
+//! clustering exactly and timing per-block cost. `repro serve` starts the
 //! `fistful-serve` query server over the simulated economy; `repro
 //! serve-bench` drives a closed-loop load generator against it, sweeping
 //! worker counts with the response cache on and off. Parsing lives in
@@ -24,7 +27,10 @@ use fistful_bench::servebench::{self, RequestKind, RequestPools};
 use fistful_bench::{btc_round, serve_artifacts, silk_road_starts, theft_loots, Workbench};
 use fistful_chain::amount::Amount;
 use fistful_core::change::{self, ChangeConfig, BLOCKS_PER_DAY, BLOCKS_PER_WEEK};
+use fistful_core::cluster::{Clusterer, Clustering};
 use fistful_core::fp;
+use fistful_core::incremental::sharded::{IngestConfig, ShardedIngest};
+use fistful_core::incremental::IncrementalClusterer;
 use fistful_core::metrics::{amplification, score_change_labels, score_clustering};
 use fistful_core::naming::name_clusters;
 use fistful_core::snapshot::ClusterSnapshot;
@@ -52,8 +58,11 @@ fn main() {
         Command::Run(plan) => run_experiments(&plan),
         Command::SnapshotSave { scale, path } => snapshot_save(&scale, &path),
         Command::SnapshotQuery { path, addresses, top } => snapshot_query(&path, &addresses, top),
-        Command::Taint { scale, thefts, threads, max_txs } => {
-            taint(&scale, &thefts, threads, max_txs)
+        Command::Taint { scale, thefts, threads, max_txs, json, out } => {
+            taint(&scale, &thefts, threads, max_txs, json, out.as_deref())
+        }
+        Command::Ingest { scale, shards, epoch, json, out } => {
+            ingest(&scale, &shards, epoch, json, out.as_deref())
         }
         Command::Serve { scale, port, workers, cache } => serve(&scale, port, workers, cache),
         Command::ServeBench { scale, threads, connections, requests, mix, json, out } => {
@@ -424,7 +433,7 @@ fn snapshot_query(path: &str, addresses: &[u32], top: usize) {
 
 /// `taint`: the batch multi-theft engine over the transaction-graph index,
 /// cross-checked against (and timed versus) the legacy per-theft walks.
-fn taint(scale: &str, names: &[String], threads: usize, max_txs: usize) {
+fn taint(scale: &str, names: &[String], threads: usize, max_txs: usize, json: bool, out: Option<&str>) {
     let cfg = sim_config(scale);
     eprintln!(
         "# building economy (scale={scale}, blocks={}, users={}) ...",
@@ -517,6 +526,143 @@ fn taint(scale: &str, names: &[String], threads: usize, max_txs: usize) {
         cases.len(),
         sequential.as_secs_f64() / batch.as_secs_f64().max(1e-9)
     );
+
+    // One perf-trajectory record per theft plus a timing summary (schema
+    // `fistful.repro.taint/1`) for BENCH_*.json files.
+    let mut sink = JsonSink::new(json, out);
+    for ((name, _), trace) in cases.iter().zip(&traces) {
+        sink.push(Json::obj(vec![
+            ("schema", "fistful.repro.taint/1".into()),
+            ("scale", scale.into()),
+            ("theft", name.as_str().into()),
+            ("txs", (trace.movements.len() as u64).into()),
+            ("pattern", trace.pattern.as_str().into()),
+            ("to_exchanges_btc", trace.to_exchanges.to_btc().into()),
+            ("dormant_btc", trace.dormant.to_btc().into()),
+        ]));
+    }
+    sink.push(Json::obj(vec![
+        ("schema", "fistful.repro.taint/1".into()),
+        ("scale", scale.into()),
+        ("thefts", (cases.len() as u64).into()),
+        ("threads", (workers as u64).into()),
+        ("graph_build_seconds", built.as_secs_f64().into()),
+        ("batch_seconds", batch.as_secs_f64().into()),
+        ("legacy_seconds", sequential.as_secs_f64().into()),
+    ]));
+    sink.finish();
+}
+
+/// `ingest`: the sharded ingest sweep. Replays the economy block by block
+/// through [`ShardedIngest`] at every requested shard count (plus the
+/// batch and per-block incremental engines as baselines), asserts each
+/// sweep point lands on exactly the batch clustering, and reports
+/// per-block ingest cost per engine.
+fn ingest(scale: &str, shards: &[usize], epoch: usize, json: bool, out: Option<&str>) {
+    let cfg = sim_config(scale);
+    eprintln!(
+        "# building economy (scale={scale}, blocks={}, users={}) ...",
+        cfg.blocks, cfg.users
+    );
+    let wb = Workbench::build(cfg);
+    let chain = wb.eco.chain.resolved();
+    let h2 = wb.refined_config();
+    let blocks = chain.block_count();
+    let txs = chain.tx_count();
+    println!(
+        "chain: {} blocks, {} txs, {} addresses; epoch = {epoch} block(s)",
+        blocks,
+        txs,
+        chain.address_count()
+    );
+
+    let mut sink = JsonSink::new(json, out);
+    let record = |sink: &mut JsonSink, engine: &str, n_shards: u64, seconds: f64, clusters: usize| {
+        sink.push(Json::obj(vec![
+            ("schema", "fistful.repro.ingest/1".into()),
+            ("scale", scale.into()),
+            ("engine", engine.into()),
+            ("shards", n_shards.into()),
+            ("epoch_blocks", (epoch as u64).into()),
+            ("blocks", (blocks as u64).into()),
+            ("txs", (txs as u64).into()),
+            ("seconds", seconds.into()),
+            ("us_per_block", (seconds * 1e6 / blocks.max(1) as f64).into()),
+            ("clusters", (clusters as u64).into()),
+        ]));
+    };
+    println!(
+        "{:<14} {:>7} {:>10} {:>12} {:>10}",
+        "engine", "shards", "seconds", "us/block", "clusters"
+    );
+    let row = |engine: &str, n_shards: u64, seconds: f64, clusters: usize| {
+        println!(
+            "{:<14} {:>7} {:>10.3} {:>12.1} {:>10}",
+            engine,
+            n_shards,
+            seconds,
+            seconds * 1e6 / blocks.max(1) as f64,
+            clusters
+        );
+    };
+
+    // Baseline 1: the one-pass batch clusterer (ground truth).
+    let t = std::time::Instant::now();
+    let batch = Clusterer::with_h2(h2.clone()).run(chain);
+    let batch_secs = t.elapsed().as_secs_f64();
+    row("batch", 0, batch_secs, batch.cluster_count());
+    record(&mut sink, "batch", 0, batch_secs, batch.cluster_count());
+
+    // Baseline 2: the single-threaded per-block incremental engine.
+    let t = std::time::Instant::now();
+    let mut inc = IncrementalClusterer::with_h2(h2.clone());
+    for block in chain.blocks() {
+        inc.ingest_block(&block);
+    }
+    inc.flush(chain);
+    let inc_snapshot = inc.snapshot();
+    let inc_secs = t.elapsed().as_secs_f64();
+    assert_clusterings_match("incremental", &inc_snapshot, &batch);
+    row("incremental", 0, inc_secs, inc_snapshot.cluster_count());
+    record(&mut sink, "incremental", 0, inc_secs, inc_snapshot.cluster_count());
+
+    // The sweep: the sharded pipeline at every requested shard count. On a
+    // single-core box this proves correctness scaling (identical output at
+    // every width), not wall-clock speedup.
+    for &n in shards {
+        let t = std::time::Instant::now();
+        let mut pipe = ShardedIngest::new(IngestConfig::with_h2(n, epoch, h2.clone()));
+        for block in chain.blocks() {
+            pipe.ingest_block(&block);
+        }
+        pipe.flush(chain);
+        let clustering = pipe.snapshot();
+        let secs = t.elapsed().as_secs_f64();
+        assert_clusterings_match(&format!("sharded x{n}"), &clustering, &batch);
+        row("sharded", n as u64, secs, clustering.cluster_count());
+        record(&mut sink, "sharded", n as u64, secs, clustering.cluster_count());
+    }
+    println!(
+        "every engine reproduced the batch clustering exactly ({} clusters)",
+        batch.cluster_count()
+    );
+    sink.finish();
+}
+
+/// Hard equality between an ingest engine's output and the batch ground
+/// truth: same partition, same H2 labels, same skip accounting.
+fn assert_clusterings_match(engine: &str, got: &Clustering, batch: &Clustering) {
+    assert_eq!(got.assignment, batch.assignment, "{engine}: assignment diverged");
+    assert_eq!(got.sizes, batch.sizes, "{engine}: cluster sizes diverged");
+    match (&got.change_labels, &batch.change_labels) {
+        (Some(a), Some(b)) => {
+            assert_eq!(a.vout_of, b.vout_of, "{engine}: change vouts diverged");
+            assert_eq!(a.labels, b.labels, "{engine}: change label count diverged");
+            assert_eq!(a.skip_counts, b.skip_counts, "{engine}: skip accounting diverged");
+        }
+        (None, None) => {}
+        _ => panic!("{engine}: H2 ran on one side only"),
+    }
 }
 
 /// Figure 1: how a transaction propagates, gets mined, and settles.

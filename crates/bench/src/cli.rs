@@ -1,6 +1,7 @@
 //! Argument parsing for the `repro` binary, factored out so the dedupe,
-//! `all`-mixing, `--json`, and `snapshot`/`taint`/`serve`/`serve-bench`
-//! subcommand rules are unit-testable without spawning the binary.
+//! `all`-mixing, `--json`, and `snapshot`/`taint`/`ingest`/`serve`/
+//! `serve-bench` subcommand rules are unit-testable without spawning the
+//! binary.
 
 use crate::servebench::RequestKind;
 
@@ -23,6 +24,12 @@ pub const DEFAULT_SERVE_PORT: u16 = 7833;
 
 /// Default response-cache capacity for `repro serve` and `serve-bench`.
 pub const DEFAULT_SERVE_CACHE: usize = 4096;
+
+/// Default shard-count sweep for `repro ingest`.
+pub const DEFAULT_INGEST_SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+/// Default epoch length (blocks between reconciles) for `repro ingest`.
+pub const DEFAULT_INGEST_EPOCH: usize = 16;
 
 /// Default concurrent connections for `repro serve-bench`.
 pub const DEFAULT_BENCH_CONNECTIONS: usize = 4;
@@ -47,7 +54,9 @@ pub fn usage() -> String {
          \x20      repro snapshot save <file> [--scale {scales}]\n\
          \x20      repro snapshot query <file> [address-id...] [--top N]\n\
          \x20      repro taint [--scale {scales}] [--thefts all|name,name,...]\n\
-         \x20                  [--threads N] [--max-txs M]\n\
+         \x20                  [--threads N] [--max-txs M] [--json] [--out FILE]\n\
+         \x20      repro ingest [--scale {scales}] [--shards N,N,...] [--epoch K]\n\
+         \x20                  [--json] [--out FILE]\n\
          \x20      repro serve [--scale {scales}] [--port P] [--workers N] [--cache N]\n\
          \x20      repro serve-bench [--scale {scales}] [--threads N,N,...]\n\
          \x20                  [--connections M] [--requests R] [--mix kind:w,...]\n\
@@ -64,6 +73,11 @@ pub fn usage() -> String {
          \x20        the scripted thefts concurrently over it (batch engine),\n\
          \x20        checked against and timed versus the legacy per-theft\n\
          \x20        walk; --thefts selects cases by name (default: all)\n\
+         ingest — replay the economy block by block through the sharded\n\
+         \x20        ingest pipeline, sweeping --shards shard counts (comma\n\
+         \x20        list, each > 0) with an --epoch-block reconcile cadence,\n\
+         \x20        asserting every sweep point matches the batch clusterer\n\
+         \x20        and reporting per-block ingest cost\n\
          serve — cluster once, build the graph, and answer the binary query\n\
          \x20        protocol on --port until killed (--workers 0 = one per\n\
          \x20        core; --cache 0 disables the response cache)\n\
@@ -124,6 +138,25 @@ pub enum Command {
         threads: usize,
         /// Per-theft taint-walk transaction bound.
         max_txs: usize,
+        /// Emit one machine-readable JSON object per tracked theft.
+        json: bool,
+        /// Where the JSON objects go (`None` = stdout). Implies `json`.
+        out: Option<String>,
+    },
+    /// `ingest`: replay the economy through the sharded ingest pipeline
+    /// across a sweep of shard counts, checking each against the batch
+    /// clusterer and timing per-block cost.
+    Ingest {
+        /// One of [`SCALES`].
+        scale: String,
+        /// Shard counts to sweep, in order, each positive.
+        shards: Vec<usize>,
+        /// Blocks per reconcile epoch; positive.
+        epoch: usize,
+        /// Emit one machine-readable JSON object per sweep point.
+        json: bool,
+        /// Where the JSON objects go (`None` = stdout). Implies `json`.
+        out: Option<String>,
     },
     /// `serve`: build the serving artifacts once and run the TCP query
     /// server until killed.
@@ -195,6 +228,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliOutcome> {
     match args.first().map(String::as_str) {
         Some("snapshot") => return parse_snapshot(&args[1..]),
         Some("taint") => return parse_taint(&args[1..]),
+        Some("ingest") => return parse_ingest(&args[1..]),
         Some("serve") => return parse_serve(&args[1..]),
         Some("serve-bench") => return parse_serve_bench(&args[1..]),
         _ => {}
@@ -461,6 +495,8 @@ fn parse_taint(args: &[String]) -> Result<Command, CliOutcome> {
     let mut saw_all = false;
     let mut threads = 0usize;
     let mut max_txs = DEFAULT_TAINT_MAX_TXS;
+    let mut json = false;
+    let mut out: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -496,6 +532,14 @@ fn parse_taint(args: &[String]) -> Result<Command, CliOutcome> {
                     }
                 }
             }
+            "--json" => json = true,
+            "--out" => {
+                let Some(path) = it.next() else {
+                    return Err(CliOutcome::Error("--out requires a file path".to_string()));
+                };
+                out = Some(path.clone());
+                json = true;
+            }
             other => {
                 return Err(CliOutcome::Error(format!(
                     "unknown taint option `{other}`"
@@ -508,7 +552,65 @@ fn parse_taint(args: &[String]) -> Result<Command, CliOutcome> {
             "`all` cannot be combined with named thefts".to_string(),
         ));
     }
-    Ok(Command::Taint { scale, thefts, threads, max_txs })
+    Ok(Command::Taint { scale, thefts, threads, max_txs, json, out })
+}
+
+/// Parses the arguments after the `ingest` keyword.
+///
+/// `--shards` takes a comma list of positive shard counts (duplicates
+/// collapse, first-mention order kept); `--epoch` takes the positive number
+/// of blocks between cross-shard reconciles. Zero is rejected for both —
+/// a zero-shard pipeline has nowhere to put an address and a zero-block
+/// epoch never reconciles.
+fn parse_ingest(args: &[String]) -> Result<Command, CliOutcome> {
+    let mut scale = "default".to_string();
+    let mut shards: Vec<usize> = DEFAULT_INGEST_SHARDS.to_vec();
+    let mut epoch = DEFAULT_INGEST_EPOCH;
+    let mut json = false;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => scale = parse_scale(it.next())?,
+            "--help" | "-h" => return Err(CliOutcome::Help),
+            "--shards" => {
+                let Some(list) = it.next() else {
+                    return Err(CliOutcome::Error("invalid --shards value".to_string()));
+                };
+                shards = Vec::new();
+                for part in list.split(',') {
+                    match part.trim().parse::<usize>() {
+                        Ok(n) if n > 0 => {
+                            if !shards.contains(&n) {
+                                shards.push(n);
+                            }
+                        }
+                        _ => {
+                            return Err(CliOutcome::Error(format!(
+                                "invalid shard count `{part}` in --shards (must be > 0)"
+                            )))
+                        }
+                    }
+                }
+                if shards.is_empty() {
+                    return Err(CliOutcome::Error("--shards names no shard counts".to_string()));
+                }
+            }
+            "--epoch" => epoch = parse_count("--epoch", it.next())?,
+            "--json" => json = true,
+            "--out" => {
+                let Some(path) = it.next() else {
+                    return Err(CliOutcome::Error("--out requires a file path".to_string()));
+                };
+                out = Some(path.clone());
+                json = true;
+            }
+            other => {
+                return Err(CliOutcome::Error(format!("unknown ingest option `{other}`")))
+            }
+        }
+    }
+    Ok(Command::Ingest { scale, shards, epoch, json, out })
 }
 
 #[cfg(test)]
@@ -640,7 +742,9 @@ mod tests {
                 scale: "default".into(),
                 thefts: vec![],
                 threads: 0,
-                max_txs: DEFAULT_TAINT_MAX_TXS
+                max_txs: DEFAULT_TAINT_MAX_TXS,
+                json: false,
+                out: None
             }
         );
         // `--thefts all` is the explicit spelling of the default.
@@ -663,9 +767,19 @@ mod tests {
                 // Duplicates collapse, first-mention order kept.
                 thefts: vec!["Betcoin".into(), "Bitfloor".into()],
                 threads: 4,
-                max_txs: 99
+                max_txs: 99,
+                json: false,
+                out: None
             }
         );
+        // --out implies --json, exactly like run mode.
+        let Command::Taint { json, out, .. } =
+            parse(&args(&["taint", "--out", "taint.json"])).unwrap()
+        else {
+            panic!("expected taint");
+        };
+        assert!(json, "--out implies --json");
+        assert_eq!(out.as_deref(), Some("taint.json"));
     }
 
     #[test]
@@ -691,6 +805,69 @@ mod tests {
     }
 
     #[test]
+    fn ingest_parses_defaults_and_overrides() {
+        assert_eq!(
+            parse(&args(&["ingest"])).unwrap(),
+            Command::Ingest {
+                scale: "default".into(),
+                shards: DEFAULT_INGEST_SHARDS.to_vec(),
+                epoch: DEFAULT_INGEST_EPOCH,
+                json: false,
+                out: None
+            }
+        );
+        assert_eq!(
+            parse(&args(&[
+                "ingest", "--scale", "tiny", "--shards", "2,8,2", "--epoch", "7", "--json"
+            ]))
+            .unwrap(),
+            Command::Ingest {
+                scale: "tiny".into(),
+                // Duplicate shard counts collapse, order kept.
+                shards: vec![2, 8],
+                epoch: 7,
+                json: true,
+                out: None
+            }
+        );
+        // --out implies --json.
+        let Command::Ingest { json, out, .. } =
+            parse(&args(&["ingest", "--out", "ingest.json"])).unwrap()
+        else {
+            panic!("expected ingest");
+        };
+        assert!(json, "--out implies --json");
+        assert_eq!(out.as_deref(), Some("ingest.json"));
+    }
+
+    #[test]
+    fn ingest_rejects_zero_shards_and_zero_epoch() {
+        // The tentpole's typed usage errors: a zero anywhere in --shards,
+        // or a zero --epoch, is a hard parse error (exit 2), not a panic
+        // deep in the pipeline.
+        for bad in [
+            &["ingest", "--shards", "0"][..],
+            &["ingest", "--shards", "4,0"],
+            &["ingest", "--shards", "x"],
+            &["ingest", "--shards", ""],
+            &["ingest", "--shards"],
+            &["ingest", "--epoch", "0"],
+            &["ingest", "--epoch", "soon"],
+            &["ingest", "--epoch"],
+            &["ingest", "--scale", "huge"],
+            &["ingest", "--out"],
+            &["ingest", "stray"],
+            &["ingest", "--bogus"],
+        ] {
+            assert!(
+                matches!(parse(&args(bad)), Err(CliOutcome::Error(_))),
+                "expected usage error for {bad:?}"
+            );
+        }
+        assert_eq!(parse(&args(&["ingest", "--help"])), Err(CliOutcome::Help));
+    }
+
+    #[test]
     fn usage_lists_every_experiment_and_the_snapshot_subcommands() {
         let usage = usage();
         for exp in EXPERIMENTS {
@@ -705,6 +882,9 @@ mod tests {
             "--top",
             "taint",
             "--thefts",
+            "ingest",
+            "--shards",
+            "--epoch",
             "serve",
             "serve-bench",
             "--json",

@@ -214,6 +214,80 @@ fn json_out_flag_writes_the_objects_to_a_file() {
 }
 
 #[test]
+fn ingest_usage_errors_exit_two() {
+    // The tentpole's typed usage errors: zero shards and a zero-block
+    // epoch are rejected at parse time with exit code 2 and the usage
+    // text, never a panic inside the pipeline.
+    for bad in [
+        &["ingest", "--shards", "0"][..],
+        &["ingest", "--shards", "4,0"],
+        &["ingest", "--shards", "x"],
+        &["ingest", "--epoch", "0"],
+        &["ingest", "--epoch", "soon"],
+        &["ingest", "--bogus"],
+    ] {
+        let out = repro(bad);
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("usage: repro"),
+            "args {bad:?}"
+        );
+    }
+}
+
+#[test]
+fn ingest_sweeps_shard_counts_and_matches_batch_at_tiny_scale() {
+    let out = repro(&[
+        "ingest", "--scale", "tiny", "--shards", "1,3", "--epoch", "8", "--json",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The binary asserts every engine's output equals the batch clustering
+    // before printing this line.
+    assert!(stdout.contains("reproduced the batch clustering exactly"), "{stdout}");
+
+    // Machine-readable: batch + incremental baselines, then one record per
+    // swept shard count, all under the ingest schema.
+    let objects = json_lines(&stdout);
+    assert_eq!(objects.len(), 4, "{stdout}");
+    for obj in &objects {
+        assert_eq!(obj.get("schema").unwrap().as_str(), Some("fistful.repro.ingest/1"));
+        assert_eq!(obj.get("scale").unwrap().as_str(), Some("tiny"));
+        assert_eq!(obj.get("epoch_blocks").unwrap().as_f64(), Some(8.0));
+        assert!(obj.get("us_per_block").unwrap().as_f64().unwrap() > 0.0);
+        assert!(obj.get("clusters").unwrap().as_f64().unwrap() > 0.0);
+    }
+    let engines: Vec<_> =
+        objects.iter().map(|o| o.get("engine").unwrap().as_str().unwrap().to_string()).collect();
+    assert_eq!(engines, ["batch", "incremental", "sharded", "sharded"], "{stdout}");
+    assert_eq!(objects[2].get("shards").unwrap().as_f64(), Some(1.0));
+    assert_eq!(objects[3].get("shards").unwrap().as_f64(), Some(3.0));
+    // Every engine computed the same partition.
+    let clusters = objects[0].get("clusters").unwrap().as_f64();
+    assert!(objects.iter().all(|o| o.get("clusters").unwrap().as_f64() == clusters));
+}
+
+#[test]
+fn taint_json_emits_per_theft_records_and_a_summary() {
+    let out = repro(&["taint", "--scale", "tiny", "--threads", "2", "--max-txs", "500", "--json"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let objects = json_lines(&stdout);
+    assert!(objects.len() >= 2, "per-theft records plus a summary:\n{stdout}");
+    for obj in &objects {
+        assert_eq!(obj.get("schema").unwrap().as_str(), Some("fistful.repro.taint/1"));
+    }
+    let (summary, thefts) = objects.split_last().unwrap();
+    for t in thefts {
+        assert!(t.get("theft").unwrap().as_str().is_some());
+        assert!(t.get("txs").unwrap().as_f64().unwrap() >= 0.0);
+    }
+    assert_eq!(summary.get("thefts").unwrap().as_f64(), Some(thefts.len() as f64));
+    assert_eq!(summary.get("threads").unwrap().as_f64(), Some(2.0));
+    assert!(summary.get("batch_seconds").unwrap().as_f64().unwrap() > 0.0);
+}
+
+#[test]
 fn serve_bench_reports_per_type_latency_and_cache_counters() {
     let out = repro(&[
         "serve-bench",

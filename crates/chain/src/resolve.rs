@@ -131,6 +131,75 @@ impl<'a> ResolvedBlockView<'a> {
     }
 }
 
+/// A contiguous run of blocks of a [`ResolvedChain`] — the unit of epoch
+/// replay consumed by the sharded ingest pipeline
+/// (`fistful_core::incremental::sharded`). Every shard worker walks the
+/// same span; [`ResolvedChain::block_span`] is how an epoch's worth of
+/// buffered blocks is turned back into a transaction range.
+#[derive(Clone, Copy)]
+pub struct ResolvedSpanView<'a> {
+    chain: &'a ResolvedChain,
+    block_start: BlockId,
+    block_end: BlockId,
+    start: TxId,
+    end: TxId,
+}
+
+impl<'a> ResolvedSpanView<'a> {
+    /// The chain this span belongs to.
+    pub fn chain(&self) -> &'a ResolvedChain {
+        self.chain
+    }
+
+    /// The first block id in the span.
+    pub fn block_start(&self) -> BlockId {
+        self.block_start
+    }
+
+    /// One past the last block id in the span.
+    pub fn block_end(&self) -> BlockId {
+        self.block_end
+    }
+
+    /// Number of blocks in the span.
+    pub fn block_count(&self) -> usize {
+        (self.block_end - self.block_start) as usize
+    }
+
+    /// The first transaction id in the span.
+    pub fn tx_start(&self) -> TxId {
+        self.start
+    }
+
+    /// One past the last transaction id in the span.
+    pub fn tx_end(&self) -> TxId {
+        self.end
+    }
+
+    /// Number of transactions in the span.
+    pub fn tx_count(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Iterates `(tx id, transaction)` over the span in chain order.
+    pub fn txs(&self) -> impl Iterator<Item = (TxId, &'a ResolvedTx)> {
+        let chain = self.chain;
+        (self.start..self.end).map(move |t| (t, &chain.txs[t as usize]))
+    }
+
+    /// Iterates the span block by block, in height order.
+    pub fn blocks(&self) -> impl Iterator<Item = ResolvedBlockView<'a>> {
+        let chain = self.chain;
+        (self.block_start..self.block_end).map(move |i| chain.block(i))
+    }
+
+    /// Height of the span's last block, or `None` for an empty span.
+    pub fn last_height(&self) -> Option<u64> {
+        (self.block_start < self.block_end)
+            .then(|| self.chain.block(self.block_end - 1).height())
+    }
+}
+
 /// The resolved, interned view of an entire chain.
 #[derive(Clone, Default)]
 pub struct ResolvedChain {
@@ -188,6 +257,31 @@ impl ResolvedChain {
     /// Iterates the chain block by block, in height order.
     pub fn blocks(&self) -> impl Iterator<Item = ResolvedBlockView<'_>> {
         (0..self.block_count() as BlockId).map(move |i| self.block(i))
+    }
+
+    /// The span covering blocks `range.start..range.end`. An empty range is
+    /// allowed (and yields an empty span); out-of-range indices panic.
+    pub fn block_span(&self, range: std::ops::Range<BlockId>) -> ResolvedSpanView<'_> {
+        assert!(
+            range.start <= range.end && (range.end as usize) <= self.block_count(),
+            "block span {}..{} out of range for {} blocks",
+            range.start,
+            range.end,
+            self.block_count()
+        );
+        let tx_at = |b: BlockId| {
+            self.block_spans
+                .get(b as usize)
+                .map(|&(_, s)| s)
+                .unwrap_or(self.txs.len() as TxId)
+        };
+        ResolvedSpanView {
+            chain: self,
+            block_start: range.start,
+            block_end: range.end,
+            start: tx_at(range.start),
+            end: tx_at(range.end),
+        }
     }
 
     /// The address for an id. Panics on out-of-range ids.
@@ -436,6 +530,48 @@ mod tests {
             rc.blocks().flat_map(|b| b.txs().map(|(t, _)| t).collect::<Vec<_>>()).collect();
         assert_eq!(replayed, vec![0, 1, 2]);
         assert!(rc.block(1).txs().all(|(t, tx)| rc.txs[t as usize].height == tx.height));
+    }
+
+    #[test]
+    fn block_spans_cover_contiguous_ranges() {
+        let mut utxos = UtxoSet::new();
+        let mut rc = ResolvedChain::new();
+        // Four single-coinbase blocks at heights 0..4.
+        for i in 0..4u64 {
+            let c = cb(i, Amount::from_btc(50), Address::from_seed(i + 1));
+            rc.add_tx(&c, &utxos, i, i * 600);
+            utxos.apply(&c, i);
+        }
+
+        let all = rc.block_span(0..4);
+        assert_eq!((all.tx_start(), all.tx_end()), (0, 4));
+        assert_eq!(all.block_count(), 4);
+        assert_eq!(all.last_height(), Some(3));
+        assert_eq!(all.txs().map(|(t, _)| t).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        // Per-block views of the span agree with the chain's own.
+        assert_eq!(all.blocks().map(|b| b.height()).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+
+        let mid = rc.block_span(1..3);
+        assert_eq!((mid.tx_start(), mid.tx_end()), (1, 3));
+        assert_eq!(mid.last_height(), Some(2));
+
+        // Spans of consecutive epochs partition the chain's transactions.
+        let mut seen = Vec::new();
+        for epoch in [0..2, 2..4] {
+            seen.extend(rc.block_span(epoch).txs().map(|(t, _)| t));
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+
+        let empty = rc.block_span(2..2);
+        assert_eq!(empty.tx_count(), 0);
+        assert_eq!(empty.last_height(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn block_span_rejects_out_of_range() {
+        let rc = ResolvedChain::new();
+        let _ = rc.block_span(0..1);
     }
 
     #[test]

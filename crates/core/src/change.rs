@@ -22,7 +22,7 @@
 //! * **prior-self-change exclusion** — if any output address was previously
 //!   used as a self-change address, nothing is tagged.
 
-use fistful_chain::resolve::{AddressId, ResolvedChain, TxId};
+use fistful_chain::resolve::{AddressId, ResolvedChain, ResolvedTx, TxId};
 use std::collections::HashSet;
 
 /// Blocks per day at the 10-minute target.
@@ -191,26 +191,97 @@ pub fn receives_again_within(
     false
 }
 
+/// The stateless, transaction-local half of the labelling decision:
+/// conditions 2–3 plus the output-count gate, in the exact precedence
+/// [`ChangeScanner::decide`] reports them. Needs no per-address history, so
+/// the sharded ingest pipeline computes it on a transaction's home shard
+/// without consulting the other shards.
+pub(crate) fn precondition_skip(tx: &ResolvedTx, config: &ChangeConfig) -> Option<SkipReason> {
+    // Condition 2: not a coin generation.
+    if tx.is_coinbase {
+        return Some(SkipReason::Coinbase);
+    }
+    if tx.outputs.len() < config.min_outputs.max(1) {
+        return Some(SkipReason::TooFewOutputs);
+    }
+
+    // Condition 3: no self-change address.
+    let input_set: HashSet<AddressId> = tx.inputs.iter().map(|i| i.address).collect();
+    if tx.outputs.iter().any(|o| input_set.contains(&o.address)) {
+        return Some(SkipReason::SelfChange);
+    }
+    None
+}
+
+/// Conditions 1 + 4: exactly one output address makes its first appearance
+/// in this transaction (and only once within it). Pure chain lookup — the
+/// "previous transactions" of condition 1 come from
+/// [`ResolvedChain::first_seen`], not from running state — so it too is
+/// computable per transaction without cross-shard coordination.
+pub(crate) fn fresh_candidate(
+    chain: &ResolvedChain,
+    t_id: TxId,
+    tx: &ResolvedTx,
+) -> Result<(u32, AddressId), SkipReason> {
+    let mut candidate: Option<(u32, AddressId)> = None;
+    let mut candidates = 0;
+    for (vout, out) in tx.outputs.iter().enumerate() {
+        let fresh = chain.first_seen(out.address) == t_id
+            && tx
+                .outputs
+                .iter()
+                .filter(|o| o.address == out.address)
+                .count()
+                == 1;
+        if fresh {
+            candidates += 1;
+            candidate = Some((vout as u32, out.address));
+        }
+    }
+    match candidates {
+        0 => Err(SkipReason::NoCandidate),
+        1 => Ok(candidate.unwrap()),
+        _ => Err(SkipReason::Ambiguous),
+    }
+}
+
 /// The running per-address state behind Heuristic 2's "previous
-/// transactions" conditions, factored out so the batch [`identify`] pass
-/// and the incremental engine (`crate::incremental`) share one decision
-/// procedure.
+/// transactions" conditions, factored out so the batch [`identify`] pass,
+/// the incremental engine (`crate::incremental`) and the sharded pipeline
+/// (`crate::incremental::sharded`) share one decision procedure.
 ///
 /// Feed transactions in chain order: call [`decide`](Self::decide) *before*
 /// [`absorb`](Self::absorb) for each transaction, so "previous" always means
 /// strictly-earlier transactions. State grows on demand as new addresses
 /// appear, which is what lets the incremental path use it without knowing
 /// the final address count up front.
-#[derive(Debug, Clone, Default)]
+///
+/// A scanner can be restricted to one shard of the address space
+/// ([`for_shard`](Self::for_shard)): it then tracks history only for
+/// addresses it owns (`addr % shard_count == shard`), stored at local index
+/// `addr / shard_count` so per-shard memory is proportional to the shard's
+/// share. The stateful refinement checks decompose per address, so each
+/// shard evaluates its own veto over the outputs it owns and the sharded
+/// reconcile step ORs the per-shard verdicts — exactly the predicate an
+/// unsharded scanner computes.
+#[derive(Debug, Clone)]
 pub struct ChangeScanner {
-    /// Per address: how many outputs have paid it so far.
+    /// Per owned address (local index): how many outputs have paid it.
     receive_count: Vec<u32>,
-    /// Per address: whether it was ever used as a self-change address.
+    /// Per owned address (local index): ever used as a self-change address.
     was_self_change: Vec<bool>,
+    shard: u32,
+    stride: u32,
+}
+
+impl Default for ChangeScanner {
+    fn default() -> ChangeScanner {
+        ChangeScanner::for_shard(0, 1)
+    }
 }
 
 impl ChangeScanner {
-    /// A scanner with no history.
+    /// A scanner with no history, covering the whole address space.
     pub fn new() -> ChangeScanner {
         ChangeScanner::default()
     }
@@ -220,15 +291,56 @@ impl ChangeScanner {
         ChangeScanner {
             receive_count: Vec::with_capacity(n_addr),
             was_self_change: Vec::with_capacity(n_addr),
+            shard: 0,
+            stride: 1,
         }
     }
 
-    fn receives(&self, addr: AddressId) -> u32 {
-        self.receive_count.get(addr as usize).copied().unwrap_or(0)
+    /// A scanner owning only the addresses of shard `shard` out of
+    /// `shard_count` (round-robin partition). Panics unless
+    /// `shard < shard_count` and `shard_count >= 1`.
+    pub fn for_shard(shard: u32, shard_count: u32) -> ChangeScanner {
+        assert!(
+            shard_count >= 1 && shard < shard_count,
+            "shard {shard} out of range for {shard_count} shards"
+        );
+        ChangeScanner {
+            receive_count: Vec::new(),
+            was_self_change: Vec::new(),
+            shard,
+            stride: shard_count,
+        }
     }
 
-    fn self_changed(&self, addr: AddressId) -> bool {
-        self.was_self_change.get(addr as usize).copied().unwrap_or(false)
+    /// The local slot for `addr`, or `None` if another shard owns it.
+    fn slot(&self, addr: AddressId) -> Option<usize> {
+        (addr % self.stride == self.shard).then(|| (addr / self.stride) as usize)
+    }
+
+    fn receives(&self, slot: usize) -> u32 {
+        self.receive_count.get(slot).copied().unwrap_or(0)
+    }
+
+    fn self_changed(&self, slot: usize) -> bool {
+        self.was_self_change.get(slot).copied().unwrap_or(false)
+    }
+
+    /// The change-reuse refinement's veto over the outputs this scanner
+    /// owns: some owned output address has received exactly one input so
+    /// far. For an unsharded scanner this is the whole refinement; sharded
+    /// verdicts are ORed across shards.
+    pub(crate) fn reused_change_veto(&self, tx: &ResolvedTx) -> bool {
+        tx.outputs
+            .iter()
+            .any(|o| self.slot(o.address).is_some_and(|s| self.receives(s) == 1))
+    }
+
+    /// The prior-self-change refinement's veto over the outputs this
+    /// scanner owns.
+    pub(crate) fn prior_self_change_veto(&self, tx: &ResolvedTx) -> bool {
+        tx.outputs
+            .iter()
+            .any(|o| self.slot(o.address).is_some_and(|s| self.self_changed(s)))
     }
 
     /// The per-transaction labelling decision (conditions 1–4 plus the
@@ -236,76 +348,49 @@ impl ChangeScanner {
     /// The temporal wait-to-label refinement is the caller's concern: batch
     /// labelling looks ahead with [`receives_again_within`]; the incremental
     /// engine parks the decision in its pending queue.
+    ///
+    /// Only valid on an unsharded scanner (a sharded one sees a subset of
+    /// the history; the sharded pipeline combines per-shard vetoes at
+    /// reconcile time instead).
     pub fn decide(
         &self,
         chain: &ResolvedChain,
         t_id: TxId,
-        tx: &fistful_chain::resolve::ResolvedTx,
+        tx: &ResolvedTx,
         config: &ChangeConfig,
     ) -> Result<(u32, AddressId), SkipReason> {
-        // Condition 2: not a coin generation.
-        if tx.is_coinbase {
-            return Err(SkipReason::Coinbase);
-        }
-        if tx.outputs.len() < config.min_outputs.max(1) {
-            return Err(SkipReason::TooFewOutputs);
-        }
-
-        // Condition 3: no self-change address.
-        let input_set: HashSet<AddressId> = tx.inputs.iter().map(|i| i.address).collect();
-        if tx.outputs.iter().any(|o| input_set.contains(&o.address)) {
-            return Err(SkipReason::SelfChange);
+        assert_eq!(self.stride, 1, "decide requires an unsharded scanner");
+        if let Some(reason) = precondition_skip(tx, config) {
+            return Err(reason);
         }
 
         // Refinements that veto the whole transaction.
-        if config.skip_reused_change
-            && tx.outputs.iter().any(|o| self.receives(o.address) == 1)
-        {
+        if config.skip_reused_change && self.reused_change_veto(tx) {
             return Err(SkipReason::ReusedChange);
         }
-        if config.skip_prior_self_change
-            && tx.outputs.iter().any(|o| self.self_changed(o.address))
-        {
+        if config.skip_prior_self_change && self.prior_self_change_veto(tx) {
             return Err(SkipReason::PriorSelfChange);
         }
 
-        // Conditions 1 + 4: exactly one output address makes its first
-        // appearance here (and only once within this transaction).
-        let mut candidate: Option<(u32, AddressId)> = None;
-        let mut candidates = 0;
-        for (vout, out) in tx.outputs.iter().enumerate() {
-            let fresh = chain.first_seen(out.address) == t_id
-                && tx
-                    .outputs
-                    .iter()
-                    .filter(|o| o.address == out.address)
-                    .count()
-                    == 1;
-            if fresh {
-                candidates += 1;
-                candidate = Some((vout as u32, out.address));
-            }
-        }
-        match candidates {
-            0 => Err(SkipReason::NoCandidate),
-            1 => Ok(candidate.unwrap()),
-            _ => Err(SkipReason::Ambiguous),
-        }
+        fresh_candidate(chain, t_id, tx)
     }
 
-    /// Updates the running state with `tx`'s outputs. Call once per
-    /// transaction, after [`decide`](Self::decide).
-    pub fn absorb(&mut self, tx: &fistful_chain::resolve::ResolvedTx) {
+    /// Updates the running state with the outputs of `tx` this scanner
+    /// owns. Call once per transaction, after [`decide`](Self::decide) — in
+    /// the sharded pipeline, *every* shard absorbs every transaction (each
+    /// updating only its own addresses), so per-shard state stays in
+    /// lockstep with what one unsharded scanner would hold.
+    pub fn absorb(&mut self, tx: &ResolvedTx) {
         let input_set: HashSet<AddressId> = tx.inputs.iter().map(|i| i.address).collect();
         for out in &tx.outputs {
-            let a = out.address as usize;
-            if a >= self.receive_count.len() {
-                self.receive_count.resize(a + 1, 0);
-                self.was_self_change.resize(a + 1, false);
+            let Some(s) = self.slot(out.address) else { continue };
+            if s >= self.receive_count.len() {
+                self.receive_count.resize(s + 1, 0);
+                self.was_self_change.resize(s + 1, false);
             }
-            self.receive_count[a] += 1;
+            self.receive_count[s] += 1;
             if input_set.contains(&out.address) {
-                self.was_self_change[a] = true;
+                self.was_self_change[s] = true;
             }
         }
     }
@@ -612,6 +697,55 @@ mod tests {
         cfg.dice_addresses.insert(t.id(9));
         let lenient = identify(&t.chain, &cfg);
         assert_eq!(lenient.change_vout(tx1 as u32), Some(1));
+    }
+
+    #[test]
+    fn sharded_scanners_reproduce_unsharded_vetoes() {
+        // Per-shard veto verdicts, ORed across shards, must equal the
+        // unsharded scanner's verdicts on every transaction — the identity
+        // the sharded ingest reconcile step is built on.
+        let mut t = TestChain::new();
+        let cb1 = t.coinbase(1, 50);
+        let cb2 = t.coinbase(2, 50);
+        let tx1 = t.tx(&[(cb1, 0)], &[(2, 30), (4, 20)]); // change to fresh 4
+        let _tx2 = t.tx(&[(cb2, 0)], &[(6, 30), (4, 20)]); // reuses 4
+        let _tx3 = t.tx(&[(tx1, 0)], &[(2, 15), (7, 14)]); // self-change on 2
+        let chain = &t.chain;
+
+        for shards in [2u32, 3, 4] {
+            let mut whole = ChangeScanner::new();
+            let mut parts: Vec<ChangeScanner> =
+                (0..shards).map(|s| ChangeScanner::for_shard(s, shards)).collect();
+            for tx in &chain.txs {
+                assert_eq!(
+                    parts.iter().any(|p| p.reused_change_veto(tx)),
+                    whole.reused_change_veto(tx),
+                    "reused veto, {shards} shards"
+                );
+                assert_eq!(
+                    parts.iter().any(|p| p.prior_self_change_veto(tx)),
+                    whole.prior_self_change_veto(tx),
+                    "prior-self-change veto, {shards} shards"
+                );
+                whole.absorb(tx);
+                for p in &mut parts {
+                    p.absorb(tx);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsharded")]
+    fn decide_rejects_sharded_scanner() {
+        let (t, spend) = canonical();
+        let scanner = ChangeScanner::for_shard(0, 2);
+        let _ = scanner.decide(
+            &t.chain,
+            spend as TxId,
+            &t.chain.txs[spend],
+            &ChangeConfig::naive(),
+        );
     }
 
     #[test]

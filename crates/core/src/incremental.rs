@@ -23,6 +23,13 @@
 //! economies). Between blocks, the state matches batch clustering of the
 //! ingested prefix, except that provisional labels within `wait_blocks` of
 //! the tip are still pending rather than decided.
+//!
+//! This engine is single-threaded by design — one block at a time, one
+//! union-find. The [`sharded`] submodule scales the same write path across
+//! cores by partitioning addresses into shard-local state and reconciling
+//! at epoch boundaries, with the same end-state guarantee.
+
+pub mod sharded;
 
 use crate::change::{receives_again_within, ChangeConfig, ChangeLabels, ChangeScanner, SkipReason};
 use crate::cluster::{link_change, Clustering};
@@ -32,16 +39,18 @@ use fistful_chain::resolve::{AddressId, ResolvedBlockView, ResolvedChain, Resolv
 use std::collections::VecDeque;
 
 /// A provisional change label waiting for its wait-window to elapse.
+/// Shared with the sharded pipeline ([`sharded`]), whose reconcile step
+/// parks and resolves decisions with the same rules.
 #[derive(Debug, Clone, Copy)]
-struct PendingDecision {
+pub(crate) struct PendingDecision {
     /// The labelling transaction.
-    tx: TxId,
+    pub(crate) tx: TxId,
     /// The candidate change output.
-    vout: u32,
+    pub(crate) vout: u32,
     /// The candidate change address.
-    addr: AddressId,
+    pub(crate) addr: AddressId,
     /// Height of the labelling transaction's block.
-    height: u64,
+    pub(crate) height: u64,
 }
 
 /// Online H1(+H2) clustering over a block-by-block feed.

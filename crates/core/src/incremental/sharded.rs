@@ -1,0 +1,638 @@
+//! The sharded multicore ingest pipeline.
+//!
+//! [`IncrementalClusterer`](crate::incremental::IncrementalClusterer)
+//! ingests one block at a time on one thread, which caps continuous ingest
+//! at single-core speed. This module shards the write path by address and
+//! reconciles at epoch boundaries:
+//!
+//! * **Partition.** Address `a` belongs to shard `a % N`; transaction `t`'s
+//!   *home* shard is `t % N`. Each shard owns a local union-find
+//!   ([`UnionFindShard`]) and a local [`ChangeScanner`] restricted to its
+//!   addresses.
+//! * **Scan.** Ingested blocks are buffered; every `epoch_blocks` blocks the
+//!   buffered span is scanned by all shards concurrently
+//!   (`std::thread::scope`). The shard owning a transaction's first input
+//!   address applies its Heuristic 1 star edges — local unions when both
+//!   endpoints are owned, otherwise the edge goes to the shard's outbox.
+//!   The home shard computes the transaction-local half of the Heuristic 2
+//!   decision (coinbase / output-count / self-change preconditions and the
+//!   fresh-candidate search), and *every* shard evaluates the stateful
+//!   refinement vetoes over the output addresses it owns and absorbs the
+//!   transaction into its scanner.
+//! * **Reconcile.** At the epoch boundary each outbox is flushed into the
+//!   cross-shard [`MergeQueue`] (one mutex
+//!   acquisition per shard per epoch), then a single thread replays local
+//!   merge logs plus queued cross-shard edges into the canonical global
+//!   union-find with a lowest-root-wins tie-break — so every cluster's
+//!   representative is its minimum address id, independent of shard count
+//!   and thread scheduling. Heuristic 2 verdicts are combined per
+//!   transaction in the sequential precedence order (preconditions, then
+//!   the ORed reused-change vetoes, then the ORed prior-self-change vetoes,
+//!   then the candidate), labels are applied or parked in the wait-to-label
+//!   pending queue, and pending decisions whose window has fully elapsed
+//!   are finalized.
+//!
+//! **Equivalence guarantee.** Feeding every block of a chain through
+//! [`ShardedIngest::ingest_block`] and then calling
+//! [`flush`](ShardedIngest::flush) yields assignments, sizes and change
+//! labels identical to batch `Clusterer::run` and to
+//! `IncrementalClusterer` over the same chain with the same configuration,
+//! for every shard count and epoch length — asserted by the differential
+//! suites in `tests/incremental.rs` and `tests/properties.rs`. Between
+//! epochs, queries reflect the last reconciled epoch boundary (buffered
+//! blocks are not yet visible), unlike the per-block incremental engine.
+//!
+//! ```
+//! use fistful_core::change::ChangeConfig;
+//! use fistful_core::cluster::Clusterer;
+//! use fistful_core::incremental::sharded::{IngestConfig, ShardedIngest};
+//! use fistful_core::testutil::TestChain;
+//!
+//! let mut t = TestChain::new();
+//! let cb1 = t.coinbase(1, 50);
+//! let cb2 = t.coinbase(2, 50);
+//! let _cb3 = t.coinbase(3, 50);
+//! // Co-spend links 1+2; the fresh output 4 is the change address.
+//! t.tx(&[(cb1, 0), (cb2, 0)], &[(3, 70), (4, 30)]);
+//!
+//! let mut ingest = ShardedIngest::new(IngestConfig::with_h2(4, 2, ChangeConfig::naive()));
+//! for block in t.chain.blocks() {
+//!     ingest.ingest_block(&block);
+//! }
+//! ingest.flush(&t.chain);
+//! assert!(ingest.same_cluster(t.id(1), t.id(4)));
+//!
+//! // The final state is identical to a one-shot batch run.
+//! let batch = Clusterer::with_h2(ChangeConfig::naive()).run(&t.chain);
+//! assert_eq!(ingest.snapshot().assignment, batch.assignment);
+//! ```
+
+use crate::change::{
+    fresh_candidate, precondition_skip, receives_again_within, ChangeConfig, ChangeLabels,
+    ChangeScanner, SkipReason,
+};
+use crate::cluster::Clustering;
+use crate::heuristic1::H1Stats;
+use crate::incremental::PendingDecision;
+use crate::union_find::{MergeQueue, ShardedUnionFind, UnionFindShard};
+use fistful_chain::resolve::{
+    AddressId, BlockId, ResolvedBlockView, ResolvedChain, ResolvedSpanView, TxId,
+};
+use std::collections::VecDeque;
+
+/// Configuration of the sharded ingest pipeline.
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Number of address shards (and scan worker threads). Must be `>= 1`.
+    pub shards: usize,
+    /// Blocks per epoch: how many ingested blocks are buffered before a
+    /// concurrent scan + reconcile runs. Must be `>= 1`.
+    pub epoch_blocks: usize,
+    /// Heuristic 2 configuration; `None` runs Heuristic 1 only.
+    pub h2: Option<ChangeConfig>,
+}
+
+impl IngestConfig {
+    /// Heuristic 1 only.
+    pub fn h1_only(shards: usize, epoch_blocks: usize) -> IngestConfig {
+        IngestConfig { shards, epoch_blocks, h2: None }
+    }
+
+    /// Heuristic 1 plus Heuristic 2 with the given configuration.
+    pub fn with_h2(shards: usize, epoch_blocks: usize, config: ChangeConfig) -> IngestConfig {
+        IngestConfig { shards, epoch_blocks, h2: Some(config) }
+    }
+}
+
+/// The transaction-local Heuristic 2 verdict a home shard computes during
+/// the scan; combined with the other shards' veto flags at reconcile time.
+struct TxVerdict {
+    /// Failed precondition (coinbase / too few outputs / self-change).
+    pre: Option<SkipReason>,
+    /// The fresh-candidate search result (conditions 1 + 4).
+    candidate: Result<(u32, AddressId), SkipReason>,
+}
+
+/// What one shard worker brings back from an epoch scan.
+struct ScanOutcome {
+    /// Largest address id among this shard's home transactions (for the
+    /// global union-find grow — home shards jointly cover every tx).
+    max_addr: Option<AddressId>,
+    /// Non-coinbase home transactions (H1 statistics).
+    transactions: usize,
+    /// Home transactions with two or more distinct input addresses.
+    multi_input: usize,
+    /// Verdicts for this shard's home transactions, in chain order.
+    verdicts: Vec<TxVerdict>,
+    /// Per epoch transaction (dense, in chain order): bit 0 = reused-change
+    /// veto over this shard's addresses, bit 1 = prior-self-change veto.
+    vetoes: Vec<u8>,
+}
+
+/// Online H1(+H2) clustering over a block-by-block feed, sharded across
+/// worker threads with epoch-based reconciliation.
+///
+/// Blocks must be ingested contiguously in chain order from block 0 (the
+/// engine asserts it). All blocks must come from the same
+/// [`ResolvedChain`], which may keep growing between calls — the engine
+/// itself stores no chain reference.
+#[derive(Debug)]
+pub struct ShardedIngest {
+    config: IngestConfig,
+    uf: ShardedUnionFind,
+    scanners: Vec<ChangeScanner>,
+    h1_stats: H1Stats,
+    labels: ChangeLabels,
+    pending: VecDeque<PendingDecision>,
+    /// The next expected transaction id (contiguity check).
+    next_tx: TxId,
+    /// First block of the epoch currently being buffered.
+    epoch_start_block: BlockId,
+    blocks_ingested: usize,
+    epochs_completed: usize,
+}
+
+impl ShardedIngest {
+    /// Creates the pipeline. Panics if `config.shards` or
+    /// `config.epoch_blocks` is zero.
+    pub fn new(config: IngestConfig) -> ShardedIngest {
+        assert!(config.shards >= 1, "at least one shard is required");
+        assert!(config.epoch_blocks >= 1, "epochs must span at least one block");
+        let shards = config.shards;
+        ShardedIngest {
+            uf: ShardedUnionFind::new(shards),
+            scanners: (0..shards as u32)
+                .map(|s| ChangeScanner::for_shard(s, shards as u32))
+                .collect(),
+            config,
+            h1_stats: H1Stats::default(),
+            labels: ChangeLabels::default(),
+            pending: VecDeque::new(),
+            next_tx: 0,
+            epoch_start_block: 0,
+            blocks_ingested: 0,
+            epochs_completed: 0,
+        }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &IngestConfig {
+        &self.config
+    }
+
+    /// Ingests the next block. The block is buffered; once
+    /// `epoch_blocks` blocks have accumulated, the concurrent scan and
+    /// reconcile run and the buffered blocks become visible to queries.
+    /// Panics if the block does not start at the next expected transaction
+    /// (blocks must be replayed contiguously, in order, from block 0).
+    pub fn ingest_block(&mut self, block: &ResolvedBlockView<'_>) {
+        assert_eq!(
+            block.tx_start(),
+            self.next_tx,
+            "blocks must be ingested contiguously in chain order"
+        );
+        self.next_tx = block.tx_end();
+        self.blocks_ingested += 1;
+        if self.blocks_ingested - self.epoch_start_block as usize >= self.config.epoch_blocks {
+            self.process_epoch(block.chain());
+        }
+    }
+
+    /// Processes any partial final epoch, then finalizes every still-pending
+    /// wait-to-label decision against the history currently in `chain`,
+    /// exactly as the batch pass would at the chain tip. Treat this as
+    /// terminal, like
+    /// [`IncrementalClusterer::flush`](crate::incremental::IncrementalClusterer::flush).
+    pub fn flush(&mut self, chain: &ResolvedChain) {
+        if (self.epoch_start_block as usize) < self.blocks_ingested {
+            self.process_epoch(chain);
+        }
+        self.resolve_pending(chain, None);
+    }
+
+    /// The concurrent epoch pass: scan the buffered span on all shards,
+    /// then reconcile into the global state.
+    fn process_epoch(&mut self, chain: &ResolvedChain) {
+        let span = chain.block_span(self.epoch_start_block..self.blocks_ingested as BlockId);
+        self.epoch_start_block = self.blocks_ingested as BlockId;
+        let shard_count = self.config.shards as u32;
+        let h2 = self.config.h2.as_ref();
+
+        // Scan: one worker per shard, all walking the same span.
+        let (locals, queue) = self.uf.scan_parts();
+        let outcomes: Vec<ScanOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = locals
+                .iter_mut()
+                .zip(self.scanners.iter_mut())
+                .map(|(shard, scanner)| {
+                    s.spawn(move || scan_shard(shard_count, shard, scanner, span, h2, queue))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+
+        // Reconcile: grow the global forest to cover the epoch's addresses
+        // (home shards jointly saw every transaction), then replay merges.
+        if let Some(max_addr) = outcomes.iter().filter_map(|o| o.max_addr).max() {
+            self.uf.grow(max_addr as usize + 1);
+        }
+        for o in &outcomes {
+            self.h1_stats.transactions += o.transactions;
+            self.h1_stats.multi_input_transactions += o.multi_input;
+        }
+        self.h1_stats.merges += self.uf.reconcile();
+
+        // Combine per-transaction H2 verdicts in sequential precedence.
+        if let Some(config) = self.config.h2.as_ref() {
+            let mut cursors = vec![0usize; outcomes.len()];
+            for (t, tx) in span.txs() {
+                let idx = (t - span.tx_start()) as usize;
+                let home = (t as usize) % outcomes.len();
+                let verdict = &outcomes[home].verdicts[cursors[home]];
+                cursors[home] += 1;
+                let reused = outcomes.iter().any(|o| o.vetoes[idx] & 1 != 0);
+                let prior = outcomes.iter().any(|o| o.vetoes[idx] & 2 != 0);
+
+                let outcome = if let Some(reason) = verdict.pre {
+                    Err(reason)
+                } else if reused {
+                    Err(SkipReason::ReusedChange)
+                } else if prior {
+                    Err(SkipReason::PriorSelfChange)
+                } else {
+                    verdict.candidate
+                };
+                self.labels.vout_of.push(None);
+                match outcome {
+                    Ok((vout, addr)) => match config.wait_blocks {
+                        // Wait-to-label needs future blocks: park the
+                        // decision until the window has fully elapsed.
+                        Some(_) => self.pending.push_back(PendingDecision {
+                            tx: t,
+                            vout,
+                            addr,
+                            height: tx.height,
+                        }),
+                        None => {
+                            self.labels.vout_of[t as usize] = Some(vout);
+                            self.labels.labels += 1;
+                            link_change_global(&mut self.uf, chain, t, addr);
+                        }
+                    },
+                    Err(reason) => self.labels.note_skip(reason),
+                }
+            }
+        }
+
+        self.epochs_completed += 1;
+        if let Some(tip) = span.last_height() {
+            self.resolve_pending(chain, Some(tip));
+        }
+    }
+
+    /// Resolves pending decisions whose wait-window is fully visible — same
+    /// rules as the per-block incremental engine (`tip = None` finalizes
+    /// everything).
+    fn resolve_pending(&mut self, chain: &ResolvedChain, tip: Option<u64>) {
+        let Some(config) = self.config.h2.as_ref() else { return };
+        let Some(window) = config.wait_blocks else { return };
+        while let Some(&p) = self.pending.front() {
+            if let Some(h) = tip {
+                if p.height.saturating_add(window) > h {
+                    break; // the queue is height-sorted: nothing further is ready
+                }
+            }
+            self.pending.pop_front();
+            if receives_again_within(chain, p.addr, p.tx, window, config) {
+                self.labels.note_skip(SkipReason::FailedWait);
+            } else {
+                self.labels.vout_of[p.tx as usize] = Some(p.vout);
+                self.labels.labels += 1;
+                link_change_global(&mut self.uf, chain, p.tx, p.addr);
+            }
+        }
+    }
+
+    // ----- queries (valid between blocks, current to the last reconcile) -----
+
+    /// Number of addresses in the reconciled state.
+    pub fn address_count(&self) -> usize {
+        self.uf.len()
+    }
+
+    /// Number of transactions ingested so far (including buffered ones).
+    pub fn tx_count(&self) -> usize {
+        self.next_tx as usize
+    }
+
+    /// Number of blocks ingested so far (including buffered ones).
+    pub fn block_count(&self) -> usize {
+        self.blocks_ingested
+    }
+
+    /// Blocks buffered for the epoch in progress (not yet reconciled).
+    pub fn buffered_blocks(&self) -> usize {
+        self.blocks_ingested - self.epoch_start_block as usize
+    }
+
+    /// Number of scan + reconcile passes completed.
+    pub fn epochs_completed(&self) -> usize {
+        self.epochs_completed
+    }
+
+    /// Number of clusters in the reconciled state.
+    pub fn cluster_count(&self) -> usize {
+        self.uf.component_count()
+    }
+
+    /// The representative of `addr`'s cluster: always the cluster's minimum
+    /// address id (lowest-root-wins reconcile), so representatives agree
+    /// across runs with different shard counts and epoch lengths.
+    pub fn cluster_of(&self, addr: AddressId) -> u32 {
+        self.uf.find(addr)
+    }
+
+    /// True if `a` and `b` are in the same reconciled cluster.
+    pub fn same_cluster(&self, a: AddressId, b: AddressId) -> bool {
+        self.uf.same(a, b)
+    }
+
+    /// Heuristic 1 statistics over the reconciled prefix. Identical to the
+    /// batch numbers in H1-only mode; with Heuristic 2 enabled, `merges`
+    /// can differ from a batch run (change links interleave with later
+    /// epochs' multi-input links) even though the final partition is
+    /// identical — the same caveat the incremental engine documents.
+    pub fn h1_stats(&self) -> H1Stats {
+        self.h1_stats
+    }
+
+    /// Change labels decided so far (absent in H1-only mode). Labels still
+    /// in the pending queue are not yet visible here.
+    pub fn change_labels(&self) -> Option<&ChangeLabels> {
+        self.config.h2.as_ref().map(|_| &self.labels)
+    }
+
+    /// Number of wait-to-label decisions still parked.
+    pub fn pending_decisions(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// A dense snapshot of the reconciled state, in the same form the batch
+    /// `Clusterer` produces. Call [`flush`](Self::flush) first if buffered
+    /// blocks should be included.
+    pub fn snapshot(&mut self) -> Clustering {
+        let (assignment, sizes) = self.uf.assignments();
+        Clustering {
+            assignment,
+            sizes,
+            h1_stats: self.h1_stats,
+            change_labels: self.config.h2.as_ref().map(|_| self.labels.clone()),
+        }
+    }
+}
+
+/// The Heuristic 2 amplification link, applied to the canonical global
+/// forest. Mirrors `cluster::link_change`, but merges lowest-root-wins so
+/// reconciled representatives stay the cluster minimum.
+fn link_change_global(
+    uf: &mut ShardedUnionFind,
+    chain: &ResolvedChain,
+    tx: TxId,
+    change_addr: AddressId,
+) {
+    if let Some(first_input) = chain.txs[tx as usize].inputs.first() {
+        uf.union_global(first_input.address, change_addr);
+    }
+}
+
+/// One shard's pass over an epoch span. Runs concurrently with the other
+/// shards; touches only shard-local state plus (once, at the end) the
+/// shared merge queue.
+fn scan_shard(
+    shard_count: u32,
+    shard: &mut UnionFindShard,
+    scanner: &mut ChangeScanner,
+    span: ResolvedSpanView<'_>,
+    h2: Option<&ChangeConfig>,
+    queue: &MergeQueue,
+) -> ScanOutcome {
+    let chain = span.chain();
+    let sid = shard.shard();
+    let mut out = ScanOutcome {
+        max_addr: None,
+        transactions: 0,
+        multi_input: 0,
+        verdicts: Vec::new(),
+        vetoes: if h2.is_some() { Vec::with_capacity(span.tx_count()) } else { Vec::new() },
+    };
+    for (t, tx) in span.txs() {
+        let home = t % shard_count == sid;
+
+        // Heuristic 1: the shard owning the first input's address applies
+        // the star edges; the home shard counts the tx-local statistics
+        // (mirroring `heuristic1::link_tx`).
+        if !tx.is_coinbase {
+            if home {
+                out.transactions += 1;
+            }
+            let mut it = tx.inputs.iter();
+            if let Some(first) = it.next() {
+                let owned = shard.owns(first.address);
+                let mut multi = false;
+                for input in it {
+                    if input.address != first.address {
+                        multi = true;
+                    }
+                    if owned {
+                        shard.link(first.address, input.address);
+                    }
+                }
+                if home && multi {
+                    out.multi_input += 1;
+                }
+            }
+        }
+        if home {
+            let max = tx
+                .inputs
+                .iter()
+                .map(|i| i.address)
+                .chain(tx.outputs.iter().map(|o| o.address))
+                .max();
+            out.max_addr = out.max_addr.max(max);
+        }
+
+        // Heuristic 2: home shard takes the tx-local verdict; every shard
+        // evaluates its own stateful vetoes and absorbs the transaction.
+        if let Some(config) = h2 {
+            let mut flags = 0u8;
+            if config.skip_reused_change && scanner.reused_change_veto(tx) {
+                flags |= 1;
+            }
+            if config.skip_prior_self_change && scanner.prior_self_change_veto(tx) {
+                flags |= 2;
+            }
+            out.vetoes.push(flags);
+            if home {
+                out.verdicts.push(TxVerdict {
+                    pre: precondition_skip(tx, config),
+                    candidate: fresh_candidate(chain, t, tx),
+                });
+            }
+            scanner.absorb(tx);
+        }
+    }
+    shard.flush_outbox(queue);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::change::BLOCKS_PER_DAY;
+    use crate::cluster::Clusterer;
+    use crate::testutil::TestChain;
+
+    /// Replays `chain` through the sharded pipeline, flushing at the end.
+    fn replay(chain: &ResolvedChain, config: IngestConfig) -> (Clustering, ShardedIngest) {
+        let mut ingest = ShardedIngest::new(config);
+        for block in chain.blocks() {
+            ingest.ingest_block(&block);
+        }
+        ingest.flush(chain);
+        let snap = ingest.snapshot();
+        (snap, ingest)
+    }
+
+    fn assert_equivalent(a: &Clustering, b: &Clustering) {
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.sizes, b.sizes);
+        match (&a.change_labels, &b.change_labels) {
+            (Some(la), Some(lb)) => {
+                assert_eq!(la.vout_of, lb.vout_of);
+                assert_eq!(la.labels, lb.labels);
+                assert_eq!(la.skip_counts, lb.skip_counts);
+            }
+            (None, None) => {}
+            _ => panic!("one side ran H2, the other did not"),
+        }
+    }
+
+    /// A small economy: co-spends, canonical change, a wait-window reuse,
+    /// spread over enough blocks that multi-block epochs see traffic.
+    fn scenario() -> TestChain {
+        let mut t = TestChain::new();
+        let cb1 = t.coinbase(1, 50);
+        let cb2 = t.coinbase(2, 50);
+        let cb3 = t.coinbase(3, 50);
+        let _cb7 = t.coinbase(7, 50);
+        let tx1 = t.tx(&[(cb1, 0), (cb2, 0)], &[(3, 70), (4, 30)]);
+        let tx2 = t.tx(&[(cb3, 0)], &[(7, 30), (5, 20)]);
+        let _re = t.tx(&[(tx1, 1)], &[(5, 10), (7, 19)]);
+        let _spend5 = t.tx(&[(tx2, 1)], &[(7, 19)]);
+        t
+    }
+
+    #[test]
+    fn matches_batch_across_shard_counts_and_epochs() {
+        let t = scenario();
+        let h1 = Clusterer::h1_only().run(&t.chain);
+        let naive = Clusterer::with_h2(ChangeConfig::naive()).run(&t.chain);
+        let mut waitcfg = ChangeConfig::naive();
+        waitcfg.wait_blocks = Some(BLOCKS_PER_DAY);
+        waitcfg.skip_reused_change = true;
+        waitcfg.skip_prior_self_change = true;
+        let waited = Clusterer::with_h2(waitcfg.clone()).run(&t.chain);
+
+        for shards in [1, 2, 4, 8] {
+            for epoch in [1, 3, 100] {
+                let (s, ingest) = replay(&t.chain, IngestConfig::h1_only(shards, epoch));
+                assert_equivalent(&s, &h1);
+                // H1-only mode: the statistics coincide exactly.
+                assert_eq!(s.h1_stats, h1.h1_stats, "{shards} shards, epoch {epoch}");
+                assert_eq!(ingest.address_count(), t.chain.address_count());
+                assert_eq!(ingest.tx_count(), t.chain.tx_count());
+                assert_eq!(ingest.block_count(), t.chain.block_count());
+
+                let (s, _) =
+                    replay(&t.chain, IngestConfig::with_h2(shards, epoch, ChangeConfig::naive()));
+                assert_equivalent(&s, &naive);
+
+                let (s, ingest) =
+                    replay(&t.chain, IngestConfig::with_h2(shards, epoch, waitcfg.clone()));
+                assert_equivalent(&s, &waited);
+                assert_eq!(ingest.pending_decisions(), 0, "flush resolves everything");
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_representatives_are_shard_count_independent() {
+        let t = scenario();
+        let reps: Vec<Vec<u32>> = [1usize, 2, 4, 8]
+            .into_iter()
+            .map(|shards| {
+                let (_, ingest) =
+                    replay(&t.chain, IngestConfig::with_h2(shards, 2, ChangeConfig::naive()));
+                (0..t.chain.address_count() as u32).map(|a| ingest.cluster_of(a)).collect()
+            })
+            .collect();
+        for r in &reps[1..] {
+            assert_eq!(r, &reps[0]);
+        }
+        // And each representative is its cluster's minimum address id.
+        for (a, &rep) in reps[0].iter().enumerate() {
+            assert!(rep as usize <= a);
+        }
+    }
+
+    #[test]
+    fn queries_reflect_epoch_boundaries() {
+        let t = scenario();
+        let mut ingest = ShardedIngest::new(IngestConfig::h1_only(2, 3));
+        let blocks: Vec<_> = t.chain.blocks().collect();
+        ingest.ingest_block(&blocks[0]);
+        ingest.ingest_block(&blocks[1]);
+        // Two blocks buffered, no epoch yet: nothing reconciled.
+        assert_eq!(ingest.buffered_blocks(), 2);
+        assert_eq!(ingest.epochs_completed(), 0);
+        assert_eq!(ingest.address_count(), 0);
+        assert_eq!(ingest.block_count(), 2);
+        ingest.ingest_block(&blocks[2]);
+        // Third block completes the epoch: state catches up.
+        assert_eq!(ingest.buffered_blocks(), 0);
+        assert_eq!(ingest.epochs_completed(), 1);
+        assert!(ingest.address_count() > 0);
+        for block in &blocks[3..] {
+            ingest.ingest_block(block);
+        }
+        // The tail is shorter than an epoch until flush picks it up.
+        assert!(ingest.buffered_blocks() > 0);
+        ingest.flush(&t.chain);
+        assert_eq!(ingest.buffered_blocks(), 0);
+        assert_eq!(ingest.address_count(), t.chain.address_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn rejects_zero_shards() {
+        let _ = ShardedIngest::new(IngestConfig::h1_only(0, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn rejects_zero_epoch() {
+        let _ = ShardedIngest::new(IngestConfig::h1_only(4, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguously")]
+    fn rejects_out_of_order_blocks() {
+        let t = scenario();
+        let mut ingest = ShardedIngest::new(IngestConfig::h1_only(2, 1));
+        ingest.ingest_block(&t.chain.block(1));
+    }
+}

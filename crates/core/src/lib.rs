@@ -38,6 +38,7 @@ pub mod union_find;
 
 pub use change::{ChangeConfig, ChangeLabels, ChangeScanner};
 pub use cluster::{Clusterer, Clustering};
+pub use incremental::sharded::{IngestConfig, ShardedIngest};
 pub use incremental::IncrementalClusterer;
 pub use naming::{NamingReport, SuperCluster};
 pub use snapshot::{ClusterInfo, ClusterSnapshot, SnapshotError};

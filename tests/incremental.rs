@@ -1,9 +1,12 @@
-//! End-to-end equivalence: the incremental clustering engine, fed a
-//! simulated economy block by block, must land on exactly the partition
-//! (and Heuristic 2 label set) the batch `Clusterer` derives in one pass.
+//! End-to-end equivalence: the incremental clustering engine and the
+//! sharded ingest pipeline, fed a simulated economy block by block, must
+//! land on exactly the partition (and Heuristic 2 label set) the batch
+//! `Clusterer` derives in one pass — the sharded one for every shard count
+//! and epoch length.
 
 use fistful::core::change::{ChangeConfig, BLOCKS_PER_DAY};
 use fistful::core::cluster::{Clusterer, Clustering};
+use fistful::core::incremental::sharded::{IngestConfig, ShardedIngest};
 use fistful::core::incremental::IncrementalClusterer;
 use fistful::sim::{Economy, SimConfig};
 use std::sync::OnceLock;
@@ -90,6 +93,105 @@ fn incremental_matches_batch_with_wait_window() {
         max_pending > 0,
         "a {BLOCKS_PER_DAY}-block wait must park decisions at the tip"
     );
+}
+
+/// Replays the whole chain through the sharded pipeline and snapshots.
+fn replay_sharded(
+    chain: &fistful::chain::resolve::ResolvedChain,
+    config: IngestConfig,
+) -> Clustering {
+    let mut ingest = ShardedIngest::new(config);
+    for block in chain.blocks() {
+        ingest.ingest_block(&block);
+    }
+    ingest.flush(chain);
+    assert_eq!(ingest.pending_decisions(), 0, "flush resolves every pending decision");
+    assert_eq!(ingest.tx_count(), chain.tx_count());
+    assert_eq!(ingest.block_count(), chain.block_count());
+    assert_eq!(ingest.address_count(), chain.address_count());
+    ingest.snapshot()
+}
+
+#[test]
+fn sharded_matches_batch_and_incremental_h1_only() {
+    let chain = economy().chain.resolved();
+    let batch = Clusterer::h1_only().run(chain);
+    let (inc, _) = replay(chain, IncrementalClusterer::h1_only());
+    for shards in [1, 2, 4, 8] {
+        let sharded = replay_sharded(chain, IngestConfig::h1_only(shards, 4));
+        assert_equivalent(&sharded, &batch);
+        assert_equivalent(&sharded, &inc);
+        // In H1-only mode even the statistics coincide: reconcile counts
+        // exactly the merges that reduce the global component count.
+        assert_eq!(sharded.h1_stats, batch.h1_stats, "{shards} shards");
+    }
+}
+
+#[test]
+fn sharded_matches_batch_with_wait_window_and_refinements() {
+    let chain = economy().chain.resolved();
+    let mut cfg = ChangeConfig::naive();
+    cfg.wait_blocks = Some(BLOCKS_PER_DAY);
+    cfg.skip_reused_change = true;
+    cfg.skip_prior_self_change = true;
+    let batch = Clusterer::with_h2(cfg.clone()).run(chain);
+    for (shards, epoch) in [(4, 1), (4, 16), (8, 7)] {
+        let sharded = replay_sharded(chain, IngestConfig::with_h2(shards, epoch, cfg.clone()));
+        assert_equivalent(&sharded, &batch);
+    }
+    assert!(batch.change_labels.as_ref().unwrap().labels > 0);
+}
+
+#[test]
+fn sharded_sweep_matches_batch_on_tiny_economy() {
+    // The full sweep the tentpole promises: shards × epochs × H2 modes.
+    let eco = Economy::run(SimConfig::tiny());
+    let chain = eco.chain.resolved();
+    let mut wait = ChangeConfig::naive();
+    wait.wait_blocks = Some(5);
+    let configs: [Option<ChangeConfig>; 3] =
+        [None, Some(ChangeConfig::naive()), Some(wait)];
+    for h2 in &configs {
+        let batch = match h2 {
+            Some(cfg) => Clusterer::with_h2(cfg.clone()).run(chain),
+            None => Clusterer::h1_only().run(chain),
+        };
+        for shards in [1, 2, 4, 8] {
+            for epoch in [1, 4, 16] {
+                let config = IngestConfig { shards, epoch_blocks: epoch, h2: h2.clone() };
+                let sharded = replay_sharded(chain, config);
+                assert_equivalent(&sharded, &batch);
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_cluster_ids_are_shard_count_independent() {
+    // Regression for the reconcile tie-break: lowest root wins, so the raw
+    // representative of every cluster is its minimum address id no matter
+    // how many shards produced the merges (and the dense snapshot ids are
+    // identical too).
+    let eco = Economy::run(SimConfig::tiny());
+    let chain = eco.chain.resolved();
+    let mut reference: Option<Vec<u32>> = None;
+    for shards in [1, 2, 4, 8] {
+        let mut ingest =
+            ShardedIngest::new(IngestConfig::with_h2(shards, 3, ChangeConfig::naive()));
+        for block in chain.blocks() {
+            ingest.ingest_block(&block);
+        }
+        ingest.flush(chain);
+        let reps: Vec<u32> =
+            (0..chain.address_count() as u32).map(|a| ingest.cluster_of(a)).collect();
+        for (a, &rep) in reps.iter().enumerate() {
+            assert!(rep as usize <= a, "representative is the cluster minimum");
+        }
+        match &reference {
+            Some(r) => assert_eq!(&reps, r, "{shards} shards diverged"),
+            None => reference = Some(reps),
+        }
+    }
 }
 
 #[test]

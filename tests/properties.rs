@@ -272,6 +272,86 @@ proptest! {
     }
 }
 
+// ---------- sharded ingest differential: sharded vs batch vs incremental ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On arbitrary chains, the sharded ingest pipeline must land on
+    /// exactly the batch partition and label set — and agree with the
+    /// per-block incremental engine — for every shard count in {1,2,4,8}
+    /// and epoch length in {1,4,16}, with and without Heuristic 2 and the
+    /// wait-to-label window.
+    #[test]
+    fn sharded_ingest_matches_batch_and_incremental(
+        seed in any::<u64>(),
+        txs in 20usize..120,
+        shards_idx in 0usize..4,
+        epoch_idx in 0usize..3,
+        mode in 0usize..3,
+        window in 0u64..12,
+    ) {
+        use fistful::core::incremental::sharded::{IngestConfig, ShardedIngest};
+        use fistful::core::incremental::IncrementalClusterer;
+
+        let shards = [1usize, 2, 4, 8][shards_idx];
+        let epoch = [1usize, 4, 16][epoch_idx];
+        let h2 = match mode {
+            0 => None,
+            1 => Some(ChangeConfig::naive()),
+            _ => {
+                let mut cfg = ChangeConfig::naive();
+                cfg.wait_blocks = Some(window);
+                cfg.skip_reused_change = true;
+                cfg.skip_prior_self_change = true;
+                Some(cfg)
+            }
+        };
+
+        let t = random_chain(seed, txs);
+        let chain = &t.chain;
+        let batch = match &h2 {
+            Some(cfg) => Clusterer::with_h2(cfg.clone()).run(chain),
+            None => Clusterer::h1_only().run(chain),
+        };
+        let mut inc = match &h2 {
+            Some(cfg) => IncrementalClusterer::with_h2(cfg.clone()),
+            None => IncrementalClusterer::h1_only(),
+        };
+        let mut sharded = ShardedIngest::new(IngestConfig {
+            shards,
+            epoch_blocks: epoch,
+            h2,
+        });
+        for block in chain.blocks() {
+            inc.ingest_block(&block);
+            sharded.ingest_block(&block);
+        }
+        inc.flush(chain);
+        sharded.flush(chain);
+        prop_assert_eq!(sharded.pending_decisions(), 0);
+
+        let inc_snap = inc.snapshot();
+        let shard_snap = sharded.snapshot();
+        prop_assert_eq!(&shard_snap.assignment, &batch.assignment);
+        prop_assert_eq!(&shard_snap.sizes, &batch.sizes);
+        prop_assert_eq!(&shard_snap.assignment, &inc_snap.assignment);
+        match (&shard_snap.change_labels, &batch.change_labels) {
+            (Some(a), Some(b)) => {
+                prop_assert_eq!(&a.vout_of, &b.vout_of);
+                prop_assert_eq!(a.labels, b.labels);
+                prop_assert_eq!(a.skip_counts, b.skip_counts);
+            }
+            (None, None) => {
+                // H1-only: merge accounting is order-independent, so even
+                // the statistics must coincide.
+                prop_assert_eq!(shard_snap.h1_stats, batch.h1_stats);
+            }
+            _ => prop_assert!(false, "H2 ran on one side only"),
+        }
+    }
+}
+
 // ---------- graph differential: indexed vs legacy traversals ----------
 
 proptest! {

@@ -300,6 +300,57 @@ fn shutdown_is_not_hostage_to_a_stalled_partial_frame() {
 }
 
 #[test]
+fn sharded_ingest_feeds_the_server_byte_identically() {
+    // The sharded pipeline must be a drop-in producer for the serving
+    // layer: replaying the same chain through `ShardedIngest` with the
+    // refined H2 configuration yields a `ClusterSnapshot` whose encoding
+    // is byte-identical to the batch-built one the fixtures serve, and
+    // the full artifact bundle passes the serving layer's pairing checks.
+    use fistful::core::naming::name_clusters;
+    use fistful::core::snapshot::ClusterSnapshot;
+    use fistful::core::{IngestConfig, ShardedIngest};
+
+    let (wb, artifacts) = fixtures();
+    let chain = wb.eco.chain.resolved();
+    let mut ingest = ShardedIngest::new(IngestConfig::with_h2(4, 8, wb.refined_config()));
+    for block in chain.blocks() {
+        ingest.ingest_block(&block);
+    }
+    ingest.flush(chain);
+    let clustering = ingest.snapshot();
+
+    let names = name_clusters(&clustering, &wb.tagdb);
+    let snapshot = ClusterSnapshot::build(chain, &clustering, &names);
+    assert!(snapshot.pairs_with_chain(chain.address_count(), chain.tx_count() as u64));
+    assert_eq!(
+        snapshot.to_bytes(),
+        artifacts.snapshot.to_bytes(),
+        "sharded snapshot encodes byte-identically to the batch one"
+    );
+
+    // The bundle is accepted end to end and answers like the fixture.
+    let graph = fistful::flow::graph::TxGraph::build(chain);
+    let labels = clustering.change_labels.clone().expect("refined config labels");
+    let bundle =
+        ServeArtifacts::new(snapshot, graph, labels, artifacts.balances.clone())
+            .expect("sharded artifacts pair cleanly");
+    let server = Server::start(
+        ServeConfig { addr: "127.0.0.1:0".to_string(), ..ServeConfig::default() },
+        Arc::new(bundle),
+    )
+    .expect("start server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let got = client.address_info(0).expect("address_info");
+    let want = artifacts.snapshot.cluster_of(0).map(|cluster| AddressReport {
+        address: 0,
+        cluster,
+        info: artifacts.snapshot.info(cluster).unwrap().clone(),
+    });
+    assert_eq!(got, want, "served answer matches the batch-built fixture");
+    server.shutdown();
+}
+
+#[test]
 fn artifact_mismatches_are_rejected_before_serving() {
     let (wb, artifacts) = fixtures();
     let chain = wb.eco.chain.resolved();
