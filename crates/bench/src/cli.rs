@@ -43,6 +43,12 @@ pub const DEFAULT_BENCH_THREADS: [usize; 4] = [1, 2, 4, 8];
 /// Default request mix for `repro serve-bench`.
 pub const DEFAULT_BENCH_MIX: &str = "addr:6,cluster:2,balance:1,taint:1";
 
+/// Default epoch count for `repro store append`.
+pub const DEFAULT_STORE_EPOCHS: usize = 4;
+
+/// Default shard count for `repro store append`'s ingest replay.
+pub const DEFAULT_STORE_SHARDS: usize = 4;
+
 /// The usage string printed by `--help` and on argument errors. Derives
 /// the experiment and scale lists from [`EXPERIMENTS`] / [`SCALES`] so the
 /// help text cannot drift from what the parser accepts.
@@ -56,6 +62,10 @@ pub fn usage() -> String {
          \x20      repro taint [--scale {scales}] [--thefts all|name,name,...]\n\
          \x20                  [--threads N] [--max-txs M] [--json] [--out FILE]\n\
          \x20      repro ingest [--scale {scales}] [--shards N,N,...] [--epoch K]\n\
+         \x20                  [--json] [--out FILE]\n\
+         \x20      repro store save <dir> [--scale {scales}] [--json] [--out FILE]\n\
+         \x20      repro store open <dir> [--verify-scale {scales}] [--json] [--out FILE]\n\
+         \x20      repro store append <dir> [--scale {scales}] [--epochs K] [--shards N]\n\
          \x20                  [--json] [--out FILE]\n\
          \x20      repro serve [--scale {scales}] [--port P] [--workers N] [--cache N]\n\
          \x20      repro serve-bench [--scale {scales}] [--threads N,N,...]\n\
@@ -78,6 +88,17 @@ pub fn usage() -> String {
          \x20        list, each > 0) with an --epoch-block reconcile cadence,\n\
          \x20        asserting every sweep point matches the batch clusterer\n\
          \x20        and reporting per-block ingest cost\n\
+         store subcommands (the on-disk columnar artifact store):\n\
+         \x20 save   — build every serving artifact once and write the store\n\
+         \x20          directory (chain.fst, graph.fst, snapshot.fst, serve.fst)\n\
+         \x20 open   — reopen a store directory without replaying the chain;\n\
+         \x20          --verify-scale rebuilds in RAM and asserts the reopened\n\
+         \x20          artifacts are byte-identical, reporting the speedup\n\
+         \x20 append — replay the economy through the sharded ingest pipeline,\n\
+         \x20          cutting it into --epochs reconcile epochs: the first\n\
+         \x20          boundary writes the base snapshot, each later one a\n\
+         \x20          per-epoch delta file, verified byte-for-byte against a\n\
+         \x20          full re-export\n\
          serve — cluster once, build the graph, and answer the binary query\n\
          \x20        protocol on --port until killed (--workers 0 = one per\n\
          \x20        core; --cache 0 disables the response cache)\n\
@@ -158,6 +179,48 @@ pub enum Command {
         /// Where the JSON objects go (`None` = stdout). Implies `json`.
         out: Option<String>,
     },
+    /// `store save <dir>`: build every serving artifact once and write the
+    /// columnar store directory.
+    StoreSave {
+        /// One of [`SCALES`].
+        scale: String,
+        /// Store directory path.
+        dir: String,
+        /// Emit machine-readable JSON records.
+        json: bool,
+        /// Where the JSON objects go (`None` = stdout). Implies `json`.
+        out: Option<String>,
+    },
+    /// `store open <dir>`: reopen a store directory without replaying the
+    /// chain, optionally verifying against an in-RAM rebuild.
+    StoreOpen {
+        /// Store directory path.
+        dir: String,
+        /// When set, rebuild the artifacts at this scale and assert the
+        /// reopened ones are byte-identical.
+        verify_scale: Option<String>,
+        /// Emit machine-readable JSON records.
+        json: bool,
+        /// Where the JSON objects go (`None` = stdout). Implies `json`.
+        out: Option<String>,
+    },
+    /// `store append <dir>`: replay the economy through the sharded ingest
+    /// pipeline, writing a base snapshot at the first epoch boundary and a
+    /// delta container per later boundary.
+    StoreAppend {
+        /// One of [`SCALES`].
+        scale: String,
+        /// Store directory path.
+        dir: String,
+        /// Number of reconcile epochs to cut the chain into; positive.
+        epochs: usize,
+        /// Shard count for the ingest replay; positive.
+        shards: usize,
+        /// Emit machine-readable JSON records.
+        json: bool,
+        /// Where the JSON objects go (`None` = stdout). Implies `json`.
+        out: Option<String>,
+    },
     /// `serve`: build the serving artifacts once and run the TCP query
     /// server until killed.
     Serve {
@@ -229,6 +292,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliOutcome> {
         Some("snapshot") => return parse_snapshot(&args[1..]),
         Some("taint") => return parse_taint(&args[1..]),
         Some("ingest") => return parse_ingest(&args[1..]),
+        Some("store") => return parse_store(&args[1..]),
         Some("serve") => return parse_serve(&args[1..]),
         Some("serve-bench") => return parse_serve_bench(&args[1..]),
         _ => {}
@@ -613,6 +677,73 @@ fn parse_ingest(args: &[String]) -> Result<Command, CliOutcome> {
     Ok(Command::Ingest { scale, shards, epoch, json, out })
 }
 
+/// Parses the arguments after the `store` keyword.
+///
+/// All three subcommands take the store directory as a positional argument
+/// (the `snapshot save <file>` convention). `save` and `append` take
+/// `--scale`; `open` instead takes `--verify-scale`, because opening never
+/// builds an economy unless asked to differentially verify one. `append`'s
+/// `--epochs` and `--shards` must be positive — zero epochs cuts the chain
+/// into nothing and a zero-shard pipeline has nowhere to put an address.
+fn parse_store(args: &[String]) -> Result<Command, CliOutcome> {
+    let sub = match args.first() {
+        Some(s) if s == "--help" || s == "-h" => return Err(CliOutcome::Help),
+        Some(s) => s.as_str(),
+        None => {
+            return Err(CliOutcome::Error(
+                "store requires a subcommand: save | open | append".to_string(),
+            ))
+        }
+    };
+    if !matches!(sub, "save" | "open" | "append") {
+        return Err(CliOutcome::Error(format!(
+            "unknown store subcommand `{sub}` (expected save | open | append)"
+        )));
+    }
+    let mut dir: Option<String> = None;
+    let mut scale = "default".to_string();
+    let mut verify_scale: Option<String> = None;
+    let mut epochs = DEFAULT_STORE_EPOCHS;
+    let mut shards = DEFAULT_STORE_SHARDS;
+    let mut json = false;
+    let mut out: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--help" | "-h" => return Err(CliOutcome::Help),
+            "--scale" if sub != "open" => scale = parse_scale(it.next())?,
+            "--verify-scale" if sub == "open" => verify_scale = Some(parse_scale(it.next())?),
+            "--epochs" if sub == "append" => epochs = parse_count("--epochs", it.next())?,
+            "--shards" if sub == "append" => shards = parse_count("--shards", it.next())?,
+            "--json" => json = true,
+            "--out" => {
+                let Some(path) = it.next() else {
+                    return Err(CliOutcome::Error("--out requires a file path".to_string()));
+                };
+                out = Some(path.clone());
+                json = true;
+            }
+            other if other.starts_with('-') => {
+                return Err(CliOutcome::Error(format!("unknown store {sub} option `{other}`")))
+            }
+            other if dir.is_none() => dir = Some(other.to_string()),
+            other => {
+                return Err(CliOutcome::Error(format!(
+                    "unexpected argument `{other}` after store {sub} directory"
+                )))
+            }
+        }
+    }
+    let dir = dir.ok_or_else(|| {
+        CliOutcome::Error(format!("store {sub} requires a store directory"))
+    })?;
+    Ok(match sub {
+        "save" => Command::StoreSave { scale, dir, json, out },
+        "open" => Command::StoreOpen { dir, verify_scale, json, out },
+        _ => Command::StoreAppend { scale, dir, epochs, shards, json, out },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -885,6 +1016,11 @@ mod tests {
             "ingest",
             "--shards",
             "--epoch",
+            "store save",
+            "store open",
+            "store append",
+            "--verify-scale",
+            "--epochs",
             "serve",
             "serve-bench",
             "--json",
@@ -897,6 +1033,81 @@ mod tests {
         for kind in RequestKind::ALL {
             assert!(usage.contains(kind.label()), "usage is missing mix kind `{}`", kind.label());
         }
+    }
+
+    #[test]
+    fn store_parses_every_subcommand() {
+        assert_eq!(
+            parse(&args(&["store", "save", "art"])).unwrap(),
+            Command::StoreSave { scale: "default".into(), dir: "art".into(), json: false, out: None }
+        );
+        assert_eq!(
+            parse(&args(&["store", "save", "--scale", "tiny", "art", "--json"])).unwrap(),
+            Command::StoreSave { scale: "tiny".into(), dir: "art".into(), json: true, out: None }
+        );
+        assert_eq!(
+            parse(&args(&["store", "open", "art"])).unwrap(),
+            Command::StoreOpen { dir: "art".into(), verify_scale: None, json: false, out: None }
+        );
+        assert_eq!(
+            parse(&args(&["store", "open", "art", "--verify-scale", "tiny"])).unwrap(),
+            Command::StoreOpen {
+                dir: "art".into(),
+                verify_scale: Some("tiny".into()),
+                json: false,
+                out: None
+            }
+        );
+        assert_eq!(
+            parse(&args(&["store", "append", "art"])).unwrap(),
+            Command::StoreAppend {
+                scale: "default".into(),
+                dir: "art".into(),
+                epochs: DEFAULT_STORE_EPOCHS,
+                shards: DEFAULT_STORE_SHARDS,
+                json: false,
+                out: None
+            }
+        );
+        // --out implies --json, exactly like run mode.
+        let Command::StoreAppend { epochs, shards, json, out, .. } = parse(&args(&[
+            "store", "append", "art", "--epochs", "7", "--shards", "2", "--out", "s.json",
+        ]))
+        .unwrap() else {
+            panic!("expected store append");
+        };
+        assert_eq!((epochs, shards), (7, 2));
+        assert!(json, "--out implies --json");
+        assert_eq!(out.as_deref(), Some("s.json"));
+    }
+
+    #[test]
+    fn store_errors_are_usage_errors() {
+        for bad in [
+            &["store"][..],
+            &["store", "frobnicate"],
+            &["store", "save"],
+            &["store", "save", "a", "b"],
+            &["store", "save", "--scale", "huge", "a"],
+            // open builds no economy: --scale belongs to save/append only.
+            &["store", "open", "a", "--scale", "tiny"],
+            &["store", "open", "a", "--verify-scale", "huge"],
+            &["store", "open", "a", "--verify-scale"],
+            &["store", "append", "a", "--epochs", "0"],
+            &["store", "append", "a", "--epochs", "soon"],
+            &["store", "append", "a", "--shards", "0"],
+            &["store", "append", "--epochs", "2"],
+            &["store", "save", "a", "--verify-scale", "tiny"],
+            &["store", "save", "--bogus"],
+            &["store", "open", "--out"],
+        ] {
+            assert!(
+                matches!(parse(&args(bad)), Err(CliOutcome::Error(_))),
+                "expected usage error for {bad:?}"
+            );
+        }
+        assert_eq!(parse(&args(&["store", "--help"])), Err(CliOutcome::Help));
+        assert_eq!(parse(&args(&["store", "open", "-h"])), Err(CliOutcome::Help));
     }
 
     #[test]

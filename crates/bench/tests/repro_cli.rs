@@ -288,6 +288,102 @@ fn taint_json_emits_per_theft_records_and_a_summary() {
 }
 
 #[test]
+fn store_usage_errors_exit_two() {
+    for bad in [
+        &["store"][..],
+        &["store", "frobnicate"],
+        &["store", "save"],
+        &["store", "save", "--scale", "huge", "dir"],
+        &["store", "open", "dir", "--scale", "tiny"],
+        &["store", "append", "dir", "--epochs", "0"],
+        &["store", "append", "dir", "--shards", "0"],
+        &["store", "save", "dir", "--bogus"],
+    ] {
+        let out = repro(bad);
+        assert_eq!(out.status.code(), Some(2), "args {bad:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("usage: repro"),
+            "args {bad:?}"
+        );
+    }
+}
+
+#[test]
+fn store_open_on_missing_directory_fails_cleanly() {
+    let out = repro(&["store", "open", "/nonexistent/store-dir"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("repro:"));
+}
+
+#[test]
+fn store_save_open_append_round_trip_at_tiny_scale() {
+    let dir = std::env::temp_dir().join(format!("repro-store-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let dir_s = dir.to_str().unwrap();
+
+    // save: all four container files land on disk.
+    let out = repro(&["store", "save", "--scale", "tiny", dir_s, "--json"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wrote"), "{stdout}");
+    for file in ["chain.fst", "graph.fst", "snapshot.fst", "serve.fst"] {
+        assert!(dir.join(file).exists(), "missing {file}:\n{stdout}");
+    }
+    let objects = json_lines(&stdout);
+    assert_eq!(objects.len(), 1, "{stdout}");
+    assert_eq!(objects[0].get("schema").unwrap().as_str(), Some("fistful.repro.store/1"));
+    assert_eq!(objects[0].get("op").unwrap().as_str(), Some("save"));
+    assert!(objects[0].get("total_bytes").unwrap().as_f64().unwrap() > 0.0);
+
+    // open with differential verification: the reopened bundle must be
+    // byte-identical to an in-RAM rebuild (the binary asserts before
+    // printing), and opening must not replay the chain.
+    let out = repro(&["store", "open", dir_s, "--verify-scale", "tiny", "--json"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("verified byte-identical"), "{stdout}");
+    let objects = json_lines(&stdout);
+    assert_eq!(objects.len(), 1, "{stdout}");
+    assert_eq!(objects[0].get("op").unwrap().as_str(), Some("open"));
+    assert_eq!(objects[0].get("verified"), Some(&fistful_bench::json::Json::Bool(true)));
+    assert!(objects[0].get("rebuild_seconds").unwrap().as_f64().unwrap() > 0.0);
+
+    // append: base + per-epoch deltas, materialized byte-for-byte.
+    let out = repro(&[
+        "store", "append", "--scale", "tiny", dir_s, "--epochs", "3", "--json",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("materialize byte-for-byte"), "{stdout}");
+    let objects = json_lines(&stdout);
+    let (summary, deltas) = objects.split_last().unwrap();
+    assert_eq!(summary.get("op").unwrap().as_str(), Some("append"));
+    assert_eq!(summary.get("epochs").unwrap().as_f64(), Some(3.0));
+    assert!(summary.get("base_bytes").unwrap().as_f64().unwrap() > 0.0);
+    // One on-disk delta container per append-delta record, in application
+    // order, with its size accounted in the summary.
+    assert!(summary.get("full_export_bytes").unwrap().as_f64().unwrap() > 0.0);
+    let mut delta_total = 0.0;
+    for (i, d) in deltas.iter().enumerate() {
+        assert_eq!(d.get("op").unwrap().as_str(), Some("append-delta"));
+        let name = format!("snapshot.delta.{:06}.fst", i + 1);
+        assert!(dir.join(&name).exists(), "missing {name}:\n{stdout}");
+        delta_total += d.get("bytes").unwrap().as_f64().unwrap();
+    }
+    assert_eq!(summary.get("delta_bytes").unwrap().as_f64(), Some(delta_total), "{stdout}");
+
+    // The refreshed snapshot + deltas still open as a serving bundle.
+    let out = repro(&["store", "open", dir_s]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("delta(s) folded"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("building economy"), "{stderr}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn serve_bench_reports_per_type_latency_and_cache_counters() {
     let out = repro(&[
         "serve-bench",

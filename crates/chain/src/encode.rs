@@ -154,6 +154,40 @@ impl<'a> Reader<'a> {
         }
     }
 
+    /// Reads `n` little-endian u32s in one bounds-checked take — the bulk
+    /// path for columnar arrays (assignment columns, CSR prefix arrays),
+    /// where a per-element [`u32`](Self::u32) loop would pay a length
+    /// check per entry.
+    pub fn u32_vec(&mut self, n: usize) -> Result<Vec<u32>, DecodeError> {
+        let bytes = self.take(n.checked_mul(4).ok_or(DecodeError::OversizedCount(n as u64))?)?;
+        let mut out = Vec::with_capacity(n);
+        out.extend(bytes.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())));
+        Ok(out)
+    }
+
+    /// Reads `n` little-endian u64s in one bounds-checked take.
+    pub fn u64_vec(&mut self, n: usize) -> Result<Vec<u64>, DecodeError> {
+        let bytes = self.take(n.checked_mul(8).ok_or(DecodeError::OversizedCount(n as u64))?)?;
+        let mut out = Vec::with_capacity(n);
+        out.extend(bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())));
+        Ok(out)
+    }
+
+    /// Consumes zero padding up to the next multiple of `align` (counted
+    /// from the start of the input). A non-zero padding byte is corrupt
+    /// input ([`DecodeError::InvalidValue`]); `align` must be a power of
+    /// two. The inverse of [`Writer::pad_to`].
+    pub fn skip_padding(&mut self, align: usize) -> Result<(), DecodeError> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let pad = self.pos.wrapping_neg() & (align - 1);
+        for &b in self.take(pad)? {
+            if b != 0 {
+                return Err(DecodeError::InvalidValue(b));
+            }
+        }
+        Ok(())
+    }
+
     /// Errors if any bytes remain.
     pub fn finish(&self) -> Result<(), DecodeError> {
         if self.remaining() == 0 {
@@ -181,9 +215,58 @@ impl Writer {
         self.buf
     }
 
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
     /// Appends raw bytes.
     pub fn bytes(&mut self, b: &[u8]) {
         self.buf.extend_from_slice(b);
+    }
+
+    /// Appends a slice of u32s as little-endian bytes in staged flat
+    /// copies (a 4 KiB stack buffer filled per chunk, then appended in one
+    /// `extend_from_slice`) — the bulk path that replaces per-element
+    /// `u32` loops when writing columnar arrays.
+    pub fn u32_slice(&mut self, vs: &[u32]) {
+        const CHUNK: usize = 1024;
+        let mut stage = [0u8; CHUNK * 4];
+        self.buf.reserve(vs.len() * 4);
+        for chunk in vs.chunks(CHUNK) {
+            for (slot, v) in stage.chunks_exact_mut(4).zip(chunk) {
+                slot.copy_from_slice(&v.to_le_bytes());
+            }
+            self.buf.extend_from_slice(&stage[..chunk.len() * 4]);
+        }
+    }
+
+    /// Appends a slice of u64s as little-endian bytes in staged flat
+    /// copies (see [`u32_slice`](Self::u32_slice)).
+    pub fn u64_slice(&mut self, vs: &[u64]) {
+        const CHUNK: usize = 512;
+        let mut stage = [0u8; CHUNK * 8];
+        self.buf.reserve(vs.len() * 8);
+        for chunk in vs.chunks(CHUNK) {
+            for (slot, v) in stage.chunks_exact_mut(8).zip(chunk) {
+                slot.copy_from_slice(&v.to_le_bytes());
+            }
+            self.buf.extend_from_slice(&stage[..chunk.len() * 8]);
+        }
+    }
+
+    /// Appends zero bytes until the length written is a multiple of
+    /// `align` (a power of two) — how the artifact store keeps column
+    /// segments page-aligned. [`Reader::skip_padding`] is the inverse.
+    pub fn pad_to(&mut self, align: usize) {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let pad = self.buf.len().wrapping_neg() & (align - 1);
+        self.buf.resize(self.buf.len() + pad, 0);
     }
 
     /// Appends a byte.
@@ -430,6 +513,67 @@ mod tests {
     fn oversized_string_cannot_be_written() {
         let mut w = Writer::new();
         w.string(&"x".repeat(MAX_STR_LEN as usize + 1));
+    }
+
+    #[test]
+    fn bulk_slices_match_per_element_encoding() {
+        // The staged flat copies must produce byte-for-byte what the
+        // per-element writers produce, across chunk boundaries.
+        let u32s: Vec<u32> = (0..3000u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        let u64s: Vec<u64> = (0..1500u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+        let mut bulk = Writer::new();
+        bulk.u32_slice(&u32s);
+        bulk.u64_slice(&u64s);
+        let mut loops = Writer::new();
+        for &v in &u32s {
+            loops.u32(v);
+        }
+        for &v in &u64s {
+            loops.u64(v);
+        }
+        assert_eq!(bulk.len(), loops.len());
+        let bulk = bulk.into_bytes();
+        assert_eq!(bulk, loops.into_bytes());
+
+        // And the bulk readers decode them back.
+        let mut r = Reader::new(&bulk);
+        assert_eq!(r.u32_vec(u32s.len()).unwrap(), u32s);
+        assert_eq!(r.u64_vec(u64s.len()).unwrap(), u64s);
+        r.finish().unwrap();
+
+        // Reading past the end is UnexpectedEnd, not a panic.
+        let mut r = Reader::new(&bulk[..7]);
+        assert_eq!(r.u32_vec(2), Err(DecodeError::UnexpectedEnd));
+        // And an absurd count fails before any allocation.
+        let mut r = Reader::new(&bulk);
+        assert!(matches!(r.u32_vec(usize::MAX), Err(DecodeError::OversizedCount(_))));
+    }
+
+    #[test]
+    fn padding_round_trips_and_rejects_nonzero() {
+        for align in [1usize, 2, 64, 4096] {
+            let mut w = Writer::new();
+            assert!(w.is_empty());
+            w.bytes(&[7; 5]);
+            w.pad_to(align);
+            assert_eq!(w.len() % align, 0);
+            w.u32(0xdeadbeef);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(r.take(5).unwrap(), &[7; 5]);
+            r.skip_padding(align).unwrap();
+            assert_eq!(r.u32().unwrap(), 0xdeadbeef);
+            r.finish().unwrap();
+        }
+        // Already aligned: pad_to is a no-op.
+        let mut w = Writer::new();
+        w.bytes(&[1; 8]);
+        w.pad_to(8);
+        assert_eq!(w.len(), 8);
+        // Non-zero padding bytes are corrupt input.
+        let mut r = Reader::new(&[1, 9, 9, 9]);
+        r.u8().unwrap();
+        assert_eq!(r.skip_padding(4), Err(DecodeError::InvalidValue(9)));
     }
 
     #[test]

@@ -205,21 +205,23 @@ impl<'a> ResolvedSpanView<'a> {
 pub struct ResolvedChain {
     /// All transactions in chain order.
     pub txs: Vec<ResolvedTx>,
-    addresses: Vec<Address>,
-    address_index: HashMap<Address, AddressId>,
-    txid_index: HashMap<Hash256, TxId>,
+    // The derived fields are pub(crate) so `crate::columns` can rebuild a
+    // chain opened from the on-disk columnar store without re-resolving.
+    pub(crate) addresses: Vec<Address>,
+    pub(crate) address_index: HashMap<Address, AddressId>,
+    pub(crate) txid_index: HashMap<Hash256, TxId>,
     /// Per block: `(height, first tx id)`. The block's transactions run to
     /// the next entry's start (or the end of `txs`). Heights are strictly
     /// increasing — `add_tx` enforces it.
-    block_spans: Vec<(u64, TxId)>,
+    pub(crate) block_spans: Vec<(u64, TxId)>,
     /// Per address: the first transaction (chain order) in which the address
     /// appeared at all (as input or output).
-    first_seen: Vec<TxId>,
+    pub(crate) first_seen: Vec<TxId>,
     /// Per address: transactions in which the address received an output.
     /// Sorted by tx id, hence (by the monotone-height invariant) by height.
-    received_in: Vec<Vec<TxId>>,
+    pub(crate) received_in: Vec<Vec<TxId>>,
     /// Per address: transactions in which the address spent an input.
-    spent_in: Vec<Vec<TxId>>,
+    pub(crate) spent_in: Vec<Vec<TxId>>,
 }
 
 impl ResolvedChain {

@@ -74,6 +74,7 @@ use crate::change::{
 use crate::cluster::Clustering;
 use crate::heuristic1::H1Stats;
 use crate::incremental::PendingDecision;
+use crate::snapshot::{ClusterSnapshot, SnapshotDelta};
 use crate::union_find::{MergeQueue, ShardedUnionFind, UnionFindShard};
 use fistful_chain::resolve::{
     AddressId, BlockId, ResolvedBlockView, ResolvedChain, ResolvedSpanView, TxId,
@@ -150,6 +151,10 @@ pub struct ShardedIngest {
     epoch_start_block: BlockId,
     blocks_ingested: usize,
     epochs_completed: usize,
+    /// Transactions covered by the last reconcile — the prefix a
+    /// mid-ingest snapshot export may aggregate over (buffered blocks are
+    /// not yet visible to queries).
+    reconciled_txs: TxId,
 }
 
 impl ShardedIngest {
@@ -172,6 +177,7 @@ impl ShardedIngest {
             epoch_start_block: 0,
             blocks_ingested: 0,
             epochs_completed: 0,
+            reconciled_txs: 0,
         }
     }
 
@@ -288,6 +294,9 @@ impl ShardedIngest {
         }
 
         self.epochs_completed += 1;
+        // The whole buffered span just reconciled, so the watermark is the
+        // end of the last ingested block.
+        self.reconciled_txs = self.next_tx;
         if let Some(tip) = span.last_height() {
             self.resolve_pending(chain, Some(tip));
         }
@@ -391,6 +400,51 @@ impl ShardedIngest {
             h1_stats: self.h1_stats,
             change_labels: self.config.h2.as_ref().map(|_| self.labels.clone()),
         }
+    }
+
+    /// Transactions covered by the last reconcile: the aggregation prefix
+    /// for [`export_snapshot`](Self::export_snapshot). Equals
+    /// [`tx_count`](Self::tx_count) at every epoch boundary and after
+    /// [`flush`](Self::flush); lags it while blocks are buffered.
+    pub fn reconciled_txs(&self) -> TxId {
+        self.reconciled_txs
+    }
+
+    /// Exports the reconciled state as a frozen [`ClusterSnapshot`]: the
+    /// canonical clustering, tag-vote naming against `db`, and chain
+    /// aggregates over exactly the reconciled transaction prefix.
+    ///
+    /// Call at an epoch boundary or after [`flush`](Self::flush);
+    /// buffered blocks are not included (they are not reconciled yet).
+    /// After `flush`, the result is identical to
+    /// [`ClusterSnapshot::build`] over a batch clustering with the same
+    /// configuration — the pipeline's equivalence guarantee extended to
+    /// the persisted artifact.
+    pub fn export_snapshot(
+        &mut self,
+        chain: &ResolvedChain,
+        db: &crate::tagdb::TagDb,
+    ) -> ClusterSnapshot {
+        let clustering = self.snapshot();
+        let names = crate::naming::name_clusters(&clustering, db);
+        ClusterSnapshot::build_at(chain, self.reconciled_txs as usize, &clustering, &names)
+    }
+
+    /// Exports the reconciled state as a delta against `base` (an earlier
+    /// export of this same run): the successor snapshot plus the
+    /// [`SnapshotDelta`] that turns `base` into it. Persisting the delta
+    /// after each epoch writes O(new blocks) bytes instead of re-writing
+    /// the O(chain) snapshot; `ClusterSnapshot::from_base_and_deltas`
+    /// folds the files back, byte-identical to a full export.
+    pub fn export_delta(
+        &mut self,
+        chain: &ResolvedChain,
+        db: &crate::tagdb::TagDb,
+        base: &ClusterSnapshot,
+    ) -> (ClusterSnapshot, SnapshotDelta) {
+        let new = self.export_snapshot(chain, db);
+        let delta = SnapshotDelta::between(base, &new);
+        (new, delta)
     }
 }
 
@@ -614,6 +668,41 @@ mod tests {
         ingest.flush(&t.chain);
         assert_eq!(ingest.buffered_blocks(), 0);
         assert_eq!(ingest.address_count(), t.chain.address_count());
+    }
+
+    #[test]
+    fn exported_snapshots_track_epoch_boundaries() {
+        use crate::naming::name_clusters;
+        use crate::tagdb::TagDb;
+
+        let t = scenario();
+        let db = TagDb::new();
+        let blocks: Vec<_> = t.chain.blocks().collect();
+        let mut ingest = ShardedIngest::new(IngestConfig::h1_only(2, 3));
+
+        // First epoch boundary: the export covers exactly the reconciled
+        // prefix, no more.
+        for block in &blocks[..3] {
+            ingest.ingest_block(block);
+        }
+        assert_eq!(ingest.reconciled_txs(), ingest.tx_count() as TxId);
+        let base = ingest.export_snapshot(&t.chain, &db);
+        assert_eq!(base.tx_count(), ingest.reconciled_txs() as u64);
+        assert!(base.tx_count() < t.chain.tx_count() as u64);
+
+        // Rest of the chain, then flush: the delta folds the base forward
+        // to a snapshot byte-identical to a from-scratch batch build.
+        for block in &blocks[3..] {
+            ingest.ingest_block(block);
+        }
+        ingest.flush(&t.chain);
+        let (new, delta) = ingest.export_delta(&t.chain, &db, &base);
+        assert_eq!(base.apply_delta(&delta).unwrap().to_bytes(), new.to_bytes());
+
+        let batch = Clusterer::h1_only().run(&t.chain);
+        let names = name_clusters(&batch, &db);
+        let full = crate::snapshot::ClusterSnapshot::build(&t.chain, &batch, &names);
+        assert_eq!(new.to_bytes(), full.to_bytes());
     }
 
     #[test]

@@ -265,6 +265,70 @@ impl ClusterSnapshot {
         }
     }
 
+    /// [`ClusterSnapshot::build`] for a clustering that has only seen the
+    /// first `tx_end` transactions of `chain` — the mid-ingest export used
+    /// by `ShardedIngest` at epoch boundaries.
+    ///
+    /// Addresses are interned in order of first appearance, so the
+    /// transactions of the prefix reference exactly the address ids
+    /// `0..clustering.assignment.len()`; aggregation stops at `tx_end`
+    /// instead of walking the whole chain. With
+    /// `tx_end == chain.tx_count()` this is identical to `build`.
+    ///
+    /// Panics if `tx_end` exceeds the chain or the prefix references an
+    /// address the clustering does not cover (the clustering came from a
+    /// different run).
+    pub fn build_at(
+        chain: &ResolvedChain,
+        tx_end: usize,
+        clustering: &Clustering,
+        names: &NamingReport,
+    ) -> ClusterSnapshot {
+        assert!(tx_end <= chain.tx_count(), "tx_end exceeds the chain");
+        let n_addr = clustering.assignment.len();
+        let mut clusters: Vec<ClusterInfo> = clustering
+            .sizes
+            .iter()
+            .map(|&size| ClusterInfo { size, ..Default::default() })
+            .collect();
+        for (cluster, name) in &names.names {
+            let slot = &mut clusters[*cluster as usize];
+            slot.name = Some(name.clone());
+            slot.category = names.categories.get(cluster).cloned();
+        }
+        let mut received = vec![0u64; clusters.len()];
+        let mut spent = vec![0u64; clusters.len()];
+        for tx in &chain.txs[..tx_end] {
+            for input in &tx.inputs {
+                assert!(
+                    (input.address as usize) < n_addr,
+                    "clustering does not cover the transaction prefix"
+                );
+                let c = clustering.assignment[input.address as usize] as usize;
+                spent[c] += input.value.to_sat();
+            }
+            for out in &tx.outputs {
+                assert!(
+                    (out.address as usize) < n_addr,
+                    "clustering does not cover the transaction prefix"
+                );
+                let c = clustering.assignment[out.address as usize] as usize;
+                received[c] += out.value.to_sat();
+            }
+        }
+        for (i, slot) in clusters.iter_mut().enumerate() {
+            slot.received = Amount::from_sat(received[i]);
+            slot.spent = Amount::from_sat(spent[i]);
+        }
+        let tip_height = tx_end.checked_sub(1).map(|i| chain.txs[i].height).unwrap_or(0);
+        ClusterSnapshot {
+            assignment: clustering.assignment.clone(),
+            clusters,
+            tip_height,
+            tx_count: tx_end as u64,
+        }
+    }
+
     // ----- O(1) queries -----
 
     /// Number of addresses covered.
@@ -433,6 +497,267 @@ impl ClusterSnapshot {
         }
         Ok(())
     }
+
+    // ----- columnar store format -----
+
+    /// Adds the snapshot to a columnar container: the assignment column as
+    /// one bulk-readable u32 segment (`snap/assignment`), the cluster
+    /// table as one encoded segment (`snap/clusters`), and a `snap/meta`
+    /// segment carrying the scalars and cross-check counts.
+    pub fn write_store(&self, out: &mut fistful_store::StoreWriter) {
+        let mut meta = Writer::new();
+        meta.u64(self.tip_height);
+        meta.u64(self.tx_count);
+        meta.u64(self.clusters.len() as u64);
+        meta.u64(self.assignment.len() as u64);
+        out.segment("snap/meta", meta.into_bytes());
+        let mut assign = Writer::new();
+        assign.u32_slice(&self.assignment);
+        out.segment("snap/assignment", assign.into_bytes());
+        let mut clusters = Writer::new();
+        fistful_chain::encode::encode_vec(&mut clusters, &self.clusters);
+        out.segment("snap/clusters", clusters.into_bytes());
+    }
+
+    /// Reads a snapshot back from a columnar container, enforcing the
+    /// same semantic invariants as [`ClusterSnapshot::from_bytes`].
+    pub fn read_store(
+        store: &mut fistful_store::Store,
+    ) -> Result<ClusterSnapshot, fistful_store::StoreError> {
+        use fistful_store::StoreError;
+        let meta = store.bytes("snap/meta")?;
+        let mut r = Reader::new(&meta);
+        let tip_height = r.u64()?;
+        let tx_count = r.u64()?;
+        let cluster_count = r.u64()? as usize;
+        let address_count = r.u64()? as usize;
+        r.finish()?;
+        let assignment = store.u32s("snap/assignment")?;
+        let cluster_bytes = store.bytes("snap/clusters")?;
+        let mut r = Reader::new(&cluster_bytes);
+        let clusters: Vec<ClusterInfo> = fistful_chain::encode::decode_vec(&mut r)?;
+        r.finish()?;
+        if assignment.len() != address_count || clusters.len() != cluster_count {
+            return Err(StoreError::Inconsistent("snapshot meta counts disagree with columns"));
+        }
+        let snapshot = ClusterSnapshot { assignment, clusters, tip_height, tx_count };
+        snapshot.validate().map_err(|e| match e {
+            SnapshotError::Inconsistent(what) => StoreError::Inconsistent(what),
+            _ => StoreError::Inconsistent("snapshot validation failed"),
+        })?;
+        Ok(snapshot)
+    }
+
+    // ----- delta snapshots -----
+
+    /// Applies one epoch's [`SnapshotDelta`] to this base, producing the
+    /// snapshot the delta was diffed against. Fails with
+    /// [`SnapshotError::Inconsistent`] if the delta does not cover every
+    /// new address or the result violates snapshot invariants.
+    pub fn apply_delta(&self, delta: &SnapshotDelta) -> Result<ClusterSnapshot, SnapshotError> {
+        let new_addrs = delta.address_count as usize;
+        if new_addrs < self.assignment.len() {
+            return Err(SnapshotError::Inconsistent("delta shrinks the address space"));
+        }
+        let mut assignment = self.assignment.clone();
+        let base_len = assignment.len();
+        // New slots start as a sentinel the delta must overwrite: a gap
+        // means the delta and base disagree about what "new" means.
+        assignment.resize(new_addrs, u32::MAX);
+        let mut last = None;
+        for &(addr, cluster) in &delta.assign {
+            if last.is_some_and(|p| p >= addr) {
+                return Err(SnapshotError::Inconsistent(
+                    "delta assignment entries are not strictly ascending",
+                ));
+            }
+            last = Some(addr);
+            if (addr as usize) >= new_addrs {
+                return Err(SnapshotError::Inconsistent(
+                    "delta assigns an address past its declared count",
+                ));
+            }
+            assignment[addr as usize] = cluster;
+        }
+        if assignment[base_len..].contains(&u32::MAX) {
+            return Err(SnapshotError::Inconsistent(
+                "delta does not cover every new address",
+            ));
+        }
+        let mut clusters = self.clusters.clone();
+        clusters.resize(delta.cluster_count as usize, ClusterInfo::default());
+        let mut last = None;
+        for (id, info) in &delta.clusters {
+            if last.is_some_and(|p| p >= *id) {
+                return Err(SnapshotError::Inconsistent(
+                    "delta cluster entries are not strictly ascending",
+                ));
+            }
+            last = Some(*id);
+            let slot = clusters.get_mut(*id as usize).ok_or(SnapshotError::Inconsistent(
+                "delta updates a cluster past its declared count",
+            ))?;
+            *slot = info.clone();
+        }
+        let snapshot = ClusterSnapshot {
+            assignment,
+            clusters,
+            tip_height: delta.tip_height,
+            tx_count: delta.tx_count,
+        };
+        snapshot.validate()?;
+        Ok(snapshot)
+    }
+
+    /// Folds a base snapshot and its per-epoch deltas back into the full
+    /// snapshot — the fast-restart path. The result is **byte-identical**
+    /// (same `to_bytes`, same store segments) to rebuilding the snapshot
+    /// from scratch at the final epoch, which the differential tests
+    /// assert.
+    pub fn from_base_and_deltas(
+        base: &ClusterSnapshot,
+        deltas: &[SnapshotDelta],
+    ) -> Result<ClusterSnapshot, SnapshotError> {
+        let mut snap = base.clone();
+        for delta in deltas {
+            snap = snap.apply_delta(delta)?;
+        }
+        Ok(snap)
+    }
+}
+
+/// One epoch's worth of snapshot change: everything that differs between
+/// a base [`ClusterSnapshot`] and its successor.
+///
+/// Persisting after an incremental ingest epoch writes one of these — a
+/// few new/changed assignments and cluster rows — instead of re-exporting
+/// the whole O(chain) snapshot. [`ClusterSnapshot::from_base_and_deltas`]
+/// folds the sequence back, byte-identical to a full export.
+///
+/// **Renumbering caveat:** canonical cluster ids are dense in
+/// first-appearance order, so a cross-epoch merge can cascade-renumber
+/// every later cluster; such a delta legitimately degrades toward a full
+/// export. Epochs without cross-epoch merges — the common case the
+/// incremental pipeline optimizes for — produce deltas proportional to
+/// the epoch's new blocks, which the store tests assert against real
+/// file sizes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SnapshotDelta {
+    /// Tip height of the successor snapshot.
+    pub tip_height: u64,
+    /// Transaction count of the successor snapshot.
+    pub tx_count: u64,
+    /// Address count of the successor snapshot (the assignment array
+    /// grows to this length).
+    pub address_count: u64,
+    /// Cluster count of the successor snapshot.
+    pub cluster_count: u32,
+    /// `(address id, new cluster id)` pairs, strictly ascending by
+    /// address: every new address plus every existing address whose
+    /// cluster changed.
+    pub assign: Vec<(u32, u32)>,
+    /// `(cluster id, full new row)` pairs, strictly ascending by id:
+    /// every new cluster plus every existing cluster whose aggregates,
+    /// size, or naming changed.
+    pub clusters: Vec<(u32, ClusterInfo)>,
+}
+
+impl SnapshotDelta {
+    /// Diffs two snapshots of the same growing chain (`new` must cover at
+    /// least the addresses of `base`).
+    ///
+    /// Panics if `new` has fewer addresses than `base` — deltas only move
+    /// forward.
+    pub fn between(base: &ClusterSnapshot, new: &ClusterSnapshot) -> SnapshotDelta {
+        assert!(
+            new.assignment.len() >= base.assignment.len(),
+            "delta target has fewer addresses than its base"
+        );
+        let mut assign = Vec::new();
+        for (addr, &cluster) in new.assignment.iter().enumerate() {
+            if base.assignment.get(addr) != Some(&cluster) {
+                assign.push((addr as u32, cluster));
+            }
+        }
+        let mut clusters = Vec::new();
+        for (id, info) in new.clusters.iter().enumerate() {
+            if base.clusters.get(id) != Some(info) {
+                clusters.push((id as u32, info.clone()));
+            }
+        }
+        SnapshotDelta {
+            tip_height: new.tip_height,
+            tx_count: new.tx_count,
+            address_count: new.assignment.len() as u64,
+            cluster_count: new.clusters.len() as u32,
+            assign,
+            clusters,
+        }
+    }
+
+    /// True if the delta changes nothing but the scalars.
+    pub fn is_empty(&self) -> bool {
+        self.assign.is_empty() && self.clusters.is_empty()
+    }
+
+    /// Adds the delta to a columnar container: changed assignments as two
+    /// parallel u32 columns plus the changed cluster rows.
+    pub fn write_store(&self, out: &mut fistful_store::StoreWriter) {
+        let mut meta = Writer::new();
+        meta.u64(self.tip_height);
+        meta.u64(self.tx_count);
+        meta.u64(self.address_count);
+        meta.u32(self.cluster_count);
+        out.segment("delta/meta", meta.into_bytes());
+        let addrs: Vec<u32> = self.assign.iter().map(|&(a, _)| a).collect();
+        let ids: Vec<u32> = self.assign.iter().map(|&(_, c)| c).collect();
+        let mut w = Writer::new();
+        w.u32_slice(&addrs);
+        out.segment("delta/assign_addr", w.into_bytes());
+        let mut w = Writer::new();
+        w.u32_slice(&ids);
+        out.segment("delta/assign_cluster", w.into_bytes());
+        let cids: Vec<u32> = self.clusters.iter().map(|&(id, _)| id).collect();
+        let mut w = Writer::new();
+        w.u32_slice(&cids);
+        out.segment("delta/cluster_ids", w.into_bytes());
+        let mut w = Writer::new();
+        for (_, info) in &self.clusters {
+            info.encode(&mut w);
+        }
+        out.segment("delta/cluster_infos", w.into_bytes());
+    }
+
+    /// Reads a delta back from a columnar container. Ordering and range
+    /// invariants are enforced later by [`ClusterSnapshot::apply_delta`],
+    /// which sees base and delta together.
+    pub fn read_store(
+        store: &mut fistful_store::Store,
+    ) -> Result<SnapshotDelta, fistful_store::StoreError> {
+        use fistful_store::StoreError;
+        let meta = store.bytes("delta/meta")?;
+        let mut r = Reader::new(&meta);
+        let tip_height = r.u64()?;
+        let tx_count = r.u64()?;
+        let address_count = r.u64()?;
+        let cluster_count = r.u32()?;
+        r.finish()?;
+        let addrs = store.u32s("delta/assign_addr")?;
+        let ids = store.u32s("delta/assign_cluster")?;
+        if addrs.len() != ids.len() {
+            return Err(StoreError::Inconsistent("delta assignment columns disagree on length"));
+        }
+        let assign = addrs.into_iter().zip(ids).collect();
+        let cids = store.u32s("delta/cluster_ids")?;
+        let info_bytes = store.bytes("delta/cluster_infos")?;
+        let mut r = Reader::new(&info_bytes);
+        let mut clusters = Vec::with_capacity(cids.len());
+        for id in cids {
+            clusters.push((id, ClusterInfo::decode(&mut r)?));
+        }
+        r.finish()?;
+        Ok(SnapshotDelta { tip_height, tx_count, address_count, cluster_count, assign, clusters })
+    }
 }
 
 impl Encodable for ClusterSnapshot {
@@ -443,9 +768,9 @@ impl Encodable for ClusterSnapshot {
         w.u64(self.tx_count);
         fistful_chain::encode::encode_vec(w, &self.clusters);
         w.compact_size(self.assignment.len() as u64);
-        for &c in &self.assignment {
-            w.u32(c);
-        }
+        // Flat copy: the assignment column is plain little-endian u32s, so
+        // the staged bulk writer replaces the old per-element loop.
+        w.u32_slice(&self.assignment);
     }
 }
 
@@ -475,10 +800,7 @@ impl Decodable for ClusterSnapshot {
         if n > r.remaining() as u64 / 4 {
             return Err(DecodeError::OversizedCount(n));
         }
-        let mut assignment = Vec::with_capacity(n as usize);
-        for _ in 0..n {
-            assignment.push(r.u32()?);
-        }
+        let assignment = r.u32_vec(n as usize)?;
         Ok(ClusterSnapshot { assignment, clusters, tip_height, tx_count })
     }
 }
@@ -732,6 +1054,153 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn store_round_trips_losslessly() {
+        let (_, snap) = snapshot_fixture();
+        let mut w = fistful_store::StoreWriter::new();
+        snap.write_store(&mut w);
+        let mut store = fistful_store::Store::open_bytes(w.to_bytes()).unwrap();
+        let restored = ClusterSnapshot::read_store(&mut store).unwrap();
+        assert_eq!(restored, snap);
+        // And the empty snapshot.
+        let mut w = fistful_store::StoreWriter::new();
+        ClusterSnapshot::default().write_store(&mut w);
+        let mut store = fistful_store::Store::open_bytes(w.to_bytes()).unwrap();
+        assert_eq!(
+            ClusterSnapshot::read_store(&mut store).unwrap(),
+            ClusterSnapshot::default()
+        );
+    }
+
+    #[test]
+    fn store_read_rejects_semantic_lies() {
+        let (_, snap) = snapshot_fixture();
+        let mut lying = snap.clone();
+        lying.assignment[0] = 99;
+        let mut w = fistful_store::StoreWriter::new();
+        lying.write_store(&mut w);
+        let mut store = fistful_store::Store::open_bytes(w.to_bytes()).unwrap();
+        assert!(matches!(
+            ClusterSnapshot::read_store(&mut store),
+            Err(fistful_store::StoreError::Inconsistent(_))
+        ));
+    }
+
+    /// Grows the fixture chain by one more user and re-snapshots, giving a
+    /// (base, successor) pair whose delta has both new addresses and a
+    /// changed existing cluster.
+    fn delta_fixture() -> (ClusterSnapshot, ClusterSnapshot) {
+        let mut t = TestChain::new();
+        let cb1 = t.coinbase(1, 50);
+        let cb2 = t.coinbase(2, 50);
+        t.tx(&[(cb1, 0), (cb2, 0)], &[(3, 100)]);
+        let clustering = Clusterer::h1_only().run(&t.chain);
+        let names = name_clusters(&clustering, &TagDb::new());
+        let base = ClusterSnapshot::build(&t.chain, &clustering, &names);
+
+        let cb4 = t.coinbase(4, 25);
+        t.tx(&[(cb4, 0)], &[(3, 25)]); // address 3's cluster aggregates change
+        let clustering = Clusterer::h1_only().run(&t.chain);
+        let names = name_clusters(&clustering, &TagDb::new());
+        let new = ClusterSnapshot::build(&t.chain, &clustering, &names);
+        (base, new)
+    }
+
+    #[test]
+    fn delta_round_trips_to_the_successor() {
+        let (base, new) = delta_fixture();
+        let delta = SnapshotDelta::between(&base, &new);
+        assert!(!delta.is_empty());
+        // New addresses (4 and its coinbase interning) appear; unchanged
+        // assignments do not.
+        assert!(delta.assign.len() < new.address_count());
+        let applied = base.apply_delta(&delta).unwrap();
+        assert_eq!(applied, new);
+        // Byte-identical, not merely equal.
+        assert_eq!(applied.to_bytes(), new.to_bytes());
+        // Identity delta.
+        let id = SnapshotDelta::between(&new, &new);
+        assert!(id.is_empty());
+        assert_eq!(new.apply_delta(&id).unwrap(), new);
+        // Folding from the base over both steps.
+        let folded = ClusterSnapshot::from_base_and_deltas(&base, &[delta, id]).unwrap();
+        assert_eq!(folded.to_bytes(), new.to_bytes());
+    }
+
+    #[test]
+    fn delta_store_round_trips() {
+        let (base, new) = delta_fixture();
+        let delta = SnapshotDelta::between(&base, &new);
+        let mut w = fistful_store::StoreWriter::new();
+        delta.write_store(&mut w);
+        let mut store = fistful_store::Store::open_bytes(w.to_bytes()).unwrap();
+        let restored = SnapshotDelta::read_store(&mut store).unwrap();
+        assert_eq!(restored, delta);
+        assert_eq!(base.apply_delta(&restored).unwrap().to_bytes(), new.to_bytes());
+    }
+
+    #[test]
+    fn apply_delta_rejects_malformed_deltas() {
+        let (base, new) = delta_fixture();
+        let good = SnapshotDelta::between(&base, &new);
+
+        // A gap: a new address the delta does not cover.
+        let mut bad = good.clone();
+        bad.assign.retain(|&(a, _)| (a as usize) < base.address_count());
+        assert!(matches!(
+            base.apply_delta(&bad),
+            Err(SnapshotError::Inconsistent("delta does not cover every new address"))
+        ));
+
+        // Shrinking the address space.
+        let mut bad = good.clone();
+        bad.address_count = base.address_count() as u64 - 1;
+        assert!(matches!(base.apply_delta(&bad), Err(SnapshotError::Inconsistent(_))));
+
+        // Out-of-order (here: duplicate) assignment entries.
+        let mut bad = good.clone();
+        bad.assign.push(*bad.assign.last().unwrap());
+        assert!(matches!(
+            base.apply_delta(&bad),
+            Err(SnapshotError::Inconsistent(
+                "delta assignment entries are not strictly ascending"
+            ))
+        ));
+
+        // An assignment past the declared address count.
+        let mut bad = good.clone();
+        bad.assign.push((bad.address_count as u32 + 7, 0));
+        assert!(matches!(base.apply_delta(&bad), Err(SnapshotError::Inconsistent(_))));
+
+        // A cluster row past the declared cluster count.
+        let mut bad = good.clone();
+        bad.clusters.push((bad.cluster_count + 7, ClusterInfo::default()));
+        assert!(matches!(base.apply_delta(&bad), Err(SnapshotError::Inconsistent(_))));
+
+        // Sizes that stop matching the assignment after application.
+        let mut bad = good.clone();
+        for (_, info) in &mut bad.clusters {
+            info.size += 1;
+        }
+        assert!(matches!(base.apply_delta(&bad), Err(SnapshotError::Inconsistent(_))));
+    }
+
+    #[test]
+    fn build_at_full_prefix_equals_build() {
+        let (t, snap) = snapshot_fixture();
+        let clustering = Clusterer::with_h2(ChangeConfig::naive()).run(&t.chain);
+        let mut db = TagDb::new();
+        db.add(Tag {
+            address: t.id(1),
+            service: "Mt. Gox".into(),
+            category: "exchange".into(),
+            source: TagSource::OwnTransaction,
+        });
+        let names = name_clusters(&clustering, &db);
+        let at = ClusterSnapshot::build_at(&t.chain, t.chain.tx_count(), &clustering, &names);
+        assert_eq!(at.to_bytes(), snap.to_bytes());
     }
 
     #[test]

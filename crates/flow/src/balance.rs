@@ -11,7 +11,7 @@ use fistful_chain::resolve::{AddressId, ResolvedChain};
 use std::collections::BTreeMap;
 
 /// One sampled point of the balance series.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BalancePoint {
     /// Block height of the sample.
     pub height: u64,

@@ -76,6 +76,7 @@ pub mod cache;
 pub mod client;
 pub mod protocol;
 pub mod server;
+pub mod store;
 
 pub use cache::ShardedCache;
 pub use client::Client;

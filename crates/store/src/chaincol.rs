@@ -1,0 +1,184 @@
+//! Chain container codec: a [`ResolvedChain`] as one segment per column.
+//!
+//! The segment schema (all integers little-endian):
+//!
+//! | segment              | element | per        | contents                    |
+//! |----------------------|---------|------------|-----------------------------|
+//! | `chain/meta`         | u64 ×2  | file       | tx count, address count     |
+//! | `chain/height`       | u64     | tx         | containing block height     |
+//! | `chain/time`         | u64     | tx         | containing block timestamp  |
+//! | `chain/coinbase`     | u8      | tx         | 1 for coin generations      |
+//! | `chain/txid`         | 32 B    | tx         | txid bytes, concatenated    |
+//! | `chain/in_start`     | u32     | tx (+1)    | CSR prefix into input slots |
+//! | `chain/in_addr`      | u32     | input slot | spent output's address id   |
+//! | `chain/in_value`     | u64     | input slot | spent output's satoshis     |
+//! | `chain/in_prev_tx`   | u32     | input slot | funding transaction id      |
+//! | `chain/in_prev_vout` | u32     | input slot | output index within it      |
+//! | `chain/out_start`    | u32     | tx (+1)    | CSR prefix into output slots|
+//! | `chain/out_addr`     | u32     | output slot| receiving address id        |
+//! | `chain/out_value`    | u64     | output slot| satoshis                    |
+//! | `chain/addr`         | 20 B    | address id | hash160 payload bytes       |
+//!
+//! Derived state (`spent_by` backlinks, interning indexes, block spans,
+//! per-address event lists) is **not** stored;
+//! [`ChainColumns::into_chain`] replays the columns through the same
+//! validation `ResolvedChain::add_tx` enforces and rebuilds it, so a
+//! corrupt file can only fail — never load inconsistent.
+
+use crate::container::{Store, StoreError, StoreWriter};
+use fistful_chain::columns::{ChainColumns, ADDRESS_WIDTH, TXID_WIDTH};
+use fistful_chain::encode::Writer;
+use fistful_chain::resolve::ResolvedChain;
+
+/// Serializes a u32 column to its little-endian byte image.
+pub fn u32_col(vs: &[u32]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32_slice(vs);
+    w.into_bytes()
+}
+
+/// Serializes a u64 column to its little-endian byte image.
+pub fn u64_col(vs: &[u64]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u64_slice(vs);
+    w.into_bytes()
+}
+
+/// Adds a chain's columns to `out`, one segment per column.
+pub fn write_chain(chain: &ResolvedChain, out: &mut StoreWriter) {
+    let cols = chain.to_columns();
+    let mut meta = Writer::new();
+    meta.u64(cols.tx_count() as u64);
+    meta.u64(cols.address_count() as u64);
+    out.segment("chain/meta", meta.into_bytes());
+    out.segment("chain/height", u64_col(&cols.height));
+    out.segment("chain/time", u64_col(&cols.time));
+    out.segment("chain/coinbase", cols.coinbase);
+    out.segment("chain/txid", cols.txid);
+    out.segment("chain/in_start", u32_col(&cols.in_start));
+    out.segment("chain/in_addr", u32_col(&cols.in_addr));
+    out.segment("chain/in_value", u64_col(&cols.in_value));
+    out.segment("chain/in_prev_tx", u32_col(&cols.in_prev_tx));
+    out.segment("chain/in_prev_vout", u32_col(&cols.in_prev_vout));
+    out.segment("chain/out_start", u32_col(&cols.out_start));
+    out.segment("chain/out_addr", u32_col(&cols.out_addr));
+    out.segment("chain/out_value", u64_col(&cols.out_value));
+    out.segment("chain/addr", cols.address);
+}
+
+/// Reads the chain columns back and replay-validates them into a
+/// [`ResolvedChain`].
+pub fn read_chain(store: &mut Store) -> Result<ResolvedChain, StoreError> {
+    let meta = store.bytes("chain/meta")?;
+    let mut r = fistful_chain::encode::Reader::new(&meta);
+    let tx_count = r.u64().map_err(StoreError::Decode)? as usize;
+    let addr_count = r.u64().map_err(StoreError::Decode)? as usize;
+    r.finish().map_err(StoreError::Decode)?;
+
+    let cols = ChainColumns {
+        height: store.u64s("chain/height")?,
+        time: store.u64s("chain/time")?,
+        coinbase: store.bytes("chain/coinbase")?,
+        txid: store.bytes("chain/txid")?,
+        in_start: store.u32s("chain/in_start")?,
+        in_addr: store.u32s("chain/in_addr")?,
+        in_value: store.u64s("chain/in_value")?,
+        in_prev_tx: store.u32s("chain/in_prev_tx")?,
+        in_prev_vout: store.u32s("chain/in_prev_vout")?,
+        out_start: store.u32s("chain/out_start")?,
+        out_addr: store.u32s("chain/out_addr")?,
+        out_value: store.u64s("chain/out_value")?,
+        address: store.bytes("chain/addr")?,
+    };
+    // The meta counts exist so dimension mismatches are caught before the
+    // replay pass produces a confusing invariant message.
+    if cols.tx_count() != tx_count
+        || cols.txid.len() != tx_count * TXID_WIDTH
+        || cols.address.len() != addr_count * ADDRESS_WIDTH
+    {
+        return Err(StoreError::Inconsistent("chain meta counts disagree with columns"));
+    }
+    cols.into_chain().map_err(StoreError::Inconsistent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fistful_chain::builder::BlockBuilder;
+    use fistful_chain::chainstate::ChainState;
+    use fistful_chain::params::Params;
+    use fistful_chain::Address;
+
+    fn small_chain() -> ChainState {
+        let params = Params::regtest();
+        let mut chain = ChainState::new(params.clone());
+        for i in 0..6u64 {
+            let block = BlockBuilder::new(&params)
+                .coinbase_to(Address::from_seed(i), chain.next_height(), chain.next_subsidy())
+                .build_on(&chain);
+            chain.accept_block(block).unwrap();
+        }
+        chain
+    }
+
+    #[test]
+    fn chain_round_trips_through_container() {
+        let chain = small_chain();
+        let resolved = chain.resolved();
+        let mut w = StoreWriter::new();
+        write_chain(resolved, &mut w);
+        let mut store = Store::open_bytes(w.to_bytes()).unwrap();
+        let reread = read_chain(&mut store).unwrap();
+        // Compare through the lossless columnar projection: ResolvedChain
+        // has no PartialEq, but equal columns + replay-derived state means
+        // equal chains.
+        assert_eq!(resolved.to_columns(), reread.to_columns());
+        assert_eq!(resolved.tx_count(), reread.tx_count());
+        assert_eq!(resolved.address_count(), reread.address_count());
+    }
+
+    #[test]
+    fn missing_column_is_reported_by_name() {
+        let chain = small_chain();
+        let mut w = StoreWriter::new();
+        write_chain(chain.resolved(), &mut w);
+        // Rebuild the container without one column.
+        let mut partial = StoreWriter::new();
+        let mut full = Store::open_bytes(w.to_bytes()).unwrap();
+        let names: Vec<String> = full.segment_names().map(str::to_string).collect();
+        for name in &names {
+            if name != "chain/out_value" {
+                let bytes = full.bytes(name).unwrap();
+                partial.segment(name, bytes);
+            }
+        }
+        let mut store = Store::open_bytes(partial.to_bytes()).unwrap();
+        assert!(matches!(
+            read_chain(&mut store),
+            Err(StoreError::MissingSegment(n)) if n == "chain/out_value"
+        ));
+    }
+
+    #[test]
+    fn meta_disagreement_is_inconsistent() {
+        let chain = small_chain();
+        let mut w = StoreWriter::new();
+        write_chain(chain.resolved(), &mut w);
+        let mut full = Store::open_bytes(w.to_bytes()).unwrap();
+        let mut forged = StoreWriter::new();
+        let names: Vec<String> = full.segment_names().map(str::to_string).collect();
+        for name in &names {
+            let bytes = full.bytes(name).unwrap();
+            if name == "chain/meta" {
+                let mut meta = Writer::new();
+                meta.u64(999);
+                meta.u64(999);
+                forged.segment(name, meta.into_bytes());
+            } else {
+                forged.segment(name, bytes);
+            }
+        }
+        let mut store = Store::open_bytes(forged.to_bytes()).unwrap();
+        assert!(matches!(read_chain(&mut store), Err(StoreError::Inconsistent(_))));
+    }
+}

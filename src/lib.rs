@@ -27,3 +27,4 @@ pub use fistful_flow as flow;
 pub use fistful_net as net;
 pub use fistful_serve as serve;
 pub use fistful_sim as sim;
+pub use fistful_store as store;

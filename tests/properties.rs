@@ -529,6 +529,85 @@ proptest! {
     }
 }
 
+// ---------- delta snapshots ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Delta snapshots over arbitrary chains and arbitrary epoch cuts:
+    /// exporting at random block boundaries, diffing consecutive exports,
+    /// and folding base + deltas must land byte-for-byte on the final
+    /// export — which itself must be byte-identical to the batch
+    /// snapshot. Every delta must also survive its store-container round
+    /// trip losslessly.
+    #[test]
+    fn snapshot_deltas_fold_byte_identically_over_random_epoch_cuts(
+        seed in any::<u64>(),
+        txs in 30usize..100,
+        shards in 1usize..5,
+        with_h2 in any::<bool>(),
+        raw_cuts in proptest::collection::vec(any::<u32>(), 1..6),
+    ) {
+        use fistful::core::incremental::sharded::{IngestConfig, ShardedIngest};
+        use fistful::core::naming::name_clusters;
+        use fistful::core::snapshot::{ClusterSnapshot, SnapshotDelta};
+        use fistful::core::tagdb::TagDb;
+        use fistful::store::{Store, StoreWriter};
+
+        let t = random_chain(seed, txs);
+        let chain = &t.chain;
+        let db = TagDb::new();
+        let mut cuts: Vec<usize> =
+            raw_cuts.iter().map(|&c| c as usize % chain.block_count()).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+
+        // Reconcile after every block so any block index is an epoch cut.
+        let config = if with_h2 {
+            IngestConfig::with_h2(shards, 1, ChangeConfig::naive())
+        } else {
+            IngestConfig::h1_only(shards, 1)
+        };
+        let mut pipe = ShardedIngest::new(config);
+        let mut exports: Vec<ClusterSnapshot> = Vec::new();
+        for (i, block) in chain.blocks().enumerate() {
+            pipe.ingest_block(&block);
+            if cuts.binary_search(&i).is_ok() {
+                exports.push(pipe.export_snapshot(chain, &db));
+            }
+        }
+        pipe.flush(chain);
+        exports.push(pipe.export_snapshot(chain, &db));
+
+        // Diff consecutive exports; each delta survives its container
+        // round trip; the fold lands on the final export byte-for-byte.
+        let mut deltas = Vec::new();
+        for pair in exports.windows(2) {
+            let delta = SnapshotDelta::between(&pair[0], &pair[1]);
+            let mut w = StoreWriter::new();
+            delta.write_store(&mut w);
+            let mut store = Store::open_bytes(w.to_bytes()).unwrap();
+            let reread = SnapshotDelta::read_store(&mut store).unwrap();
+            prop_assert_eq!(&reread, &delta);
+            deltas.push(delta);
+        }
+        let folded = ClusterSnapshot::from_base_and_deltas(&exports[0], &deltas).unwrap();
+        let last = exports.last().unwrap();
+        prop_assert_eq!(folded.to_bytes(), last.to_bytes());
+
+        // The final export is the batch snapshot, byte for byte.
+        let clusterer = if with_h2 {
+            Clusterer::with_h2(ChangeConfig::naive())
+        } else {
+            Clusterer::h1_only()
+        };
+        let clustering = clusterer.run(chain);
+        let names = name_clusters(&clustering, &db);
+        let batch = ClusterSnapshot::build(chain, &clustering, &names);
+        prop_assert_eq!(last.to_bytes(), batch.to_bytes());
+    }
+}
+
 // ---------- serve wire protocol ----------
 
 /// Builds one of every [`Request`](fistful::serve::Request) variant from
