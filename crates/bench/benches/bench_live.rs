@@ -1,0 +1,192 @@
+//! Experiment `live`: what hot-swapping artifact generations costs a
+//! running query server.
+//!
+//! Three claims under test:
+//!
+//! 1. **A swap is an `Arc` exchange behind one mutex — sub-microsecond.**
+//!    Workers pin the generation per request, so a publish never blocks a
+//!    query and a query never blocks a publish.
+//! 2. **Query latency survives continuous swapping.** Socket round-trip
+//!    p99 while a background thread publishes generations flat out must
+//!    stay within 2x of the frozen-artifact baseline (asserted, not just
+//!    reported).
+//! 3. **A full live run is dominated by ingest, not by publishing.** The
+//!    whole bootstrap → stream → reconcile → swap → terminal-flush
+//!    pipeline over the tiny economy costs what the sharded ingest alone
+//!    costs, per block.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fistful_bench::{serve_artifacts, Workbench};
+use fistful_chain::encode::Encodable;
+use fistful_serve::{
+    Client, LiveConfig, LivePipeline, Request, ServeArtifacts, ServeConfig, Server,
+};
+use fistful_sim::SimConfig;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+fn fixture() -> &'static (Workbench, Arc<ServeArtifacts>) {
+    static FIX: OnceLock<(Workbench, Arc<ServeArtifacts>)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let wb = Workbench::build(SimConfig::tiny());
+        let artifacts = Arc::new(serve_artifacts(&wb));
+        (wb, artifacts)
+    })
+}
+
+fn start_server(workers: usize, cache_entries: usize) -> Server {
+    let (_, artifacts) = fixture();
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        cache_entries,
+        ..ServeConfig::default()
+    };
+    Server::start(config, Arc::clone(artifacts)).expect("start bench server")
+}
+
+/// Claim 1: the publish itself — swap latency as the worker pool sees it.
+fn bench_swap_latency(c: &mut Criterion) {
+    let (_, artifacts) = fixture();
+    let server = start_server(1, 0);
+    let publisher = server.publisher();
+    let mut epoch = publisher.current_epoch();
+    let mut g = c.benchmark_group("live/swap");
+    g.bench_function("publish", |b| {
+        b.iter(|| {
+            epoch += 1;
+            publisher.publish(Arc::clone(artifacts), epoch, true);
+        })
+    });
+    g.finish();
+    server.shutdown();
+}
+
+/// One closed-loop latency sample set: `n` address lookups over an open
+/// connection, each individually timed.
+fn sample_latencies(addr: std::net::SocketAddr, n_addr: u32, samples: usize) -> Vec<Duration> {
+    let mut client = Client::connect(addr).expect("connect");
+    client.ping().expect("ping");
+    let mut out = Vec::with_capacity(samples);
+    let mut a = 1u32;
+    for _ in 0..samples {
+        a = a.wrapping_mul(1_664_525).wrapping_add(1_013_904_223) % n_addr;
+        let payload = Request::AddressInfo { address: a }.encode_to_vec();
+        let t0 = Instant::now();
+        std::hint::black_box(client.call_raw(&payload).expect("lookup"));
+        out.push(t0.elapsed());
+    }
+    out
+}
+
+fn p99_of(mut samples: Vec<Duration>) -> Duration {
+    samples.sort_unstable();
+    samples[(samples.len() - 1) * 99 / 100]
+}
+
+/// Claim 2: query p99 under continuous publishing vs a frozen server,
+/// measured over the live socket and asserted within 2x (plus a small
+/// absolute allowance for scheduler noise on loaded machines).
+fn bench_query_p99_during_swaps(c: &mut Criterion) {
+    const SAMPLES: usize = 3_000;
+    let (_, artifacts) = fixture();
+    // Cache off: every request does real snapshot work, so the comparison
+    // measures swap interference, not cache hits.
+    let server = start_server(2, 0);
+    let addr = server.local_addr();
+    let n_addr = artifacts.snapshot.address_count() as u32;
+
+    let frozen = p99_of(sample_latencies(addr, n_addr, SAMPLES));
+
+    let stop = AtomicBool::new(false);
+    let during = std::thread::scope(|s| {
+        let publisher = server.publisher();
+        let stop = &stop;
+        s.spawn(move || {
+            let mut epoch = publisher.current_epoch();
+            while !stop.load(Ordering::Relaxed) {
+                epoch += 1;
+                publisher.publish(Arc::clone(artifacts), epoch, false);
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        });
+        let during = p99_of(sample_latencies(addr, n_addr, SAMPLES));
+        stop.store(true, Ordering::Relaxed);
+        during
+    });
+    eprintln!("# live query p99: frozen {frozen:?}, during continuous swaps {during:?}");
+    assert!(
+        during <= frozen * 2 + Duration::from_micros(200),
+        "query p99 during swaps ({during:?}) exceeds 2x the frozen baseline ({frozen:?})"
+    );
+
+    // For the criterion record: mean round-trip cost in both regimes.
+    let mut g = c.benchmark_group("live/query");
+    g.sample_size(10);
+    let mut client = Client::connect(addr).expect("connect");
+    let payload = Request::AddressInfo { address: 1 }.encode_to_vec();
+    g.bench_function("addr_lookup_frozen", |b| {
+        b.iter(|| std::hint::black_box(client.call_raw(&payload).expect("lookup")))
+    });
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let publisher = server.publisher();
+        let stop = &stop;
+        s.spawn(move || {
+            let mut epoch = publisher.current_epoch();
+            while !stop.load(Ordering::Relaxed) {
+                epoch += 1;
+                publisher.publish(Arc::clone(artifacts), epoch, false);
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        });
+        g.bench_function("addr_lookup_during_swaps", |b| {
+            b.iter(|| std::hint::black_box(client.call_raw(&payload).expect("lookup")))
+        });
+        stop.store(true, Ordering::Relaxed);
+    });
+    g.finish();
+    drop(client);
+    server.shutdown();
+}
+
+/// Claim 3: the whole live pipeline — bootstrap, stream, per-epoch
+/// publishes into a live server, terminal flush — per block of the tiny
+/// economy.
+fn bench_full_live_run(c: &mut Criterion) {
+    let (wb, _) = fixture();
+    let chain = Arc::new(wb.eco.chain.resolved().clone());
+    let blocks = chain.block_count() as u64;
+    let mut g = c.benchmark_group("live/pipeline");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(blocks));
+    g.bench_function("bootstrap_stream_flush_tiny", |b| {
+        b.iter(|| {
+            let mut config = LiveConfig::new(wb.refined_config());
+            config.shards = 2;
+            config.epoch_blocks = 16;
+            let mut live =
+                LivePipeline::new(Arc::clone(&chain), wb.tagdb.clone(), config);
+            let artifacts = live.bootstrap().expect("bootstrap");
+            let server = Server::start(
+                ServeConfig {
+                    addr: "127.0.0.1:0".to_string(),
+                    workers: 1,
+                    cache_entries: 0,
+                    ..ServeConfig::default()
+                },
+                artifacts,
+            )
+            .expect("start server");
+            let report =
+                live.run(&server.publisher(), &AtomicBool::new(false)).expect("run");
+            server.shutdown();
+            std::hint::black_box(report)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_swap_latency, bench_query_p99_during_swaps, bench_full_live_run);
+criterion_main!(benches);

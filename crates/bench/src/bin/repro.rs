@@ -80,7 +80,9 @@ fn main() {
         Command::StoreAppend { scale, dir, epochs, shards, json, out } => {
             store_append(&scale, &dir, epochs, shards, json, out.as_deref())
         }
-        Command::Serve { scale, port, workers, cache } => serve(&scale, port, workers, cache),
+        Command::Serve { scale, port, workers, cache, live, store, epoch, shards } => {
+            serve(&scale, port, workers, cache, live, store.as_deref(), epoch, shards)
+        }
         Command::ServeBench { scale, threads, connections, requests, mix, json, out } => {
             serve_bench(&scale, &threads, connections, requests, &mix, json, out.as_deref())
         }
@@ -202,9 +204,41 @@ fn run_experiments(plan: &RunPlan) {
     sink.finish();
 }
 
-/// `serve`: build the serving artifacts once, then answer the binary
-/// query protocol until the process is killed.
-fn serve(scale: &str, port: u16, workers: usize, cache: usize) {
+/// `serve`: bind the port and report the address first, then build the
+/// serving artifacts and answer the binary query protocol until the
+/// process is killed. With `--live`, serve a warm-up prefix immediately
+/// and stream the rest of the economy through the sharded ingest
+/// pipeline in the background, hot-swapping fresh artifacts every epoch.
+#[allow(clippy::too_many_arguments)]
+fn serve(
+    scale: &str,
+    port: u16,
+    workers: usize,
+    cache: usize,
+    live: bool,
+    store: Option<&str>,
+    epoch: usize,
+    shards: usize,
+) {
+    // Bind before the (potentially long) artifact build so callers can
+    // learn the address — crucial with `--port 0` — and start connecting;
+    // the kernel backlog holds their connections until workers spin up.
+    let config = fistful_serve::ServeConfig {
+        addr: format!("127.0.0.1:{port}"),
+        workers,
+        cache_entries: cache,
+        max_taint_txs: cli::DEFAULT_TAINT_MAX_TXS,
+    };
+    let listener = match std::net::TcpListener::bind(&config.addr) {
+        Ok(listener) => listener,
+        Err(e) => {
+            eprintln!("repro: cannot bind {}: {e}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    let bound = listener.local_addr().expect("bound listener has an address");
+    println!("listening on {bound} (building artifacts ...)");
+
     let cfg = sim_config(scale);
     eprintln!(
         "# building economy (scale={scale}, blocks={}, users={}) ...",
@@ -214,21 +248,49 @@ fn serve(scale: &str, port: u16, workers: usize, cache: usize) {
     let wb = Workbench::build(cfg);
     eprintln!("# economy ready in {:.1?}; clustering + indexing ...", t0.elapsed());
     let t1 = std::time::Instant::now();
-    let artifacts = std::sync::Arc::new(serve_artifacts(&wb));
-    eprintln!("# serving artifacts ready in {:.1?}", t1.elapsed());
 
-    let config = fistful_serve::ServeConfig {
-        addr: format!("127.0.0.1:{port}"),
-        workers,
-        cache_entries: cache,
-        max_taint_txs: cli::DEFAULT_TAINT_MAX_TXS,
-    };
-    let server = match fistful_serve::Server::start(config, artifacts) {
+    let start_server = |artifacts| match fistful_serve::Server::start_with_listener(
+        listener, config, artifacts,
+    ) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("repro: cannot start server: {e}");
             std::process::exit(1);
         }
+    };
+    // Kept alive for the life of the process: dropping the handle would
+    // stop and join the background ingest thread.
+    let mut _live_handle = None;
+    let server = if live {
+        let chain = std::sync::Arc::new(wb.eco.chain.resolved().clone());
+        let mut live_config = fistful_serve::LiveConfig::new(wb.refined_config());
+        live_config.shards = shards;
+        live_config.epoch_blocks = epoch;
+        // Match `serve_artifacts` so the final hot-swapped generation is
+        // identical to what the batch path would have served.
+        live_config.balance_every = (wb.eco.cfg.blocks / 24).max(1);
+        live_config.store_dir = store.map(std::path::PathBuf::from);
+        let mut pipeline =
+            fistful_serve::LivePipeline::new(chain, wb.tagdb.clone(), live_config);
+        let artifacts = match pipeline.bootstrap() {
+            Ok(artifacts) => artifacts,
+            Err(e) => {
+                eprintln!("repro: cannot bootstrap live ingest: {e}");
+                std::process::exit(1);
+            }
+        };
+        eprintln!(
+            "# live bootstrap ready in {:.1?} (epoch {}); ingesting in background ...",
+            t1.elapsed(),
+            pipeline.epoch()
+        );
+        let server = start_server(artifacts);
+        _live_handle = Some(pipeline.spawn(server.publisher()));
+        server
+    } else {
+        let artifacts = std::sync::Arc::new(serve_artifacts(&wb));
+        eprintln!("# serving artifacts ready in {:.1?}", t1.elapsed());
+        start_server(artifacts)
     };
     let stats = server.stats();
     println!(

@@ -68,6 +68,7 @@ pub fn usage() -> String {
          \x20      repro store append <dir> [--scale {scales}] [--epochs K] [--shards N]\n\
          \x20                  [--json] [--out FILE]\n\
          \x20      repro serve [--scale {scales}] [--port P] [--workers N] [--cache N]\n\
+         \x20                  [--live] [--store DIR] [--epoch K] [--shards N]\n\
          \x20      repro serve-bench [--scale {scales}] [--threads N,N,...]\n\
          \x20                  [--connections M] [--requests R] [--mix kind:w,...]\n\
          \x20                  [--json] [--out FILE]\n\
@@ -99,9 +100,15 @@ pub fn usage() -> String {
          \x20          boundary writes the base snapshot, each later one a\n\
          \x20          per-epoch delta file, verified byte-for-byte against a\n\
          \x20          full re-export\n\
-         serve — cluster once, build the graph, and answer the binary query\n\
-         \x20        protocol on --port until killed (--workers 0 = one per\n\
-         \x20        core; --cache 0 disables the response cache)\n\
+         serve — bind --port first (0 = ephemeral; the bound address is\n\
+         \x20        printed before artifacts build), cluster once, build the\n\
+         \x20        graph, and answer the binary query protocol until killed\n\
+         \x20        (--workers 0 = one per core; --cache 0 disables the\n\
+         \x20        response cache); --live streams the economy's blocks\n\
+         \x20        through the sharded ingest pipeline in the background,\n\
+         \x20        hot-swapping fresh artifacts every --epoch blocks across\n\
+         \x20        --shards shards, persisting per-epoch deltas to --store\n\
+         \x20        so a restart resumes from disk\n\
          serve-bench — closed-loop load generator against an in-process\n\
          \x20        server: sweeps --threads worker counts with the cache on\n\
          \x20        and off, reporting throughput and p50/p99 latency per\n\
@@ -226,12 +233,24 @@ pub enum Command {
     Serve {
         /// One of [`SCALES`].
         scale: String,
-        /// TCP port to listen on.
+        /// TCP port to listen on (`0` = ephemeral; the bound address is
+        /// printed before the artifacts are built).
         port: u16,
         /// Worker threads; `0` means one per core.
         workers: usize,
         /// Response-cache capacity; `0` disables caching.
         cache: usize,
+        /// Stream the economy through the live ingest pipeline,
+        /// hot-swapping fresh artifacts into the running server at every
+        /// reconcile epoch, instead of batch-building once up front.
+        live: bool,
+        /// Store directory for `--live` persistence (base save + per-epoch
+        /// deltas); a restarted server resumes from it.
+        store: Option<String>,
+        /// Blocks per live reconcile epoch.
+        epoch: usize,
+        /// Shard count of the live ingest pipeline.
+        shards: usize,
     },
     /// `serve-bench`: the closed-loop load generator over an in-process
     /// server, swept across worker counts with the cache on and off.
@@ -353,6 +372,10 @@ fn parse_serve(args: &[String]) -> Result<Command, CliOutcome> {
     let mut port = DEFAULT_SERVE_PORT;
     let mut workers = 0usize;
     let mut cache = DEFAULT_SERVE_CACHE;
+    let mut live = false;
+    let mut store: Option<String> = None;
+    let mut epoch = DEFAULT_INGEST_EPOCH;
+    let mut shards = DEFAULT_STORE_SHARDS;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -376,10 +399,22 @@ fn parse_serve(args: &[String]) -> Result<Command, CliOutcome> {
                     None => return Err(CliOutcome::Error("invalid --cache value".to_string())),
                 };
             }
+            "--live" => live = true,
+            "--store" => {
+                let Some(dir) = it.next() else {
+                    return Err(CliOutcome::Error("--store requires a directory".to_string()));
+                };
+                store = Some(dir.clone());
+            }
+            "--epoch" => epoch = parse_count("--epoch", it.next())?,
+            "--shards" => shards = parse_count("--shards", it.next())?,
             other => return Err(CliOutcome::Error(format!("unknown serve option `{other}`"))),
         }
     }
-    Ok(Command::Serve { scale, port, workers, cache })
+    if !live && store.is_some() {
+        return Err(CliOutcome::Error("--store requires --live".to_string()));
+    }
+    Ok(Command::Serve { scale, port, workers, cache, live, store, epoch, shards })
 }
 
 /// Parses a `--mix kind:weight,...` specification.
@@ -1134,7 +1169,11 @@ mod tests {
                 scale: "default".into(),
                 port: DEFAULT_SERVE_PORT,
                 workers: 0,
-                cache: DEFAULT_SERVE_CACHE
+                cache: DEFAULT_SERVE_CACHE,
+                live: false,
+                store: None,
+                epoch: DEFAULT_INGEST_EPOCH,
+                shards: DEFAULT_STORE_SHARDS
             }
         );
         assert_eq!(
@@ -1142,7 +1181,32 @@ mod tests {
                 "serve", "--scale", "tiny", "--port", "9000", "--workers", "4", "--cache", "0"
             ]))
             .unwrap(),
-            Command::Serve { scale: "tiny".into(), port: 9000, workers: 4, cache: 0 }
+            Command::Serve {
+                scale: "tiny".into(),
+                port: 9000,
+                workers: 4,
+                cache: 0,
+                live: false,
+                store: None,
+                epoch: DEFAULT_INGEST_EPOCH,
+                shards: DEFAULT_STORE_SHARDS
+            }
+        );
+        assert_eq!(
+            parse(&args(&[
+                "serve", "--live", "--store", "/tmp/s", "--epoch", "8", "--shards", "2"
+            ]))
+            .unwrap(),
+            Command::Serve {
+                scale: "default".into(),
+                port: DEFAULT_SERVE_PORT,
+                workers: 0,
+                cache: DEFAULT_SERVE_CACHE,
+                live: true,
+                store: Some("/tmp/s".into()),
+                epoch: 8,
+                shards: 2
+            }
         );
     }
 
@@ -1155,6 +1219,10 @@ mod tests {
             &["serve", "--cache"],
             &["serve", "--scale", "huge"],
             &["serve", "stray"],
+            &["serve", "--live", "--epoch", "0"],
+            &["serve", "--live", "--shards", "0"],
+            &["serve", "--live", "--store"],
+            &["serve", "--store", "/tmp/s"], // --store without --live
         ] {
             assert!(
                 matches!(parse(&args(bad)), Err(CliOutcome::Error(_))),

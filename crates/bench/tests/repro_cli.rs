@@ -472,3 +472,47 @@ fn duplicated_experiment_runs_once() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(!stderr.contains("building economy"), "{stderr}");
 }
+
+#[test]
+fn serve_reports_the_bound_address_before_building_and_swaps_live() {
+    use std::io::BufRead;
+    // `--port 0` only makes sense if the bound address is reported, and
+    // it is only useful if it is reported *before* the slow economy /
+    // artifact build — that ordering is exactly what this test pins.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["serve", "--scale", "tiny", "--port", "0", "--workers", "2", "--cache", "64", "--live"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn repro serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let first = lines.next().expect("a first stdout line").expect("readable line");
+    let addr: std::net::SocketAddr = first
+        .strip_prefix("listening on ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("first stdout line is not the bound address: {first}"))
+        .parse()
+        .expect("parseable socket address");
+
+    // The listener is already bound, so connecting succeeds immediately;
+    // the kernel backlog parks us until the workers start post-build.
+    let mut client = fistful_serve::Client::connect(addr).expect("connect to repro serve");
+    client.ping().expect("ping");
+    // Under --live the background ingest publishes fresh generations into
+    // the running server: wait until a swap lands with real content.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    loop {
+        let stats = client.stats().expect("stats");
+        if stats.epoch >= 1 && stats.tx_count > 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no live hot swap observed within the deadline"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    child.kill().expect("kill repro serve");
+    child.wait().expect("wait for repro serve");
+}

@@ -73,11 +73,34 @@ pub fn balance_series(
     directory: &impl ServiceResolver,
     every: u64,
 ) -> Vec<BalancePoint> {
-    assert!(every > 0, "sampling interval must be positive");
+    balance_series_at(chain, chain.tx_count(), directory, every)
+}
 
-    // Sink flags: addresses that never spend over the whole window.
+/// [`balance_series`] over only the first `tx_end` transactions of the
+/// chain — the mid-ingest rebuild the live hot-swap pipeline runs at each
+/// epoch publish.
+///
+/// Sink flags are scanned over the *prefix* window: an address whose only
+/// spends sit at or past `tx_end` has never spent as far as this window
+/// knows, exactly as if the chain ended there. With
+/// `tx_end == chain.tx_count()` the result is identical to
+/// [`balance_series`].
+pub fn balance_series_at(
+    chain: &ResolvedChain,
+    tx_end: usize,
+    directory: &impl ServiceResolver,
+    every: u64,
+) -> Vec<BalancePoint> {
+    assert!(every > 0, "sampling interval must be positive");
+    assert!(tx_end <= chain.tx_count(), "tx_end exceeds the chain");
+
+    // Sink flags: addresses that never spend within the window. The
+    // per-address spend lists are chain-ordered, so "no spend before
+    // tx_end" is one partition_point.
     let n = chain.address_count();
-    let sink: Vec<bool> = (0..n as AddressId).map(|a| chain.is_sink(a)).collect();
+    let sink: Vec<bool> = (0..n as AddressId)
+        .map(|a| chain.spent_in(a).partition_point(|&t| (t as usize) < tx_end) == 0)
+        .collect();
 
     let mut balances: Vec<u64> = vec![0; n]; // per-address, in satoshis
     let mut per_category: BTreeMap<String, u64> = BTreeMap::new();
@@ -104,7 +127,7 @@ pub fn balance_series(
         });
     };
 
-    for tx in &chain.txs {
+    for tx in &chain.txs[..tx_end] {
         // Sample boundary crossings before applying this tx.
         if let Some(prev) = last_height {
             if tx.height / every != prev / every {
@@ -136,7 +159,7 @@ pub fn balance_series(
         }
     }
     if let Some(h) = last_height {
-        let t = chain.txs.last().map(|t| t.time).unwrap_or(0);
+        let t = chain.txs[..tx_end].last().map(|t| t.time).unwrap_or(0);
         push_sample(h, t, &per_category, supply, sink_held);
     }
     out
@@ -239,6 +262,31 @@ mod tests {
             assert_eq!(point_at(&series, p.height).unwrap().height, p.height);
         }
         assert!(point_at(&[], 5).is_none());
+    }
+
+    #[test]
+    fn balance_series_at_prefix_rescans_sinks() {
+        let mut t = TestChain::new();
+        let cb1 = t.coinbase(1, 50);
+        let _cb2 = t.coinbase(2, 50);
+        t.tx(&[(cb1, 0)], &[(3, 50)]); // addr 1 spends only in tx 2
+        let dir = AddressDirectory::from_pairs(vec![(None, None); t.chain.address_count()]);
+
+        // Full prefix is byte-for-byte the whole-chain series.
+        let full = balance_series(&t.chain, &dir, 1);
+        assert_eq!(balance_series_at(&t.chain, t.chain.tx_count(), &dir, 1), full);
+
+        // At the 2-tx prefix, address 1 has not spent yet: within that
+        // window it is a sink holding its coinbase, unlike the whole-chain
+        // view where its later spend disqualifies it.
+        let prefix = balance_series_at(&t.chain, 2, &dir, 1);
+        let last = prefix.last().unwrap();
+        assert_eq!(last.sink_held, Amount::from_btc(100));
+        assert_eq!(last.active(), Amount::ZERO);
+        assert_eq!(last.supply, Amount::from_btc(100));
+
+        // The empty prefix yields no samples at all.
+        assert!(balance_series_at(&t.chain, 0, &dir, 1).is_empty());
     }
 
     #[test]

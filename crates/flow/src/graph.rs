@@ -197,6 +197,95 @@ impl TxGraph {
         }
     }
 
+    /// Builds the index over only the first `tx_end` transactions of
+    /// `chain` — the graph the live hot-swap pipeline pairs with a
+    /// mid-ingest `ClusterSnapshot::build_at` export
+    /// (`fistful_core::snapshot`). Outputs whose spender sits at or past
+    /// `tx_end` count as unspent, and the liveness arrays cover only the
+    /// addresses the prefix has interned (addresses are interned in
+    /// first-appearance order, so the prefix covers a dense id range).
+    /// With `tx_end == chain.tx_count()` the result is identical to
+    /// [`TxGraph::build`].
+    pub fn build_at(chain: &ResolvedChain, tx_end: usize) -> TxGraph {
+        assert!(tx_end <= chain.tx_count(), "tx_end exceeds the chain");
+        let mut graph = TxGraph {
+            out_start: vec![0u32],
+            out_address: Vec::new(),
+            out_value: Vec::new(),
+            out_spender: Vec::new(),
+            in_start: vec![0u32],
+            in_source: Vec::new(),
+            first_seen: Vec::new(),
+            last_spent: Vec::new(),
+        };
+        graph.extend_to(chain, tx_end);
+        graph
+    }
+
+    /// Grows a prefix graph forward to cover the first `tx_end`
+    /// transactions, reusing every already-filled array: new transactions
+    /// append their outputs and inputs, previously-unspent outputs now
+    /// spent get their `out_spender` patched in place, and the liveness
+    /// arrays extend to the prefix's address range. The result is
+    /// identical to [`TxGraph::build_at`] from scratch at `tx_end`, which
+    /// the differential tests assert — this is the O(new blocks) path the
+    /// live ingest thread takes at each epoch publish.
+    ///
+    /// Panics if `tx_end` exceeds the chain or precedes the graph's
+    /// current coverage (graphs only extend forward), or if the graph was
+    /// built over a different chain's prefix.
+    pub fn extend_to(&mut self, chain: &ResolvedChain, tx_end: usize) {
+        assert!(tx_end <= chain.tx_count(), "tx_end exceeds the chain");
+        let old_end = self.tx_count();
+        assert!(old_end <= tx_end, "graphs only extend forward");
+        let tx_end_id = tx_end as TxId;
+
+        // The prefix's address range: ids are dense in first-appearance
+        // order, so binary search for the first address born at or past
+        // `tx_end`.
+        let (mut lo, mut hi) = (self.address_count(), chain.address_count());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if chain.first_seen(mid as AddressId) < tx_end_id {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let n_addr = lo;
+        for a in self.address_count() as AddressId..n_addr as AddressId {
+            self.first_seen.push(chain.first_seen(a));
+            self.last_spent.push(NO_TX);
+        }
+
+        for (off, tx) in chain.txs[old_end..tx_end].iter().enumerate() {
+            let t = (old_end + off) as TxId;
+            for out in &tx.outputs {
+                self.out_address.push(out.address);
+                self.out_value.push(out.value);
+                // A spender at or past the prefix end is invisible here;
+                // a later extend_to patches it in when it arrives.
+                self.out_spender.push(match out.spent_by {
+                    Some(s) if s < tx_end_id => s,
+                    _ => NO_TX,
+                });
+            }
+            for input in &tx.inputs {
+                let src = self.out_start[input.prev_tx as usize] + input.prev_vout;
+                self.in_source.push(src);
+                self.out_spender[src as usize] = t;
+                self.last_spent[self.out_address[src as usize] as usize] = t;
+            }
+            assert!(
+                self.out_address.len() < u32::MAX as usize
+                    && self.in_source.len() < u32::MAX as usize,
+                "chain exceeds the u32 flat-index space of TxGraph"
+            );
+            self.out_start.push(self.out_address.len() as u32);
+            self.in_start.push(self.in_source.len() as u32);
+        }
+    }
+
     /// Number of transactions indexed.
     pub fn tx_count(&self) -> usize {
         self.out_start.len() - 1
@@ -690,6 +779,51 @@ mod tests {
                 ),
                 "corruption not caught: {what}"
             );
+        }
+    }
+
+    #[test]
+    fn build_at_full_prefix_equals_build() {
+        let t = sample();
+        let g = TxGraph::build(&t.chain);
+        assert_eq!(TxGraph::build_at(&t.chain, t.chain.tx_count()), g);
+    }
+
+    #[test]
+    fn build_at_prefix_clamps_future_spends() {
+        let t = sample();
+        // Prefix of 3 txs: the final co-spend (tx 3) is invisible, so the
+        // outputs it spends (a's output 0 and c2's) must read unspent.
+        let g = TxGraph::build_at(&t.chain, 3);
+        assert_eq!(g.tx_count(), 3);
+        assert_eq!(g.spender(2, 0), None);
+        assert_eq!(g.spender(1, 0), None);
+        // Within the prefix the spend of c1 by tx 2 is still visible.
+        assert_eq!(g.spender(0, 0), Some(2));
+        // Liveness stops at the prefix: address 2 only spends in tx 3.
+        assert_eq!(g.last_spent(t.id(2)), None);
+        assert_eq!(g.last_spent(t.id(1)), Some(2));
+        // Addresses born by tx 3 (4, 5, 6) are not covered.
+        assert!(g.address_count() < t.chain.address_count());
+        assert_eq!(g.first_seen(t.id(4)), None);
+    }
+
+    #[test]
+    fn extend_to_matches_build_at_at_every_cut() {
+        let t = sample();
+        let n = t.chain.tx_count();
+        for start in 0..=n {
+            let mut g = TxGraph::build_at(&t.chain, start);
+            for end in start..=n {
+                let mut step = g.clone();
+                step.extend_to(&t.chain, end);
+                assert_eq!(step, TxGraph::build_at(&t.chain, end), "{start}->{end}");
+            }
+            // And growing one cut at a time lands on the same arrays.
+            for end in start..=n {
+                g.extend_to(&t.chain, end);
+            }
+            assert_eq!(g, TxGraph::build(&t.chain), "{start}->full");
         }
     }
 

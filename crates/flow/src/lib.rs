@@ -36,7 +36,7 @@ pub mod peel;
 pub mod theft;
 pub mod track;
 
-pub use balance::{balance_series, point_at, BalancePoint};
+pub use balance::{balance_series, balance_series_at, point_at, BalancePoint};
 pub use categories::{AddressDirectory, ServiceResolver};
 pub use graph::{TaintScratch, TxGraph};
 pub use movement::{classify_movements, classify_movements_indexed, MovementKind};

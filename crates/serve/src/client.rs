@@ -3,7 +3,8 @@
 
 use crate::protocol::{
     frame, parse_frame_header, AddressReport, BalanceReport, ClusterReport, Request, Response,
-    ServeError, ServerStats, TaintReport, FRAME_HEADER_LEN, MAX_RESPONSE_PAYLOAD,
+    ServeError, ServerStats, TaintReport, FRAME_EPOCH_LEN, FRAME_HEADER_LEN, MAX_RESPONSE_PAYLOAD,
+    PROTOCOL_VERSION_V1,
 };
 use fistful_chain::encode::Encodable;
 use std::io::{Read, Write};
@@ -11,14 +12,21 @@ use std::net::{TcpStream, ToSocketAddrs};
 
 /// A connected query-service client.
 ///
-/// Wraps one [`TcpStream`]; every call writes a request frame and blocks
-/// for the matching response frame (the protocol is strictly
-/// request/response, so no pipelining bookkeeping is needed). Typed
-/// helpers ([`Client::address_info`], [`Client::taint_trace`], ...) unwrap
-/// the response variant and surface [`Response::Error`] frames as
-/// [`ServeError::Remote`].
+/// Wraps one [`TcpStream`]; every call writes a version-2 request frame
+/// and blocks for the matching response frame (the protocol is strictly
+/// request/response, so no pipelining bookkeeping is needed). Response
+/// frames carry the server's artifact epoch, kept available through
+/// [`Client::last_epoch`] — under live ingest it is the generation the
+/// answer was computed from. Typed helpers ([`Client::address_info`],
+/// [`Client::taint_trace`], ...) unwrap the response variant and surface
+/// [`Response::Error`] frames as [`ServeError::Remote`].
 pub struct Client {
     stream: TcpStream,
+    /// Epoch field of the most recent response frame (`0` before any
+    /// response, and for version-1 responses, which carry none).
+    last_epoch: u64,
+    /// Protocol version of the most recent response frame.
+    last_version: u8,
 }
 
 impl Client {
@@ -26,7 +34,14 @@ impl Client {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ServeError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        Ok(Client { stream, last_epoch: 0, last_version: 0 })
+    }
+
+    /// The artifact epoch stamped on the most recent response frame
+    /// (zero before the first response). A live server's epochs are
+    /// nondecreasing over a connection's lifetime.
+    pub fn last_epoch(&self) -> u64 {
+        self.last_epoch
     }
 
     /// Sends a pre-encoded request payload and returns the raw response
@@ -44,7 +59,22 @@ impl Client {
                 n => filled += n,
             }
         }
-        let len = parse_frame_header(&header, MAX_RESPONSE_PAYLOAD)? as usize;
+        let parsed = parse_frame_header(&header, MAX_RESPONSE_PAYLOAD)?;
+        if parsed.epoch_bytes() > 0 {
+            let mut epoch = [0u8; FRAME_EPOCH_LEN];
+            let mut filled = 0usize;
+            while filled < FRAME_EPOCH_LEN {
+                match self.stream.read(&mut epoch[filled..])? {
+                    0 => return Err(ServeError::Truncated),
+                    n => filled += n,
+                }
+            }
+            self.last_epoch = u64::from_le_bytes(epoch);
+        } else {
+            self.last_epoch = 0;
+        }
+        self.last_version = parsed.version;
+        let len = parsed.payload_len as usize;
         let mut payload = vec![0u8; len];
         let mut filled = 0usize;
         while filled < len {
@@ -56,10 +86,15 @@ impl Client {
         Ok(payload)
     }
 
-    /// Sends a request and decodes the response.
+    /// Sends a request and decodes the response (in whichever protocol
+    /// version the server framed it).
     pub fn call(&mut self, request: &Request) -> Result<Response, ServeError> {
         let payload = self.call_raw(&request.encode_to_vec())?;
-        Response::decode_payload(&payload)
+        if self.last_version == PROTOCOL_VERSION_V1 {
+            Response::decode_payload_v1(&payload)
+        } else {
+            Response::decode_payload(&payload)
+        }
     }
 
     fn expect<T>(

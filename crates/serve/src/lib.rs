@@ -21,7 +21,11 @@
 //!   per-worker reusable [`TaintScratch`](fistful_flow::graph::TaintScratch),
 //!   a sharded LRU response [`cache`] keyed by request bytes, and graceful
 //!   shutdown that drains in-flight requests;
-//! * [`client`] — a blocking typed client speaking the same protocol.
+//! * [`client`] — a blocking typed client speaking the same protocol;
+//! * [`live`] — the background ingest pipeline that hot-swaps fresh
+//!   artifact generations into a running server at every reconcile epoch
+//!   (and persists per-epoch deltas through [`store`] so a restarted
+//!   server resumes where it left off).
 //!
 //! `repro serve` runs the server over a simulated economy from the CLI,
 //! and `repro serve-bench` is the closed-loop load generator
@@ -74,15 +78,17 @@
 
 pub mod cache;
 pub mod client;
+pub mod live;
 pub mod protocol;
 pub mod server;
 pub mod store;
 
-pub use cache::ShardedCache;
+pub use cache::{CacheClass, CacheFloors, ShardedCache};
 pub use client::Client;
+pub use live::{LiveConfig, LiveHandle, LivePipeline, LiveReport};
 pub use protocol::{
     AddressReport, BalanceReport, ClusterReport, ErrorCode, Request, Response, ServeError,
     ServerStats, TaintReport, WireError, WireMovement, MAX_REQUEST_PAYLOAD, MAX_RESPONSE_PAYLOAD,
-    PROTOCOL_MAGIC, PROTOCOL_VERSION,
+    PROTOCOL_MAGIC, PROTOCOL_VERSION, PROTOCOL_VERSION_V1,
 };
-pub use server::{ServeArtifacts, ServeConfig, Server};
+pub use server::{Publisher, ServeArtifacts, ServeConfig, Server};

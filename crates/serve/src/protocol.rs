@@ -1,7 +1,7 @@
 //! The query service's wire protocol: framing, requests, responses, and
 //! typed errors.
 //!
-//! # Frame format (version 1)
+//! # Frame format (versions 1 and 2)
 //!
 //! Every message — request or response — travels in one frame built on the
 //! consensus-style primitives of [`fistful_chain::encode`] (little-endian
@@ -11,9 +11,20 @@
 //! | field    | bytes | contents                                          |
 //! |----------|-------|---------------------------------------------------|
 //! | magic    | 4     | `"FSRV"` ([`PROTOCOL_MAGIC`])                     |
-//! | version  | 1     | [`PROTOCOL_VERSION`] (currently `1`)              |
+//! | version  | 1     | `1` or `2` ([`PROTOCOL_VERSION`] is `2`)          |
 //! | length   | 4     | payload byte length, u32 little-endian            |
+//! | epoch    | 8     | **v2 only**: artifact epoch, u64 little-endian    |
 //! | payload  | *n*   | the message body, exactly `length` bytes          |
+//!
+//! Version 2 (the live hot-swap protocol) inserts an 8-byte artifact
+//! epoch between the fixed header and the payload; `length` counts the
+//! payload only, so a v1 parser that knows both versions skips exactly
+//! [`FRAME_EPOCH_LEN`] extra bytes. On responses the epoch names the
+//! published artifact generation that answered; on requests it is
+//! reserved (clients send `0`, servers ignore it). Both sides still speak
+//! version 1 — a server answers each connection in the version its
+//! request arrived with, and v1 frames carry no epoch — so old clients
+//! keep decoding across the bump.
 //!
 //! The first payload byte is the message type. Request payloads are capped
 //! at [`MAX_REQUEST_PAYLOAD`] and response payloads at
@@ -57,11 +68,21 @@ use fistful_flow::BalancePoint;
 /// The four magic bytes opening every frame.
 pub const PROTOCOL_MAGIC: [u8; 4] = *b"FSRV";
 
-/// The current protocol version.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// The current protocol version: epoch-stamped frames.
+pub const PROTOCOL_VERSION: u8 = 2;
 
-/// Byte length of the frame header (magic + version + payload length).
+/// The legacy protocol version: identical frames without the epoch field.
+/// Servers still answer it so pre-hot-swap clients keep working.
+pub const PROTOCOL_VERSION_V1: u8 = 1;
+
+/// Byte length of the fixed frame header (magic + version + payload
+/// length) — common to both versions; v2 frames follow it with
+/// [`FRAME_EPOCH_LEN`] epoch bytes.
 pub const FRAME_HEADER_LEN: usize = 4 + 1 + 4;
+
+/// Byte length of the v2 epoch field that sits between the fixed header
+/// and the payload.
+pub const FRAME_EPOCH_LEN: usize = 8;
 
 /// Largest request payload a server accepts (a taint request with a few
 /// thousand loot outpoints fits comfortably).
@@ -114,7 +135,11 @@ impl std::fmt::Display for ServeError {
             ServeError::Io(msg) => write!(f, "i/o error: {msg}"),
             ServeError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
             ServeError::UnsupportedVersion(v) => {
-                write!(f, "unsupported protocol version {v} (supported: {PROTOCOL_VERSION})")
+                write!(
+                    f,
+                    "unsupported protocol version {v} (supported: \
+                     {PROTOCOL_VERSION_V1}-{PROTOCOL_VERSION})"
+                )
             }
             ServeError::FrameTooLarge { len, limit } => {
                 write!(f, "frame payload of {len} bytes exceeds the {limit}-byte limit")
@@ -219,33 +244,83 @@ impl WireError {
 
 // ----- framing -----
 
-/// Wraps a payload in a complete frame (magic, version, length, payload).
+/// Wraps a payload in a complete current-version frame stamped with epoch
+/// `0` — what clients send (the request epoch is reserved) and what a
+/// frozen-artifact server answers with.
 pub fn frame(payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    frame_at(payload, 0)
+}
+
+/// Wraps a payload in a complete v2 frame (magic, version, length, epoch,
+/// payload) stamped with the given artifact epoch.
+pub fn frame_at(payload: &[u8], epoch: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + FRAME_EPOCH_LEN + payload.len());
     out.extend_from_slice(&PROTOCOL_MAGIC);
     out.push(PROTOCOL_VERSION);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Wraps a payload in a complete legacy v1 frame (no epoch field) — what
+/// the server answers v1 connections with.
+pub fn frame_v1(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.extend_from_slice(&PROTOCOL_MAGIC);
+    out.push(PROTOCOL_VERSION_V1);
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(payload);
     out
 }
 
-/// Validates a frame header and returns the declared payload length.
+/// A validated frame header: which protocol version the frame speaks and
+/// how many payload bytes follow. For a v2 frame, [`FRAME_EPOCH_LEN`]
+/// epoch bytes sit between the fixed header and the payload
+/// ([`FrameHeader::epoch_bytes`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// The frame's protocol version ([`PROTOCOL_VERSION_V1`] or
+    /// [`PROTOCOL_VERSION`]).
+    pub version: u8,
+    /// Declared payload byte length (excluding the epoch field).
+    pub payload_len: u32,
+}
+
+impl FrameHeader {
+    /// How many epoch bytes follow the fixed header before the payload:
+    /// [`FRAME_EPOCH_LEN`] for v2, zero for v1.
+    pub fn epoch_bytes(&self) -> usize {
+        if self.version >= PROTOCOL_VERSION {
+            FRAME_EPOCH_LEN
+        } else {
+            0
+        }
+    }
+}
+
+/// Validates a frame header, accepting both protocol versions, and
+/// returns the declared version and payload length.
 ///
 /// `limit` is the receiver's payload cap; the check happens here, before
 /// any allocation, so a lying length field cannot balloon memory.
-pub fn parse_frame_header(header: &[u8; FRAME_HEADER_LEN], limit: u32) -> Result<u32, ServeError> {
+pub fn parse_frame_header(
+    header: &[u8; FRAME_HEADER_LEN],
+    limit: u32,
+) -> Result<FrameHeader, ServeError> {
     let magic: [u8; 4] = header[..4].try_into().expect("4 bytes");
     if magic != PROTOCOL_MAGIC {
         return Err(ServeError::BadMagic(magic));
     }
-    if header[4] != PROTOCOL_VERSION {
-        return Err(ServeError::UnsupportedVersion(header[4]));
+    let version = header[4];
+    if version != PROTOCOL_VERSION && version != PROTOCOL_VERSION_V1 {
+        return Err(ServeError::UnsupportedVersion(version));
     }
-    let len = u32::from_le_bytes(header[5..].try_into().expect("4 bytes"));
-    if len > limit {
-        return Err(ServeError::FrameTooLarge { len, limit });
+    let payload_len = u32::from_le_bytes(header[5..].try_into().expect("4 bytes"));
+    if payload_len > limit {
+        return Err(ServeError::FrameTooLarge { len: payload_len, limit });
     }
-    Ok(len)
+    Ok(FrameHeader { version, payload_len })
 }
 
 // ----- requests -----
@@ -390,9 +465,19 @@ pub struct ServerStats {
     pub cluster_count: u64,
     /// Height of the last block the clustering saw.
     pub tip_height: u64,
+    /// The currently published artifact epoch (`0` on a frozen-artifact
+    /// server that never swaps).
+    pub epoch: u64,
+    /// How many artifact publishes this server has performed since start.
+    pub swaps: u64,
 }
 
 impl Encodable for ServerStats {
+    /// The full v2 body — ten fields. v1 connections get the legacy
+    /// 8-field body via [`ServerStats::encode_v1`] instead; keeping the
+    /// `Encodable` impl single-layout preserves the canonical-decode
+    /// property (decode ok ⟹ re-encode byte-identical) the wire
+    /// proptests assert.
     fn encode(&self, w: &mut Writer) {
         w.u64(self.requests);
         w.u64(self.cache_hits);
@@ -402,11 +487,28 @@ impl Encodable for ServerStats {
         w.u64(self.tx_count);
         w.u64(self.cluster_count);
         w.u64(self.tip_height);
+        w.u64(self.epoch);
+        w.u64(self.swaps);
     }
 }
 
-impl Decodable for ServerStats {
-    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+impl ServerStats {
+    /// Writes the legacy v1 8-field body (everything up to `tip_height`)
+    /// — what pre-hot-swap clients decode.
+    pub fn encode_v1(&self, w: &mut Writer) {
+        w.u64(self.requests);
+        w.u64(self.cache_hits);
+        w.u64(self.cache_misses);
+        w.u32(self.workers);
+        w.u64(self.address_count);
+        w.u64(self.tx_count);
+        w.u64(self.cluster_count);
+        w.u64(self.tip_height);
+    }
+
+    /// Reads the legacy v1 8-field body; `epoch` and `swaps` come back
+    /// zero (v1 predates the live pipeline).
+    pub fn decode_v1(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         Ok(ServerStats {
             requests: r.u64()?,
             cache_hits: r.u64()?,
@@ -416,7 +518,18 @@ impl Decodable for ServerStats {
             tx_count: r.u64()?,
             cluster_count: r.u64()?,
             tip_height: r.u64()?,
+            epoch: 0,
+            swaps: 0,
         })
+    }
+}
+
+impl Decodable for ServerStats {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let mut stats = ServerStats::decode_v1(r)?;
+        stats.epoch = r.u64()?;
+        stats.swaps = r.u64()?;
+        Ok(stats)
     }
 }
 
@@ -751,9 +864,45 @@ impl Response {
         Ok(resp)
     }
 
-    /// The complete frame for this response.
+    /// Decodes a *v1* response payload: identical to
+    /// [`Response::decode_payload`] except that `Stats` carries the
+    /// legacy 8-field body — what a pre-hot-swap client would parse.
+    pub fn decode_payload_v1(payload: &[u8]) -> Result<Response, ServeError> {
+        if payload.first() == Some(&T_STATS) {
+            let mut r = Reader::new(payload);
+            r.u8()?;
+            let stats = ServerStats::decode_v1(&mut r)?;
+            r.finish()?;
+            return Ok(Response::Stats(stats));
+        }
+        Response::decode_payload(payload)
+    }
+
+    /// The complete frame for this response, stamped with epoch `0` —
+    /// the frozen-artifact framing.
     pub fn to_frame(&self) -> Vec<u8> {
-        frame(&self.encode_to_vec())
+        self.to_frame_at(0)
+    }
+
+    /// The complete v2 frame for this response, stamped with the
+    /// publishing artifact's epoch.
+    pub fn to_frame_at(&self, epoch: u64) -> Vec<u8> {
+        frame_at(&self.encode_to_vec(), epoch)
+    }
+
+    /// The complete legacy v1 frame for this response: no epoch field,
+    /// and `Stats` in its 8-field v1 body — what the server answers v1
+    /// connections with.
+    pub fn to_frame_v1(&self) -> Vec<u8> {
+        match self {
+            Response::Stats(s) => {
+                let mut w = Writer::new();
+                w.u8(T_STATS);
+                s.encode_v1(&mut w);
+                frame_v1(&w.into_bytes())
+            }
+            _ => frame_v1(&self.encode_to_vec()),
+        }
     }
 }
 
@@ -824,6 +973,8 @@ mod tests {
                 tx_count: 50,
                 cluster_count: 20,
                 tip_height: 49,
+                epoch: 3,
+                swaps: 2,
             }),
             Response::AddressInfo(None),
             Response::AddressInfo(Some(AddressReport { address: 1, cluster: 0, info: info.clone() })),
@@ -858,15 +1009,74 @@ mod tests {
         for req in sample_requests() {
             let payload = req.encode_to_vec();
             assert_eq!(Request::decode_payload(&payload).unwrap(), req);
-            // And the frame wraps the same payload.
+            // And the v2 frame wraps the same payload after a zero epoch.
             let f = req.to_frame();
-            let len = parse_frame_header(
+            let header = parse_frame_header(
                 &f[..FRAME_HEADER_LEN].try_into().unwrap(),
                 MAX_REQUEST_PAYLOAD,
             )
             .unwrap();
-            assert_eq!(len as usize, payload.len());
-            assert_eq!(&f[FRAME_HEADER_LEN..], &payload[..]);
+            assert_eq!(header.version, PROTOCOL_VERSION);
+            assert_eq!(header.payload_len as usize, payload.len());
+            assert_eq!(header.epoch_bytes(), FRAME_EPOCH_LEN);
+            assert_eq!(
+                &f[FRAME_HEADER_LEN..FRAME_HEADER_LEN + FRAME_EPOCH_LEN],
+                &[0u8; FRAME_EPOCH_LEN]
+            );
+            assert_eq!(&f[FRAME_HEADER_LEN + FRAME_EPOCH_LEN..], &payload[..]);
+        }
+    }
+
+    #[test]
+    fn v2_frames_carry_the_epoch_and_v1_frames_do_not() {
+        let payload = Request::Ping.encode_to_vec();
+        let f2 = frame_at(&payload, 0xDEAD_BEEF_0123_4567);
+        let header = parse_frame_header(
+            &f2[..FRAME_HEADER_LEN].try_into().unwrap(),
+            MAX_REQUEST_PAYLOAD,
+        )
+        .unwrap();
+        assert_eq!(header, FrameHeader { version: PROTOCOL_VERSION, payload_len: 1 });
+        let epoch_bytes: [u8; FRAME_EPOCH_LEN] =
+            f2[FRAME_HEADER_LEN..FRAME_HEADER_LEN + FRAME_EPOCH_LEN].try_into().unwrap();
+        assert_eq!(u64::from_le_bytes(epoch_bytes), 0xDEAD_BEEF_0123_4567);
+        assert_eq!(&f2[FRAME_HEADER_LEN + FRAME_EPOCH_LEN..], &payload[..]);
+
+        let f1 = frame_v1(&payload);
+        let header = parse_frame_header(
+            &f1[..FRAME_HEADER_LEN].try_into().unwrap(),
+            MAX_REQUEST_PAYLOAD,
+        )
+        .unwrap();
+        assert_eq!(header, FrameHeader { version: PROTOCOL_VERSION_V1, payload_len: 1 });
+        assert_eq!(header.epoch_bytes(), 0);
+        assert_eq!(&f1[FRAME_HEADER_LEN..], &payload[..]);
+        // Same payload, different framing: v2 is exactly the epoch wider.
+        assert_eq!(f2.len(), f1.len() + FRAME_EPOCH_LEN);
+    }
+
+    #[test]
+    fn v1_stats_body_is_the_legacy_prefix() {
+        let Response::Stats(stats) = sample_responses().remove(1) else {
+            panic!("sample 1 is Stats")
+        };
+        let resp = Response::Stats(stats.clone());
+        let v2 = resp.encode_to_vec();
+        let f1 = resp.to_frame_v1();
+        let v1_payload = &f1[FRAME_HEADER_LEN..];
+        // The v1 body is the v2 body minus the trailing epoch + swaps.
+        assert_eq!(v1_payload, &v2[..v2.len() - 16]);
+        // A v1 decode recovers everything except the live fields.
+        let decoded = Response::decode_payload_v1(v1_payload).unwrap();
+        let expect = ServerStats { epoch: 0, swaps: 0, ..stats };
+        assert_eq!(decoded, Response::Stats(expect));
+        // Non-stats payloads decode identically through the v1 path.
+        for resp in sample_responses() {
+            if matches!(resp, Response::Stats(_)) {
+                continue;
+            }
+            let payload = resp.encode_to_vec();
+            assert_eq!(Response::decode_payload_v1(&payload).unwrap(), resp);
         }
     }
 
@@ -918,14 +1128,32 @@ mod tests {
             parse_frame_header(&bad_version, MAX_REQUEST_PAYLOAD),
             Err(ServeError::UnsupportedVersion(9))
         );
-        let mut oversized = *b"FSRV\x01\x00\x00\x00\x00";
+        // Version 0 and the version after the current one are both out.
+        for v in [0u8, PROTOCOL_VERSION + 1] {
+            let mut h = *b"FSRV\x00\x00\x00\x00\x00";
+            h[4] = v;
+            assert_eq!(
+                parse_frame_header(&h, MAX_REQUEST_PAYLOAD),
+                Err(ServeError::UnsupportedVersion(v))
+            );
+        }
+        let mut oversized = *b"FSRV\x02\x00\x00\x00\x00";
         oversized[5..].copy_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(
             parse_frame_header(&oversized, MAX_REQUEST_PAYLOAD),
             Err(ServeError::FrameTooLarge { len: u32::MAX, limit: MAX_REQUEST_PAYLOAD })
         );
-        let good = *b"FSRV\x01\x05\x00\x00\x00";
-        assert_eq!(parse_frame_header(&good, MAX_REQUEST_PAYLOAD), Ok(5));
+        // Both live versions parse.
+        let good_v2 = *b"FSRV\x02\x05\x00\x00\x00";
+        assert_eq!(
+            parse_frame_header(&good_v2, MAX_REQUEST_PAYLOAD),
+            Ok(FrameHeader { version: 2, payload_len: 5 })
+        );
+        let good_v1 = *b"FSRV\x01\x05\x00\x00\x00";
+        assert_eq!(
+            parse_frame_header(&good_v1, MAX_REQUEST_PAYLOAD),
+            Ok(FrameHeader { version: 1, payload_len: 5 })
+        );
     }
 
     #[test]

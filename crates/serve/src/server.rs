@@ -1,11 +1,14 @@
 //! The multithreaded TCP query server: one acceptor thread, a fixed
-//! worker pool, shared immutable artifacts, and a sharded response cache.
+//! worker pool, shared hot-swappable artifacts, and a sharded response
+//! cache.
 //!
 //! # Threading model
 //!
 //! [`Server::start`] binds a [`TcpListener`] and spawns one acceptor
-//! thread plus `workers` worker threads. The acceptor pushes accepted
-//! connections onto a condvar-guarded queue; each worker pops a
+//! thread plus `workers` worker threads ([`Server::start_with_listener`]
+//! accepts a pre-bound listener, so callers can bind — and report the
+//! address — before the artifacts are even built). The acceptor pushes
+//! accepted connections onto a condvar-guarded queue; each worker pops a
 //! connection and serves it to completion (many requests per connection)
 //! before taking the next — a deliberately simple thread-per-active-
 //! connection model with a bounded thread count, the std-only shape of a
@@ -15,13 +18,23 @@
 //! mid-frame after a read deadline (~30 s), so silent or half-open peers
 //! cannot pin workers and starve the queue.
 //!
-//! All request handling reads from one [`Arc<ServeArtifacts>`] — the
-//! frozen [`ClusterSnapshot`], the columnar [`TxGraph`], the
+//! # Artifact hot swap
+//!
+//! Request handling reads from one *published* [`Arc<ServeArtifacts>`] —
+//! the frozen [`ClusterSnapshot`], the columnar [`TxGraph`], the
 //! [`ChangeLabels`], and the precomputed balance series are immutable and
-//! `Send + Sync`, so workers share them with zero locks. Each worker owns
-//! one reusable [`TaintScratch`], so steady-state taint walks allocate
-//! nothing beyond their result records — the same memory model as the
-//! batch taint engine.
+//! `Send + Sync`, so workers share them with zero locks beyond a single
+//! `Arc` clone per request. A live-ingest pipeline (see [`crate::live`])
+//! obtains a [`Publisher`] handle and swaps in a fresh artifact bundle at
+//! each epoch boundary: workers load the published pointer *once per
+//! request*, so an in-flight request finishes on the artifact it started
+//! with while the next request on the same connection sees the new one.
+//! Each publication carries the artifact epoch — stamped into version-2
+//! response frames — and raises the cache's staleness floors
+//! ([`crate::cache::CacheFloors`]) instead of flushing it. Each worker
+//! owns one reusable [`TaintScratch`], so steady-state taint walks
+//! allocate nothing beyond their result records — the same memory model
+//! as the batch taint engine.
 //!
 //! # Graceful shutdown
 //!
@@ -32,10 +45,11 @@
 //! before its connection closes — in-flight requests drain, queued-but-
 //! unserved connections are dropped.
 
-use crate::cache::ShardedCache;
+use crate::cache::{CacheClass, CacheFloors, ShardedCache};
 use crate::protocol::{
-    frame, parse_frame_header, AddressReport, BalanceReport, ClusterReport, Request, Response,
-    ServeError, ServerStats, TaintReport, WireError, FRAME_HEADER_LEN, MAX_REQUEST_PAYLOAD,
+    frame_at, frame_v1, parse_frame_header, AddressReport, BalanceReport, ClusterReport, Request,
+    Response, ServeError, ServerStats, TaintReport, WireError, FRAME_HEADER_LEN,
+    MAX_REQUEST_PAYLOAD, PROTOCOL_VERSION,
 };
 use fistful_core::change::ChangeLabels;
 use fistful_core::snapshot::ClusterSnapshot;
@@ -81,13 +95,13 @@ impl Default for ServeConfig {
 }
 
 /// Everything the handlers read: the frozen artifacts of one finished
-/// clustering run over one chain.
+/// clustering run over one chain (or one live-ingest epoch of it).
 ///
 /// Immutable after construction and shared across workers through an
 /// [`Arc`]; [`ServeArtifacts::new`] refuses pairs that do not describe
 /// the same chain (`ClusterSnapshot::pairs_with_chain` plus a labels
-/// dimension check), so a server can never be started on mismatched
-/// artifacts.
+/// dimension check), so a server can never be started on — or hot-swapped
+/// to — mismatched artifacts.
 pub struct ServeArtifacts {
     /// The frozen clustering: address → cluster → aggregates + names.
     pub snapshot: ClusterSnapshot,
@@ -128,32 +142,98 @@ impl ServeArtifacts {
     }
 }
 
+/// One published artifact generation: the bundle, the epoch it was built
+/// at, and the cache floors in force while it is current.
+struct Published {
+    epoch: u64,
+    floors: CacheFloors,
+    artifacts: Arc<ServeArtifacts>,
+}
+
 /// State shared by the acceptor, the workers, and the [`Server`] handle.
 struct Shared {
-    artifacts: Arc<ServeArtifacts>,
+    /// The current artifact generation. Workers clone the inner `Arc`
+    /// once per request; the mutex is held only for that pointer copy, so
+    /// a publish never blocks behind a long-running handler.
+    published: Mutex<Arc<Published>>,
     cache: Option<ShardedCache>,
     max_taint_txs: usize,
     workers: u32,
     shutdown: AtomicBool,
     requests: AtomicU64,
+    swaps: AtomicU64,
     queue: Mutex<VecDeque<TcpStream>>,
     available: Condvar,
 }
 
 impl Shared {
+    /// The current artifact generation (one lock, one refcount bump).
+    fn current(&self) -> Arc<Published> {
+        Arc::clone(&self.published.lock().expect("published poisoned"))
+    }
+
     /// A point-in-time copy of the served counters and artifact
     /// dimensions — the `Stats` answer.
     fn stats(&self) -> ServerStats {
+        let published = self.current();
         ServerStats {
             requests: self.requests.load(Ordering::Relaxed),
             cache_hits: self.cache.as_ref().map(ShardedCache::hits).unwrap_or(0),
             cache_misses: self.cache.as_ref().map(ShardedCache::misses).unwrap_or(0),
             workers: self.workers,
-            address_count: self.artifacts.snapshot.address_count() as u64,
-            tx_count: self.artifacts.graph.tx_count() as u64,
-            cluster_count: self.artifacts.snapshot.cluster_count() as u64,
-            tip_height: self.artifacts.snapshot.tip_height(),
+            address_count: published.artifacts.snapshot.address_count() as u64,
+            tx_count: published.artifacts.graph.tx_count() as u64,
+            cluster_count: published.artifacts.snapshot.cluster_count() as u64,
+            tip_height: published.artifacts.snapshot.tip_height(),
+            epoch: published.epoch,
+            swaps: self.swaps.load(Ordering::Relaxed),
         }
+    }
+}
+
+/// A handle for hot-swapping the served artifacts. Cloneable and
+/// independent of the [`Server`] handle's lifetime guarantees — but a
+/// publish after shutdown is a harmless no-op-equivalent (no worker will
+/// ever read it).
+#[derive(Clone)]
+pub struct Publisher {
+    shared: Arc<Shared>,
+}
+
+impl Publisher {
+    /// Publishes a fresh artifact generation built at `epoch`.
+    ///
+    /// Every subsequent request is answered from `artifacts` and stamped
+    /// with `epoch`; requests already in flight finish on the generation
+    /// they loaded. The cache's graph floor rises to `epoch`
+    /// unconditionally; the snapshot floor rises too unless
+    /// `ids_stable` — the caller attests that no *existing* address
+    /// changed assignment and no existing cluster's aggregates changed
+    /// (a non-merging, append-only epoch), so `Some`-bodied
+    /// `AddressInfo`/`ClusterSummary` entries cached earlier are still
+    /// byte-exact and survive.
+    ///
+    /// Epochs must be nondecreasing across publishes.
+    pub fn publish(&self, artifacts: Arc<ServeArtifacts>, epoch: u64, ids_stable: bool) {
+        let mut published = self.shared.published.lock().expect("published poisoned");
+        assert!(epoch >= published.epoch, "published epochs must be nondecreasing");
+        let floors = CacheFloors {
+            snapshot: if ids_stable { published.floors.snapshot } else { epoch },
+            graph: epoch,
+        };
+        *published = Arc::new(Published { epoch, floors, artifacts });
+        drop(published);
+        self.shared.swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The epoch of the currently published generation.
+    pub fn current_epoch(&self) -> u64 {
+        self.shared.current().epoch
+    }
+
+    /// Number of publishes performed on this server so far.
+    pub fn swaps(&self) -> u64 {
+        self.shared.swaps.load(Ordering::Relaxed)
     }
 }
 
@@ -169,20 +249,38 @@ pub struct Server {
 impl Server {
     /// Binds the listener and spawns the acceptor and worker threads.
     pub fn start(config: ServeConfig, artifacts: Arc<ServeArtifacts>) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Server::start_with_listener(listener, config, artifacts)
+    }
+
+    /// Like [`Server::start`], but serves on an already-bound listener
+    /// (`config.addr` is ignored). This is the bind-early path: callers
+    /// can bind and announce the port, build the (possibly expensive)
+    /// artifacts, then start serving — connections that arrive in
+    /// between wait in the OS accept backlog instead of being refused.
+    pub fn start_with_listener(
+        listener: TcpListener,
+        config: ServeConfig,
+        artifacts: Arc<ServeArtifacts>,
+    ) -> Result<Server, ServeError> {
         let workers = if config.workers == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
         } else {
             config.workers
         };
-        let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            artifacts,
+            published: Mutex::new(Arc::new(Published {
+                epoch: 0,
+                floors: CacheFloors::default(),
+                artifacts,
+            })),
             cache: (config.cache_entries > 0).then(|| ShardedCache::new(config.cache_entries)),
             max_taint_txs: config.max_taint_txs,
             workers: workers as u32,
             shutdown: AtomicBool::new(false),
             requests: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
         });
@@ -221,6 +319,12 @@ impl Server {
         self.shared.stats()
     }
 
+    /// A handle for hot-swapping the served artifacts (see
+    /// [`Publisher::publish`]).
+    pub fn publisher(&self) -> Publisher {
+        Publisher { shared: Arc::clone(&self.shared) }
+    }
+
     /// Signals shutdown, drains in-flight requests, and joins every
     /// thread. Idempotent through [`Drop`].
     pub fn shutdown(mut self) {
@@ -250,7 +354,7 @@ impl Drop for Server {
 /// One worker: pop connections until shutdown, serving each to
 /// completion with a thread-local reusable taint scratch.
 fn worker_loop(shared: &Shared) {
-    let mut scratch = TaintScratch::for_graph(&shared.artifacts.graph);
+    let mut scratch = TaintScratch::for_graph(&shared.current().artifacts.graph);
     loop {
         let conn = {
             let mut queue = shared.queue.lock().expect("queue poisoned");
@@ -277,8 +381,9 @@ fn worker_loop(shared: &Shared) {
 
 /// What one attempt to read a request frame produced.
 enum FrameRead {
-    /// A complete payload.
-    Payload(Vec<u8>),
+    /// A complete payload, plus the protocol version the peer framed the
+    /// request in (the response is framed in kind).
+    Payload(Vec<u8>, u8),
     /// The peer closed at a frame boundary.
     Eof,
     /// Shutdown was signalled while the connection sat idle.
@@ -338,15 +443,21 @@ fn read_request_frame(stream: &mut TcpStream, shared: &Shared) -> FrameRead {
             },
         }
     }
-    let len = match parse_frame_header(&header, MAX_REQUEST_PAYLOAD) {
-        Ok(len) => len as usize,
+    let parsed = match parse_frame_header(&header, MAX_REQUEST_PAYLOAD) {
+        Ok(parsed) => parsed,
         Err(e) => return FrameRead::Bad(e),
     };
-    let mut payload = vec![0u8; len];
+    // Version-2 request frames carry an epoch field after the header; the
+    // field is reserved on requests (clients send zero), so the server
+    // reads and ignores it. Reading it together with the payload keeps
+    // the stall accounting in one loop.
+    let epoch_bytes = parsed.epoch_bytes();
+    let len = parsed.payload_len as usize;
+    let mut rest = vec![0u8; epoch_bytes + len];
     let mut filled = 0usize;
     let mut stalled = 0u32;
-    while filled < len {
-        match stream.read(&mut payload[filled..]) {
+    while filled < rest.len() {
+        match stream.read(&mut rest[filled..]) {
             Ok(0) => return FrameRead::Bad(ServeError::Truncated),
             Ok(n) => {
                 filled += n;
@@ -367,7 +478,31 @@ fn read_request_frame(stream: &mut TcpStream, shared: &Shared) -> FrameRead {
             },
         }
     }
-    FrameRead::Payload(payload)
+    let payload = rest.split_off(epoch_bytes);
+    FrameRead::Payload(payload, parsed.version)
+}
+
+/// Frames an already-encoded non-`Stats` response payload for a peer
+/// speaking `version` (version-1 `Stats` bodies differ, so those take
+/// the [`Response::to_frame_v1`] path instead).
+fn frame_payload_for(payload: &[u8], version: u8, epoch: u64) -> Vec<u8> {
+    if version >= PROTOCOL_VERSION {
+        frame_at(payload, epoch)
+    } else {
+        frame_v1(payload)
+    }
+}
+
+/// The staleness class a response is cached under, decided from its
+/// *content*: `Some`-bodied snapshot lookups are pure functions of an
+/// existing cluster assignment (stable across non-merging epochs), while
+/// not-found answers, taint traces, and balance points can all change
+/// when the chain merely grows.
+fn cache_class_of(response: &Response) -> CacheClass {
+    match response {
+        Response::AddressInfo(Some(_)) | Response::ClusterSummary(Some(_)) => CacheClass::Snapshot,
+        _ => CacheClass::Graph,
+    }
 }
 
 /// Serves one connection until EOF, a protocol error, or shutdown.
@@ -376,6 +511,10 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared, scratch: &mut TaintS
     if stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
         return;
     }
+    // Until the first request frame parses, errors are framed as the
+    // current protocol version (a peer whose magic or version byte is
+    // garbage has no known dialect to answer in).
+    let mut version = PROTOCOL_VERSION;
     loop {
         // Between requests is the drain point: the previous request (if
         // any) was answered in full; if shutdown has been signalled, close
@@ -386,29 +525,44 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared, scratch: &mut TaintS
             return;
         }
         let payload = match read_request_frame(&mut stream, shared) {
-            FrameRead::Payload(payload) => payload,
+            FrameRead::Payload(payload, v) => {
+                version = v;
+                payload
+            }
             FrameRead::Eof | FrameRead::Shutdown => return,
             FrameRead::Bad(e) => {
                 // Tell the peer what was wrong with its frame, then close:
                 // after a framing error the stream cannot be resynced.
-                let wire = WireError::from_serve_error(&e);
-                let _ = stream.write_all(&Response::Error(wire).to_frame());
+                let wire = Response::Error(WireError::from_serve_error(&e));
+                let encoded = fistful_chain::encode::Encodable::encode_to_vec(&wire);
+                let epoch = shared.current().epoch;
+                let _ = stream.write_all(&frame_payload_for(&encoded, version, epoch));
                 close_gracefully(stream);
                 return;
             }
         };
         shared.requests.fetch_add(1, Ordering::Relaxed);
 
+        // Pin the artifact generation for this request: everything below
+        // — cache floors, handlers, the epoch stamped into the response
+        // frame — reads this one `Published`, so a concurrent publish
+        // cannot tear a request across generations.
+        let published = shared.current();
+
         // Cache fast path: the key is the raw request payload, so a hit
         // skips decoding, handling, and re-encoding alike. Only consult it
         // for request types whose answers are pure functions of the
-        // artifacts (never Ping/Stats).
+        // artifacts (never Ping/Stats). Values are stored as payload
+        // bytes; framing is per-connection (version and current epoch).
         let cacheable = payload
             .first()
             .is_some_and(|&t| Request::type_byte_is_cacheable(t));
         if cacheable {
-            if let Some(cached) = shared.cache.as_ref().and_then(|c| c.get(&payload)) {
-                if stream.write_all(&frame(&cached)).is_err() {
+            if let Some(cached) =
+                shared.cache.as_ref().and_then(|c| c.get(&payload, &published.floors))
+            {
+                if stream.write_all(&frame_payload_for(&cached, version, published.epoch)).is_err()
+                {
                     return;
                 }
                 continue;
@@ -416,7 +570,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared, scratch: &mut TaintS
         }
 
         let (mut response, mut close_after) = match Request::decode_payload(&payload) {
-            Ok(request) => handle(&request, shared, scratch),
+            Ok(request) => handle(&request, shared, &published, scratch),
             Err(e) => (Response::Error(WireError::from_serve_error(&e)), true),
         };
         let mut encoded = fistful_chain::encode::Encodable::encode_to_vec(&response);
@@ -436,10 +590,21 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared, scratch: &mut TaintS
         }
         if cacheable && !close_after {
             if let Some(cache) = shared.cache.as_ref() {
-                cache.insert(payload, encoded.clone());
+                cache.insert(
+                    payload,
+                    encoded.clone(),
+                    published.epoch,
+                    cache_class_of(&response),
+                );
             }
         }
-        if stream.write_all(&frame(&encoded)).is_err() {
+        // Stats responses have a distinct legacy body; everything else is
+        // byte-identical across versions and only the framing differs.
+        let framed = match (&response, version) {
+            (Response::Stats(_), v) if v < PROTOCOL_VERSION => response.to_frame_v1(),
+            _ => frame_payload_for(&encoded, version, published.epoch),
+        };
+        if stream.write_all(&framed).is_err() {
             return;
         }
         if close_after {
@@ -473,11 +638,16 @@ fn close_gracefully(mut stream: TcpStream) {
     }
 }
 
-/// Answers one decoded request. Returns the response and whether the
-/// connection must close afterwards (semantic errors close, like framing
-/// errors do).
-fn handle(request: &Request, shared: &Shared, scratch: &mut TaintScratch) -> (Response, bool) {
-    let artifacts = &shared.artifacts;
+/// Answers one decoded request against one pinned artifact generation.
+/// Returns the response and whether the connection must close afterwards
+/// (semantic errors close, like framing errors do).
+fn handle(
+    request: &Request,
+    shared: &Shared,
+    published: &Published,
+    scratch: &mut TaintScratch,
+) -> (Response, bool) {
+    let artifacts = &published.artifacts;
     let response = match request {
         Request::Ping => Response::Pong,
         Request::Stats => Response::Stats(shared.stats()),

@@ -69,6 +69,64 @@ pub fn delta_files(dir: &Path) -> Result<Vec<PathBuf>, StoreError> {
     Ok(deltas)
 }
 
+/// Live-ingest resume metadata, carried as an optional `serve/live_meta`
+/// segment of `serve.fst`: the publish epoch, the reconciled transaction
+/// watermark, and how many blocks had been ingested when the segment was
+/// written — everything a restarted live server needs to rebuild its
+/// ingest state by replaying exactly the already-published prefix (see
+/// [`crate::live`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveMeta {
+    /// Publish epoch of the artifacts on disk.
+    pub epoch: u64,
+    /// Reconciled transaction count the artifacts were built at.
+    pub tx_count: u64,
+    /// Blocks ingested when this state was persisted.
+    pub block_count: u64,
+    /// Whether the ingest had been terminally flushed (pending
+    /// wait-to-label decisions all resolved).
+    pub flushed: bool,
+}
+
+impl LiveMeta {
+    fn write(&self, out: &mut StoreWriter) {
+        let mut w = Writer::new();
+        w.u64(self.epoch);
+        w.u64(self.tx_count);
+        w.u64(self.block_count);
+        w.u8(self.flushed as u8);
+        out.segment("serve/live_meta", w.into_bytes());
+    }
+
+    fn read(store: &mut Store) -> Result<LiveMeta, StoreError> {
+        let bytes = store.bytes("serve/live_meta")?;
+        let mut r = Reader::new(&bytes);
+        let meta = LiveMeta {
+            epoch: r.u64()?,
+            tx_count: r.u64()?,
+            block_count: r.u64()?,
+            flushed: match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(StoreError::Inconsistent("live_meta flushed flag is not 0/1")),
+            },
+        };
+        r.finish()?;
+        Ok(meta)
+    }
+}
+
+/// Reads the live-ingest resume metadata from a store directory's
+/// `serve.fst`, or `None` when the bundle was saved without one (a frozen
+/// batch save).
+pub fn read_live_meta(dir: &Path) -> Result<Option<LiveMeta>, StoreError> {
+    let mut store = Store::open(&dir.join(SERVE_FILE))?;
+    if !store.has("serve/live_meta") {
+        return Ok(None);
+    }
+    LiveMeta::read(&mut store).map(Some)
+}
+
 /// Serializes the change labels into `serve/labels_*` segments: the
 /// per-transaction vout column (`u32::MAX` = unlabelled) plus the counters.
 fn write_labels(labels: &ChangeLabels, out: &mut StoreWriter) {
@@ -161,22 +219,52 @@ impl ServeArtifacts {
     /// Any existing delta files in `dir` are removed: a fresh full save
     /// resets the base the deltas were diffed against.
     pub fn save_dir(&self, dir: &Path) -> Result<u64, StoreError> {
+        self.save_dir_inner(dir, None)
+    }
+
+    /// [`save_dir`](Self::save_dir) plus a `serve/live_meta` segment, the
+    /// live-ingest pipeline's base save: a restarted server can resume
+    /// from the resulting directory at the recorded epoch.
+    pub fn save_dir_live(&self, dir: &Path, meta: &LiveMeta) -> Result<u64, StoreError> {
+        self.save_dir_inner(dir, Some(meta))
+    }
+
+    fn save_dir_inner(&self, dir: &Path, meta: Option<&LiveMeta>) -> Result<u64, StoreError> {
         std::fs::create_dir_all(dir)?;
         for stale in delta_files(dir)? {
             std::fs::remove_file(stale)?;
         }
         let mut total = 0u64;
-        let mut w = StoreWriter::new();
-        self.graph.write_store(&mut w);
-        total += w.write_to(&dir.join(GRAPH_FILE))?;
+        total += self.write_graph_file(dir)?;
         let mut w = StoreWriter::new();
         self.snapshot.write_store(&mut w);
         total += w.write_to(&dir.join(SNAPSHOT_FILE))?;
+        total += self.write_serve_file(dir, meta)?;
+        Ok(total)
+    }
+
+    /// Rewrites just `graph.fst` — the per-epoch refresh of the one
+    /// artifact that has no delta representation.
+    pub(crate) fn write_graph_file(&self, dir: &Path) -> Result<u64, StoreError> {
+        let mut w = StoreWriter::new();
+        self.graph.write_store(&mut w);
+        w.write_to(&dir.join(GRAPH_FILE))
+    }
+
+    /// Rewrites just `serve.fst` (labels + balances, plus the live resume
+    /// metadata when given).
+    pub(crate) fn write_serve_file(
+        &self,
+        dir: &Path,
+        meta: Option<&LiveMeta>,
+    ) -> Result<u64, StoreError> {
         let mut w = StoreWriter::new();
         write_labels(&self.labels, &mut w);
         write_balances(&self.balances, &mut w);
-        total += w.write_to(&dir.join(SERVE_FILE))?;
-        Ok(total)
+        if let Some(meta) = meta {
+            meta.write(&mut w);
+        }
+        w.write_to(&dir.join(SERVE_FILE))
     }
 
     /// Reopens a serving bundle saved by [`save_dir`](Self::save_dir):
@@ -330,6 +418,27 @@ mod tests {
             ServeArtifacts::open_dir(&dir),
             Err(StoreError::Inconsistent(_))
         ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn live_meta_round_trips_and_is_absent_on_batch_saves() {
+        let a = bundle();
+        let dir = temp_dir("livemeta");
+        a.save_dir(&dir).unwrap();
+        assert_eq!(read_live_meta(&dir).unwrap(), None, "batch saves carry no live meta");
+
+        let meta = LiveMeta { epoch: 7, tx_count: 42, block_count: 9, flushed: true };
+        a.save_dir_live(&dir, &meta).unwrap();
+        assert_eq!(read_live_meta(&dir).unwrap(), Some(meta));
+        // The extra segment does not disturb a normal reopen.
+        let b = ServeArtifacts::open_dir(&dir).unwrap();
+        assert_eq!(b.snapshot, a.snapshot);
+
+        // Rewriting serve.fst without meta (a demotion back to frozen)
+        // removes it again.
+        a.write_serve_file(&dir, None).unwrap();
+        assert_eq!(read_live_meta(&dir).unwrap(), None);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -608,6 +608,107 @@ proptest! {
     }
 }
 
+// ---------- live hot-swap differential ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random economies × random epoch cuts × shard counts: streaming the
+    /// chain through a live pipeline that publishes into a real server
+    /// must land on exactly the batch `Clusterer::run` artifact
+    /// byte-for-byte, and the on-disk base + per-epoch-delta trail must
+    /// fold back to the final published snapshot.
+    #[test]
+    fn live_hot_swap_converges_to_batch_over_random_cuts(
+        seed in any::<u64>(),
+        txs in 20usize..100,
+        shards in 1usize..5,
+        epoch_blocks in 1usize..20,
+        start_blocks in 0usize..30,
+        window in 0u64..8,
+        windowed in any::<bool>(),
+    ) {
+        use fistful::core::naming::name_clusters;
+        use fistful::core::snapshot::ClusterSnapshot;
+        use fistful::core::tagdb::TagDb;
+        use fistful::flow::graph::TxGraph;
+        use fistful::serve::store::read_live_meta;
+        use fistful::serve::{LiveConfig, LivePipeline, ServeArtifacts, ServeConfig, Server};
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let change_cfg = if windowed {
+            let mut cfg = ChangeConfig::naive();
+            cfg.wait_blocks = Some(window);
+            cfg.skip_reused_change = true;
+            cfg.skip_prior_self_change = true;
+            cfg
+        } else {
+            ChangeConfig::naive()
+        };
+        let t = random_chain(seed, txs);
+        let chain = Arc::new(t.chain);
+        let db = TagDb::new();
+
+        let dir = std::env::temp_dir().join(format!("fistful-live-prop-{}", std::process::id()));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let config = LiveConfig {
+            shards,
+            epoch_blocks,
+            start_blocks,
+            balance_every: 1,
+            change: change_cfg.clone(),
+            store_dir: Some(dir.clone()),
+            block_delay: std::time::Duration::ZERO,
+        };
+        let mut live = LivePipeline::new(Arc::clone(&chain), db.clone(), config);
+        let artifacts = live.bootstrap().unwrap();
+        let server = Server::start(
+            ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 1,
+                cache_entries: 16,
+                ..ServeConfig::default()
+            },
+            artifacts,
+        )
+        .unwrap();
+        let report = live.run(&server.publisher(), &AtomicBool::new(false)).unwrap();
+        prop_assert!(report.flushed);
+        let stats = server.stats();
+        prop_assert_eq!(stats.epoch, report.final_epoch);
+        prop_assert_eq!(stats.tx_count, chain.tx_count() as u64);
+        server.shutdown();
+
+        // The on-disk base + delta fold is the final published bundle
+        // (the serve file's watermark says so, and the fold reproduces
+        // the snapshot it describes)...
+        let disk = ServeArtifacts::open_dir(&dir).unwrap();
+        let meta = read_live_meta(&dir).unwrap().expect("live save carries meta");
+        prop_assert_eq!(meta.epoch, report.final_epoch);
+        prop_assert!(meta.flushed);
+        prop_assert_eq!(meta.tx_count, chain.tx_count() as u64);
+        prop_assert_eq!(disk.snapshot.tip_height(), stats.tip_height);
+
+        // ...and equals the batch artifact byte-for-byte: snapshot,
+        // graph, and change labels alike.
+        let clustering = Clusterer::with_h2(change_cfg.clone()).run(chain.as_ref());
+        let names = name_clusters(&clustering, &db);
+        let batch_snap = ClusterSnapshot::build(chain.as_ref(), &clustering, &names);
+        prop_assert_eq!(disk.snapshot.to_bytes(), batch_snap.to_bytes());
+        prop_assert_eq!(&disk.graph, &TxGraph::build(chain.as_ref()));
+        let batch_labels = change::identify(chain.as_ref(), &change_cfg);
+        prop_assert_eq!(&disk.labels.vout_of, &batch_labels.vout_of);
+        prop_assert_eq!(disk.labels.labels, batch_labels.labels);
+        prop_assert_eq!(disk.labels.skip_counts, batch_labels.skip_counts);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
 // ---------- serve wire protocol ----------
 
 /// Builds one of every [`Request`](fistful::serve::Request) variant from
@@ -658,6 +759,8 @@ fn serve_response_from(sel: u8, nums: &[u64], text: &str) -> fistful::serve::Res
             tx_count: n(5),
             cluster_count: n(6),
             tip_height: n(7),
+            epoch: n(8),
+            swaps: n(9),
         }),
         2 => Response::AddressInfo(None),
         3 => Response::AddressInfo(Some(AddressReport {
@@ -731,12 +834,17 @@ proptest! {
         if let Ok(response) = Response::decode_payload(&bytes) {
             prop_assert_eq!(response.encode_to_vec(), bytes.clone());
         }
-        // The frame-header check is total too, and never admits a length
-        // beyond the receiver's cap.
-        if let Ok(len) =
+        // The frame-header check is total too, never admits a length
+        // beyond the receiver's cap, and only ever accepts the two known
+        // protocol versions.
+        if let Ok(parsed) =
             fistful::serve::protocol::parse_frame_header(&header, fistful::serve::MAX_REQUEST_PAYLOAD)
         {
-            prop_assert!(len <= fistful::serve::MAX_REQUEST_PAYLOAD);
+            prop_assert!(parsed.payload_len <= fistful::serve::MAX_REQUEST_PAYLOAD);
+            prop_assert!(
+                parsed.version == fistful::serve::PROTOCOL_VERSION_V1
+                    || parsed.version == fistful::serve::PROTOCOL_VERSION
+            );
         }
     }
 

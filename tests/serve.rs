@@ -149,6 +149,10 @@ fn read_raw_frame(stream: &mut TcpStream) -> Option<Vec<u8>> {
     assert_eq!(header[..4], PROTOCOL_MAGIC);
     assert_eq!(header[4], PROTOCOL_VERSION);
     let len = u32::from_le_bytes(header[5..].try_into().unwrap()) as usize;
+    // Version-2 frames carry the artifact epoch between header and
+    // payload.
+    let mut epoch = [0u8; 8];
+    stream.read_exact(&mut epoch).expect("read epoch");
     let mut payload = vec![0u8; len];
     stream.read_exact(&mut payload).expect("read payload");
     Some(payload)
