@@ -1,0 +1,129 @@
+//! Experiment `event`: what the poll(2) event loop costs against the
+//! threaded connection-per-worker loop.
+//!
+//! Three claims under test:
+//!
+//! 1. **The event loop matches the threaded loop on a plain round-trip.**
+//!    One poll wakeup, one dispatch hop, and one ordered write per
+//!    request should cost microseconds, like a threaded worker's blocking
+//!    read/write pair.
+//! 2. **Pipelining amortizes the wakeups.** A batch of N requests written
+//!    as one blob crosses the socket in far fewer syscalls than N
+//!    ping-pong round trips; throughput per request should rise with
+//!    batch depth.
+//! 3. **Idle connections are nearly free.** A round-trip measured while
+//!    hundreds of idle keep-alive sockets sit in the poll set should cost
+//!    about the same as one measured on an otherwise empty server.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fistful_bench::{serve_artifacts, Workbench};
+use fistful_chain::encode::Encodable;
+use fistful_serve::{Client, EventServeConfig, EventServer, Request, ServeArtifacts};
+use fistful_sim::SimConfig;
+use std::net::TcpStream;
+use std::sync::{Arc, OnceLock};
+
+fn artifacts() -> &'static (Workbench, Arc<ServeArtifacts>) {
+    static FIX: OnceLock<(Workbench, Arc<ServeArtifacts>)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let wb = Workbench::build(SimConfig::tiny());
+        let artifacts = Arc::new(serve_artifacts(&wb));
+        (wb, artifacts)
+    })
+}
+
+fn start_server(workers: usize, cache_entries: usize) -> EventServer {
+    let (_, artifacts) = artifacts();
+    let config = EventServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        cache_entries,
+        ..EventServeConfig::default()
+    };
+    EventServer::start(config, Arc::clone(artifacts)).expect("start event bench server")
+}
+
+/// Claim 1: single-request round trips through the event loop.
+fn bench_event_round_trip(c: &mut Criterion) {
+    let (_, artifacts) = artifacts();
+    let n = artifacts.snapshot.address_count() as u32;
+    let server = start_server(2, 4096);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let mut g = c.benchmark_group("event/round_trip");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(1));
+    let mut a = 1u32;
+    g.bench_function("addr_lookup", |b| {
+        b.iter(|| {
+            a = a.wrapping_mul(1_664_525).wrapping_add(1_013_904_223) % n;
+            let payload = Request::AddressInfo { address: a }.encode_to_vec();
+            std::hint::black_box(client.call_raw(&payload).expect("lookup"))
+        })
+    });
+    g.finish();
+    drop(client);
+    server.shutdown();
+}
+
+/// Claim 2: pipelined batches at depth 1/8/32, measured per request.
+fn bench_event_pipelining(c: &mut Criterion) {
+    let (_, artifacts) = artifacts();
+    let n = artifacts.snapshot.address_count() as u32;
+    let server = start_server(2, 4096);
+    let addr = server.local_addr();
+
+    let mut g = c.benchmark_group("event/pipeline_depth");
+    g.sample_size(10);
+    for depth in [1usize, 8, 32] {
+        let mut client = Client::connect(addr).expect("connect");
+        let mut a = 7u32;
+        g.throughput(Throughput::Elements(depth as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let batch: Vec<Request> = (0..depth)
+                    .map(|_| {
+                        a = a.wrapping_mul(1_664_525).wrapping_add(1_013_904_223) % n;
+                        Request::AddressInfo { address: a }
+                    })
+                    .collect();
+                std::hint::black_box(client.pipeline(&batch).expect("pipelined batch"))
+            })
+        });
+    }
+    g.finish();
+    server.shutdown();
+}
+
+/// Claim 3: a round-trip with 0 vs 512 idle keep-alive sockets parked in
+/// the poll set.
+fn bench_event_idle_pool(c: &mut Criterion) {
+    let (_, artifacts) = artifacts();
+    let n = artifacts.snapshot.address_count() as u32;
+
+    let mut g = c.benchmark_group("event/idle_pool");
+    g.sample_size(10);
+    for idle in [0usize, 512] {
+        let server = start_server(2, 4096);
+        let addr = server.local_addr();
+        let pool: Vec<TcpStream> =
+            (0..idle).map(|_| TcpStream::connect(addr).expect("idle connect")).collect();
+        let mut client = Client::connect(addr).expect("connect");
+        let mut a = 3u32;
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(BenchmarkId::from_parameter(idle), &idle, |b, _| {
+            b.iter(|| {
+                a = a.wrapping_mul(1_664_525).wrapping_add(1_013_904_223) % n;
+                let payload = Request::AddressInfo { address: a }.encode_to_vec();
+                std::hint::black_box(client.call_raw(&payload).expect("lookup"))
+            })
+        });
+        drop(client);
+        drop(pool);
+        server.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_round_trip, bench_event_pipelining, bench_event_idle_pool);
+criterion_main!(benches);

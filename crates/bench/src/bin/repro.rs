@@ -80,12 +80,30 @@ fn main() {
         Command::StoreAppend { scale, dir, epochs, shards, json, out } => {
             store_append(&scale, &dir, epochs, shards, json, out.as_deref())
         }
-        Command::Serve { scale, port, workers, cache, live, store, epoch, shards } => {
-            serve(&scale, port, workers, cache, live, store.as_deref(), epoch, shards)
+        Command::Serve { scale, port, workers, cache, live, store, epoch, shards, event_loop } => {
+            serve(&scale, port, workers, cache, live, store.as_deref(), epoch, shards, event_loop)
         }
-        Command::ServeBench { scale, threads, connections, requests, mix, json, out } => {
-            serve_bench(&scale, &threads, connections, requests, &mix, json, out.as_deref())
-        }
+        Command::ServeBench {
+            scale,
+            threads,
+            connections,
+            idle,
+            requests,
+            mix,
+            event_loop,
+            json,
+            out,
+        } => serve_bench(
+            &scale,
+            &threads,
+            connections,
+            idle,
+            requests,
+            &mix,
+            event_loop,
+            json,
+            out.as_deref(),
+        ),
     }
 }
 
@@ -204,11 +222,60 @@ fn run_experiments(plan: &RunPlan) {
     sink.finish();
 }
 
+/// Either serving engine behind one handle: the threaded
+/// connection-per-worker loop or the poll(2) event loop. Both speak the
+/// same wire protocol, expose the same stats, and accept the same
+/// hot-swap publisher, so `serve` and `serve-bench` stay engine-agnostic
+/// past startup.
+enum Engine {
+    Threaded(fistful_serve::Server),
+    Event(fistful_serve::EventServer),
+}
+
+impl Engine {
+    fn name(&self) -> &'static str {
+        match self {
+            Engine::Threaded(_) => "threaded",
+            Engine::Event(_) => "event",
+        }
+    }
+
+    fn local_addr(&self) -> std::net::SocketAddr {
+        match self {
+            Engine::Threaded(s) => s.local_addr(),
+            Engine::Event(s) => s.local_addr(),
+        }
+    }
+
+    fn stats(&self) -> fistful_serve::ServerStats {
+        match self {
+            Engine::Threaded(s) => s.stats(),
+            Engine::Event(s) => s.stats(),
+        }
+    }
+
+    fn publisher(&self) -> fistful_serve::Publisher {
+        match self {
+            Engine::Threaded(s) => s.publisher(),
+            Engine::Event(s) => s.publisher(),
+        }
+    }
+
+    fn shutdown(self) {
+        match self {
+            Engine::Threaded(s) => s.shutdown(),
+            Engine::Event(s) => s.shutdown(),
+        }
+    }
+}
+
 /// `serve`: bind the port and report the address first, then build the
 /// serving artifacts and answer the binary query protocol until the
 /// process is killed. With `--live`, serve a warm-up prefix immediately
 /// and stream the rest of the economy through the sharded ingest
 /// pipeline in the background, hot-swapping fresh artifacts every epoch.
+/// With `--event-loop`, all connection I/O runs on the poll(2) readiness
+/// loop instead of a thread per worker.
 #[allow(clippy::too_many_arguments)]
 fn serve(
     scale: &str,
@@ -219,6 +286,7 @@ fn serve(
     store: Option<&str>,
     epoch: usize,
     shards: usize,
+    event_loop: bool,
 ) {
     // Bind before the (potentially long) artifact build so callers can
     // learn the address — crucial with `--port 0` — and start connecting;
@@ -249,13 +317,24 @@ fn serve(
     eprintln!("# economy ready in {:.1?}; clustering + indexing ...", t0.elapsed());
     let t1 = std::time::Instant::now();
 
-    let start_server = |artifacts| match fistful_serve::Server::start_with_listener(
-        listener, config, artifacts,
-    ) {
-        Ok(server) => server,
-        Err(e) => {
-            eprintln!("repro: cannot start server: {e}");
-            std::process::exit(1);
+    let start_server = |artifacts| {
+        let started = if event_loop {
+            fistful_serve::EventServer::start_with_listener(
+                listener,
+                fistful_serve::EventServeConfig::from(config),
+                artifacts,
+            )
+            .map(Engine::Event)
+        } else {
+            fistful_serve::Server::start_with_listener(listener, config, artifacts)
+                .map(Engine::Threaded)
+        };
+        match started {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("repro: cannot start server: {e}");
+                std::process::exit(1);
+            }
         }
     };
     // Kept alive for the life of the process: dropping the handle would
@@ -294,12 +373,13 @@ fn serve(
     };
     let stats = server.stats();
     println!(
-        "serving {} addresses / {} clusters / {} txs on {} with {} workers (cache: {})",
+        "serving {} addresses / {} clusters / {} txs on {} with {} {} workers (cache: {})",
         stats.address_count,
         stats.cluster_count,
         stats.tx_count,
         server.local_addr(),
         stats.workers,
+        server.name(),
         if cache > 0 { format!("{cache} entries") } else { "off".to_string() }
     );
     println!("query it with fistful_serve::Client; stop with ctrl-c");
@@ -309,13 +389,19 @@ fn serve(
 }
 
 /// `serve-bench`: sweep server worker counts with the response cache on
-/// and off, driving the closed-loop load generator against each.
+/// and off, driving the closed-loop load generator against each. With
+/// `--idle N`, each run additionally parks N unmeasured keep-alive
+/// connections on the server (the high-connection-count mode); with
+/// `--event-loop`, the poll(2) engine serves instead of the threaded one.
+#[allow(clippy::too_many_arguments)]
 fn serve_bench(
     scale: &str,
     threads: &[usize],
     connections: usize,
+    idle: usize,
     requests: usize,
     mix: &[(String, u32)],
+    event_loop: bool,
     json: bool,
     out: Option<&str>,
 ) {
@@ -348,21 +434,38 @@ fn serve_bench(
                 cache_entries,
                 max_taint_txs: cli::DEFAULT_TAINT_MAX_TXS,
             };
-            let server =
-                match fistful_serve::Server::start(config, std::sync::Arc::clone(&artifacts)) {
-                    Ok(server) => server,
-                    Err(e) => {
-                        eprintln!("repro: cannot start bench server: {e}");
-                        std::process::exit(1);
-                    }
-                };
+            let started = if event_loop {
+                fistful_serve::EventServer::start(
+                    fistful_serve::EventServeConfig::from(config),
+                    std::sync::Arc::clone(&artifacts),
+                )
+                .map(Engine::Event)
+            } else {
+                fistful_serve::Server::start(config, std::sync::Arc::clone(&artifacts))
+                    .map(Engine::Threaded)
+            };
+            let server = match started {
+                Ok(server) => server,
+                Err(e) => {
+                    eprintln!("repro: cannot start bench server: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let engine = server.name();
             let before = server.stats();
-            let measured =
-                servebench::run_load(server.local_addr(), &pools, &mix, connections, requests);
+            let measured = servebench::run_load(
+                server.local_addr(),
+                &pools,
+                &mix,
+                connections,
+                idle,
+                requests,
+            );
             let after = server.stats();
             server.shutdown();
             let summary = servebench::summarize(
                 measured,
+                engine,
                 workers,
                 cache_entries,
                 connections,
@@ -380,9 +483,15 @@ fn serve_bench(
 /// Human-readable report of one serve-bench run.
 fn print_serve_bench_run(s: &servebench::RunSummary) {
     println!(
-        "\n== serve-bench: {} worker(s), cache {} ==",
+        "\n== serve-bench: {} engine, {} worker(s), cache {}{} ==",
+        s.engine,
         s.workers,
-        if s.cache_entries > 0 { format!("on ({} entries)", s.cache_entries) } else { "off".to_string() }
+        if s.cache_entries > 0 { format!("on ({} entries)", s.cache_entries) } else { "off".to_string() },
+        if s.idle_connections > 0 {
+            format!(", {} idle conn(s)", s.idle_connections)
+        } else {
+            String::new()
+        }
     );
     println!(
         "{} connection(s) x {} requests = {} total in {:.2}s ({:.0} req/s); cache {} hits / {} misses",

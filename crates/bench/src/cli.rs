@@ -68,10 +68,10 @@ pub fn usage() -> String {
          \x20      repro store append <dir> [--scale {scales}] [--epochs K] [--shards N]\n\
          \x20                  [--json] [--out FILE]\n\
          \x20      repro serve [--scale {scales}] [--port P] [--workers N] [--cache N]\n\
-         \x20                  [--live] [--store DIR] [--epoch K] [--shards N]\n\
+         \x20                  [--event-loop] [--live] [--store DIR] [--epoch K] [--shards N]\n\
          \x20      repro serve-bench [--scale {scales}] [--threads N,N,...]\n\
-         \x20                  [--connections M] [--requests R] [--mix kind:w,...]\n\
-         \x20                  [--json] [--out FILE]\n\
+         \x20                  [--connections M] [--idle I] [--requests R]\n\
+         \x20                  [--mix kind:w,...] [--event-loop] [--json] [--out FILE]\n\
          experiments: all {} (default: all)\n\
          --json emits one machine-readable JSON object per experiment (to\n\
          \x20      stdout, or to FILE with --out, which implies --json)\n\
@@ -104,7 +104,10 @@ pub fn usage() -> String {
          \x20        printed before artifacts build), cluster once, build the\n\
          \x20        graph, and answer the binary query protocol until killed\n\
          \x20        (--workers 0 = one per core; --cache 0 disables the\n\
-         \x20        response cache); --live streams the economy's blocks\n\
+         \x20        response cache); --event-loop multiplexes every\n\
+         \x20        connection on one poll(2) readiness loop (pipelining,\n\
+         \x20        per-connection budgets, backpressure) instead of pinning\n\
+         \x20        one worker per connection; --live streams the economy's blocks\n\
          \x20        through the sharded ingest pipeline in the background,\n\
          \x20        hot-swapping fresh artifacts every --epoch blocks across\n\
          \x20        --shards shards, persisting per-epoch deltas to --store\n\
@@ -112,7 +115,10 @@ pub fn usage() -> String {
          serve-bench — closed-loop load generator against an in-process\n\
          \x20        server: sweeps --threads worker counts with the cache on\n\
          \x20        and off, reporting throughput and p50/p99 latency per\n\
-         \x20        request type; mix kinds: {mix_kinds}",
+         \x20        request type; --event-loop benches the poll-loop server,\n\
+         \x20        --idle holds I extra unmeasured keep-alive connections\n\
+         \x20        open for the whole run (the high-connection-count mode);\n\
+         \x20        mix kinds: {mix_kinds}",
         EXPERIMENTS.join(" ")
     )
 }
@@ -251,6 +257,9 @@ pub enum Command {
         epoch: usize,
         /// Shard count of the live ingest pipeline.
         shards: usize,
+        /// Serve with the event-driven poll loop instead of the threaded
+        /// connection-per-worker loop.
+        event_loop: bool,
     },
     /// `serve-bench`: the closed-loop load generator over an in-process
     /// server, swept across worker counts with the cache on and off.
@@ -259,12 +268,18 @@ pub enum Command {
         scale: String,
         /// Server worker counts to sweep, in order.
         threads: Vec<usize>,
-        /// Concurrent client connections.
+        /// Concurrent client connections driving the measured closed
+        /// loop.
         connections: usize,
+        /// Extra idle keep-alive connections held open (unmeasured) for
+        /// the whole run — the high-connection-count mode.
+        idle: usize,
         /// Requests per connection.
         requests: usize,
         /// Weighted request mix as `(kind, weight)` pairs.
         mix: Vec<(String, u32)>,
+        /// Bench the event-driven poll loop instead of the threaded one.
+        event_loop: bool,
         /// Emit one machine-readable JSON object per run.
         json: bool,
         /// Where the JSON objects go (`None` = stdout). Implies `json`.
@@ -373,6 +388,7 @@ fn parse_serve(args: &[String]) -> Result<Command, CliOutcome> {
     let mut workers = 0usize;
     let mut cache = DEFAULT_SERVE_CACHE;
     let mut live = false;
+    let mut event_loop = false;
     let mut store: Option<String> = None;
     let mut epoch = DEFAULT_INGEST_EPOCH;
     let mut shards = DEFAULT_STORE_SHARDS;
@@ -400,6 +416,7 @@ fn parse_serve(args: &[String]) -> Result<Command, CliOutcome> {
                 };
             }
             "--live" => live = true,
+            "--event-loop" => event_loop = true,
             "--store" => {
                 let Some(dir) = it.next() else {
                     return Err(CliOutcome::Error("--store requires a directory".to_string()));
@@ -414,7 +431,7 @@ fn parse_serve(args: &[String]) -> Result<Command, CliOutcome> {
     if !live && store.is_some() {
         return Err(CliOutcome::Error("--store requires --live".to_string()));
     }
-    Ok(Command::Serve { scale, port, workers, cache, live, store, epoch, shards })
+    Ok(Command::Serve { scale, port, workers, cache, live, store, epoch, shards, event_loop })
 }
 
 /// Parses a `--mix kind:weight,...` specification.
@@ -454,8 +471,10 @@ fn parse_serve_bench(args: &[String]) -> Result<Command, CliOutcome> {
     let mut scale = "default".to_string();
     let mut threads: Vec<usize> = DEFAULT_BENCH_THREADS.to_vec();
     let mut connections = DEFAULT_BENCH_CONNECTIONS;
+    let mut idle = 0usize;
     let mut requests = DEFAULT_BENCH_REQUESTS;
     let mut mix = parse_mix(DEFAULT_BENCH_MIX).expect("default mix parses");
+    let mut event_loop = false;
     let mut json = false;
     let mut out: Option<String> = None;
     let mut it = args.iter();
@@ -487,6 +506,14 @@ fn parse_serve_bench(args: &[String]) -> Result<Command, CliOutcome> {
                 }
             }
             "--connections" => connections = parse_count("--connections", it.next())?,
+            "--idle" => {
+                // Unlike the other counts, zero idle connections is valid
+                // (and the default).
+                idle = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => n,
+                    None => return Err(CliOutcome::Error("invalid --idle value".to_string())),
+                };
+            }
             "--requests" => requests = parse_count("--requests", it.next())?,
             "--mix" => {
                 let Some(spec) = it.next() else {
@@ -494,6 +521,7 @@ fn parse_serve_bench(args: &[String]) -> Result<Command, CliOutcome> {
                 };
                 mix = parse_mix(spec)?;
             }
+            "--event-loop" => event_loop = true,
             "--json" => json = true,
             "--out" => {
                 let Some(path) = it.next() else {
@@ -507,7 +535,7 @@ fn parse_serve_bench(args: &[String]) -> Result<Command, CliOutcome> {
             }
         }
     }
-    Ok(Command::ServeBench { scale, threads, connections, requests, mix, json, out })
+    Ok(Command::ServeBench { scale, threads, connections, idle, requests, mix, event_loop, json, out })
 }
 
 /// Parses the arguments after the `snapshot` keyword.
@@ -1061,6 +1089,8 @@ mod tests {
             "--json",
             "--out",
             "--connections",
+            "--idle",
+            "--event-loop",
             "--mix",
         ] {
             assert!(usage.contains(needle), "usage is missing `{needle}`");
@@ -1173,12 +1203,14 @@ mod tests {
                 live: false,
                 store: None,
                 epoch: DEFAULT_INGEST_EPOCH,
-                shards: DEFAULT_STORE_SHARDS
+                shards: DEFAULT_STORE_SHARDS,
+                event_loop: false
             }
         );
         assert_eq!(
             parse(&args(&[
-                "serve", "--scale", "tiny", "--port", "9000", "--workers", "4", "--cache", "0"
+                "serve", "--scale", "tiny", "--port", "9000", "--workers", "4", "--cache", "0",
+                "--event-loop"
             ]))
             .unwrap(),
             Command::Serve {
@@ -1189,7 +1221,8 @@ mod tests {
                 live: false,
                 store: None,
                 epoch: DEFAULT_INGEST_EPOCH,
-                shards: DEFAULT_STORE_SHARDS
+                shards: DEFAULT_STORE_SHARDS,
+                event_loop: true
             }
         );
         assert_eq!(
@@ -1205,9 +1238,18 @@ mod tests {
                 live: true,
                 store: Some("/tmp/s".into()),
                 epoch: 8,
-                shards: 2
+                shards: 2,
+                event_loop: false
             }
         );
+        // The event loop composes with live ingest: hot swaps publish
+        // into either serving loop.
+        let Command::Serve { live, event_loop, .. } =
+            parse(&args(&["serve", "--live", "--event-loop"])).unwrap()
+        else {
+            panic!("expected serve");
+        };
+        assert!(live && event_loop);
     }
 
     #[test]
@@ -1234,7 +1276,7 @@ mod tests {
 
     #[test]
     fn serve_bench_parses_defaults_and_overrides() {
-        let Command::ServeBench { scale, threads, connections, requests, mix, json, out } =
+        let Command::ServeBench { scale, threads, connections, idle, requests, mix, event_loop, json, out } =
             parse(&args(&["serve-bench"])).unwrap()
         else {
             panic!("expected serve-bench");
@@ -1242,21 +1284,26 @@ mod tests {
         assert_eq!(scale, "default");
         assert_eq!(threads, DEFAULT_BENCH_THREADS.to_vec());
         assert_eq!(connections, DEFAULT_BENCH_CONNECTIONS);
+        assert_eq!(idle, 0);
         assert_eq!(requests, DEFAULT_BENCH_REQUESTS);
         assert_eq!(mix, parse_mix(DEFAULT_BENCH_MIX).unwrap());
+        assert!(!event_loop);
         assert!(!json && out.is_none());
 
-        let Command::ServeBench { threads, connections, requests, mix, json, out, .. } =
+        let Command::ServeBench { threads, connections, idle, requests, mix, event_loop, json, out, .. } =
             parse(&args(&[
                 "serve-bench",
                 "--threads",
                 "2,1,2",
                 "--connections",
                 "8",
+                "--idle",
+                "1008",
                 "--requests",
                 "100",
                 "--mix",
                 "ping:1,taint:3",
+                "--event-loop",
                 "--out",
                 "bench.json",
             ]))
@@ -1267,8 +1314,10 @@ mod tests {
         // Duplicate worker counts collapse, order kept.
         assert_eq!(threads, vec![2, 1]);
         assert_eq!(connections, 8);
+        assert_eq!(idle, 1008);
         assert_eq!(requests, 100);
         assert_eq!(mix, vec![("ping".to_string(), 1), ("taint".to_string(), 3)]);
+        assert!(event_loop);
         assert!(json, "--out implies --json");
         assert_eq!(out.as_deref(), Some("bench.json"));
     }
@@ -1280,6 +1329,8 @@ mod tests {
             &["serve-bench", "--threads", "1,x"],
             &["serve-bench", "--threads"],
             &["serve-bench", "--connections", "0"],
+            &["serve-bench", "--idle", "nope"],
+            &["serve-bench", "--idle"],
             &["serve-bench", "--requests", "none"],
             &["serve-bench", "--mix", "addr"],
             &["serve-bench", "--mix", "addr:0"],

@@ -12,7 +12,7 @@ use crate::json::Json;
 use fistful_serve::protocol::Request;
 use fistful_serve::{Client, ServeArtifacts, ServerStats};
 use fistful_chain::encode::Encodable;
-use std::net::SocketAddr;
+use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
 /// The request kinds the mix can name.
@@ -121,10 +121,56 @@ pub struct LoadMeasurement {
     pub latencies_ns: [Vec<u64>; 6],
     /// Wall-clock time from first request to last response.
     pub elapsed: Duration,
+    /// Idle keep-alive sockets actually held open for the run (the
+    /// high-connection-count mode may establish fewer than requested
+    /// against an engine that cannot accept them).
+    pub idle_held: usize,
+}
+
+/// Opens up to `idle` keep-alive sockets that send nothing for the whole
+/// run, in parallel batches, retrying under a shared deadline so an
+/// engine whose accept queue is saturated (the threaded loop pins a
+/// worker per served connection) degrades to "fewer idles held" instead
+/// of hanging the benchmark. Returns the sockets to keep alive.
+fn open_idle_pool(addr: SocketAddr, idle: usize) -> Vec<TcpStream> {
+    const CONNECTORS: usize = 64;
+    if idle == 0 {
+        return Vec::new();
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let per = idle.div_ceil(CONNECTORS);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..idle.min(CONNECTORS))
+            .map(|batch| {
+                s.spawn(move || {
+                    let want = per.min(idle.saturating_sub(batch * per));
+                    let mut held = Vec::with_capacity(want);
+                    while held.len() < want {
+                        match TcpStream::connect_timeout(&addr, Duration::from_millis(250)) {
+                            Ok(stream) => held.push(stream),
+                            // Saturated backlog: let it drain, give up at
+                            // the deadline with whatever connected.
+                            Err(_) if Instant::now() < deadline => {
+                                std::thread::sleep(Duration::from_millis(50));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    held
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("idle connector panicked"))
+            .collect()
+    })
 }
 
 /// Drives `connections` closed-loop client threads, each issuing
-/// `requests_per_connection` requests drawn from the weighted `mix`.
+/// `requests_per_connection` requests drawn from the weighted `mix`,
+/// while `idle` additional keep-alive connections sit open and unmeasured
+/// (the high-connection-count mode).
 ///
 /// Panics if a response cannot be read or decodes to an error frame —
 /// a load run against a healthy server must be error-free to mean
@@ -134,18 +180,27 @@ pub fn run_load(
     pools: &RequestPools,
     mix: &[(RequestKind, u32)],
     connections: usize,
+    idle: usize,
     requests_per_connection: usize,
 ) -> LoadMeasurement {
     assert!(!mix.is_empty(), "mix must name at least one request kind");
     let total_weight: u64 = mix.iter().map(|&(_, w)| w as u64).sum();
     assert!(total_weight > 0, "mix weights must not all be zero");
 
-    let started = Instant::now();
+    // Actives connect before the idle pool opens (so the threaded
+    // engine's accept queue serves the measured loop first), but hold at
+    // the barrier until the idles are parked — the measurement runs with
+    // the idle pool fully in place, not racing it.
+    let start_gate = std::sync::Barrier::new(connections + 1);
+    let gate = &start_gate;
+    let mut idle_held = 0usize;
+    let mut elapsed = Duration::ZERO;
     let per_thread: Vec<Vec<(u8, u64)>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..connections)
             .map(|conn| {
                 s.spawn(move || {
                     let mut client = Client::connect(addr).expect("connect to bench server");
+                    gate.wait();
                     // Deterministic per-connection LCG (splitmix-style seed).
                     let mut state: u64 =
                         (conn as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03;
@@ -181,9 +236,22 @@ pub fn run_load(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("bench connection panicked")).collect()
+        let idle_pool = if idle > 0 {
+            // Let the actives reach the accept queue first.
+            std::thread::sleep(Duration::from_millis(50));
+            open_idle_pool(addr, idle)
+        } else {
+            Vec::new()
+        };
+        idle_held = idle_pool.len();
+        let started = Instant::now();
+        gate.wait();
+        let measured: Vec<Vec<(u8, u64)>> =
+            handles.into_iter().map(|h| h.join().expect("bench connection panicked")).collect();
+        elapsed = started.elapsed();
+        drop(idle_pool); // held open for the whole measured run
+        measured
     });
-    let elapsed = started.elapsed();
 
     let mut latencies_ns: [Vec<u64>; 6] = Default::default();
     for thread in per_thread {
@@ -191,7 +259,7 @@ pub fn run_load(
             latencies_ns[kind as usize].push(nanos);
         }
     }
-    LoadMeasurement { latencies_ns, elapsed }
+    LoadMeasurement { latencies_ns, elapsed, idle_held }
 }
 
 /// Per-request-type digest of one run.
@@ -212,12 +280,17 @@ pub struct TypeSummary {
 /// The digest of one server configuration's run.
 #[derive(Debug, Clone)]
 pub struct RunSummary {
+    /// Which serving engine ran: `"threaded"` or `"event"`.
+    pub engine: &'static str,
     /// Server worker threads.
     pub workers: usize,
     /// Response-cache capacity (0 = disabled).
     pub cache_entries: usize,
     /// Concurrent client connections.
     pub connections: usize,
+    /// Idle keep-alive connections held open, unmeasured, alongside the
+    /// actives.
+    pub idle_connections: usize,
     /// Requests issued per connection.
     pub requests_per_connection: usize,
     /// Total requests across all connections.
@@ -245,8 +318,10 @@ fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
 
 /// Folds a measurement plus the server's counter movement into the
 /// reportable digest.
+#[allow(clippy::too_many_arguments)]
 pub fn summarize(
     mut measured: LoadMeasurement,
+    engine: &'static str,
     workers: usize,
     cache_entries: usize,
     connections: usize,
@@ -272,9 +347,11 @@ pub fn summarize(
         });
     }
     RunSummary {
+        engine,
         workers,
         cache_entries,
         connections,
+        idle_connections: measured.idle_held,
         requests_per_connection,
         total_requests,
         elapsed_secs,
@@ -287,14 +364,17 @@ pub fn summarize(
 
 impl RunSummary {
     /// The stable machine-readable form emitted under `--json`
-    /// (schema `fistful.repro.serve-bench/1`).
+    /// (schema `fistful.repro.serve-bench/2`, which added `engine` and
+    /// `idle_connections` to `/1`).
     pub fn to_json(&self, scale: &str) -> Json {
         Json::obj(vec![
-            ("schema", "fistful.repro.serve-bench/1".into()),
+            ("schema", "fistful.repro.serve-bench/2".into()),
             ("scale", scale.into()),
+            ("engine", self.engine.into()),
             ("workers", self.workers.into()),
             ("cache_entries", self.cache_entries.into()),
             ("connections", self.connections.into()),
+            ("idle_connections", self.idle_connections.into()),
             ("requests_per_connection", self.requests_per_connection.into()),
             ("total_requests", self.total_requests.into()),
             ("elapsed_seconds", self.elapsed_secs.into()),
@@ -357,17 +437,21 @@ mod tests {
                 vec![],
             ],
             elapsed: Duration::from_millis(10),
+            idle_held: 48,
         };
         let before = ServerStats::default();
         let after = ServerStats { cache_hits: 5, cache_misses: 7, ..ServerStats::default() };
-        let summary = summarize(measured, 2, 64, 1, 3, &before, &after);
+        let summary = summarize(measured, "event", 2, 64, 1, 3, &before, &after);
         assert_eq!(summary.total_requests, 3);
         assert_eq!(summary.cache_hits, 5);
+        assert_eq!(summary.idle_connections, 48);
         assert_eq!(summary.types.len(), 2);
 
         let json = summary.to_json("tiny");
-        assert_eq!(json.get("schema").unwrap().as_str(), Some("fistful.repro.serve-bench/1"));
+        assert_eq!(json.get("schema").unwrap().as_str(), Some("fistful.repro.serve-bench/2"));
+        assert_eq!(json.get("engine").unwrap().as_str(), Some("event"));
         assert_eq!(json.get("workers").unwrap().as_f64(), Some(2.0));
+        assert_eq!(json.get("idle_connections").unwrap().as_f64(), Some(48.0));
         let types = json.get("types").unwrap();
         assert!(types.get("ping").is_some());
         assert!(types.get("addr").is_some());

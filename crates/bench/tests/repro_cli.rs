@@ -412,8 +412,10 @@ fn serve_bench_reports_per_type_latency_and_cache_counters() {
     let cached = &objects[0];
     assert_eq!(
         cached.get("schema").unwrap().as_str(),
-        Some("fistful.repro.serve-bench/1")
+        Some("fistful.repro.serve-bench/2")
     );
+    assert_eq!(cached.get("engine").unwrap().as_str(), Some("threaded"));
+    assert_eq!(cached.get("idle_connections").unwrap().as_f64(), Some(0.0));
     assert_eq!(cached.get("workers").unwrap().as_f64(), Some(2.0));
     assert_eq!(cached.get("total_requests").unwrap().as_f64(), Some(300.0));
     assert!(cached.get("throughput_rps").unwrap().as_f64().unwrap() > 0.0);
@@ -513,6 +515,38 @@ fn serve_reports_the_bound_address_before_building_and_swaps_live() {
         );
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
+    child.kill().expect("kill repro serve");
+    child.wait().expect("wait for repro serve");
+}
+
+#[test]
+fn serve_event_loop_binds_first_and_answers_pipelined_batches() {
+    use std::io::BufRead;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["serve", "--scale", "tiny", "--port", "0", "--workers", "2", "--event-loop"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn repro serve --event-loop");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let first = lines.next().expect("a first stdout line").expect("readable line");
+    let addr: std::net::SocketAddr = first
+        .strip_prefix("listening on ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("first stdout line is not the bound address: {first}"))
+        .parse()
+        .expect("parseable socket address");
+
+    // The event loop takes over the pre-bound listener after the build;
+    // a pipelined batch comes back complete and in order.
+    let mut client = fistful_serve::Client::connect(addr).expect("connect to repro serve");
+    client.ping().expect("ping");
+    let batch = vec![fistful_serve::Request::Ping, fistful_serve::Request::Stats];
+    let responses = client.pipeline(&batch).expect("pipelined batch");
+    assert_eq!(responses.len(), 2);
+    assert!(matches!(responses[0], fistful_serve::Response::Pong));
+    assert!(matches!(&responses[1], fistful_serve::Response::Stats(s) if s.workers == 2));
     child.kill().expect("kill repro serve");
     child.wait().expect("wait for repro serve");
 }

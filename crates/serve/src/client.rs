@@ -50,6 +50,12 @@ impl Client {
     /// encoding.
     pub fn call_raw(&mut self, request_payload: &[u8]) -> Result<Vec<u8>, ServeError> {
         self.stream.write_all(&frame(request_payload))?;
+        self.read_response_payload()
+    }
+
+    /// Reads exactly one response frame off the stream, updating
+    /// [`Client::last_epoch`] and the remembered protocol version.
+    fn read_response_payload(&mut self) -> Result<Vec<u8>, ServeError> {
         let mut header = [0u8; FRAME_HEADER_LEN];
         let mut filled = 0usize;
         while filled < FRAME_HEADER_LEN {
@@ -95,6 +101,31 @@ impl Client {
         } else {
             Response::decode_payload(&payload)
         }
+    }
+
+    /// Sends every request as one coalesced write and reads the responses
+    /// back in order — the pipelined path the event-driven serve loop is
+    /// built for. Each response decodes in whichever protocol version the
+    /// server framed it; [`Client::last_epoch`] ends at the final frame's
+    /// epoch. Works against the threaded server too (it answers the
+    /// buffered frames one at a time), which is exactly what the
+    /// differential tests exploit.
+    pub fn pipeline(&mut self, requests: &[Request]) -> Result<Vec<Response>, ServeError> {
+        let mut blob = Vec::new();
+        for request in requests {
+            blob.extend_from_slice(&frame(&request.encode_to_vec()));
+        }
+        self.stream.write_all(&blob)?;
+        let mut responses = Vec::with_capacity(requests.len());
+        for _ in requests {
+            let payload = self.read_response_payload()?;
+            responses.push(if self.last_version == PROTOCOL_VERSION_V1 {
+                Response::decode_payload_v1(&payload)?
+            } else {
+                Response::decode_payload(&payload)?
+            });
+        }
+        Ok(responses)
     }
 
     fn expect<T>(

@@ -1,0 +1,213 @@
+//! Per-connection deadline bookkeeping, shared by the threaded and
+//! event-driven serve loops.
+//!
+//! Both loops measure peer silence in *ticks* of [`TICK`] (25 ms): the
+//! threaded path literally sleeps that long in its idle read timeout and
+//! counts wakeups, while the event loop advances a timer wheel every
+//! [`TICK`] and computes how many ticks a connection has been idle. A
+//! [`Deadline`] holds the count and the two limits:
+//!
+//! * **keep-alive** ([`KEEP_ALIVE_TICKS`], ~60 s): how long a connection
+//!   may sit with *no* frame started before it is closed. Without it,
+//!   idle-but-open clients would pin threaded workers (and accumulate
+//!   event-loop state) forever.
+//! * **mid-frame stall** ([`STALLED_READ_TICKS`], ~30 s): how long a
+//!   *started* frame may sit without a new byte before the connection is
+//!   abandoned with a typed error. A half-received request was never
+//!   being processed, so dropping it loses nothing that was promised.
+//!
+//! Any byte of progress resets the count ([`Deadline::progress`]), so a
+//! slow-but-live peer (one byte per tick) never expires — the deadline
+//! bounds *silence*, not total transfer time.
+
+use std::time::Duration;
+
+/// One deadline tick: the threaded loop's idle read timeout and the event
+/// loop's timer-wheel granularity.
+pub const TICK: Duration = Duration::from_millis(25);
+
+/// How many consecutive idle ticks a *started* frame may sit stalled
+/// before the connection is given up on ([`TICK`] apart, so this is a
+/// ~30-second mid-frame read deadline).
+pub const STALLED_READ_TICKS: u32 = 1200;
+
+/// How many consecutive idle ticks a connection may sit with *no* frame
+/// started before it is closed (~60 seconds) — the keep-alive timeout.
+pub const KEEP_ALIVE_TICKS: u32 = 2400;
+
+/// What one deadline check concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineVerdict {
+    /// Neither limit reached; keep waiting.
+    Wait,
+    /// The idle keep-alive limit expired with no frame started: close the
+    /// connection cleanly (nothing was promised).
+    KeepAliveExpired,
+    /// A started frame stalled past the read deadline: abandon the
+    /// connection with a typed error.
+    MidFrameStalled,
+}
+
+/// Idle-tick bookkeeping for one connection.
+///
+/// The threaded read loop calls [`Deadline::tick`] once per idle poll
+/// wakeup; the event loop, which batches time in a timer wheel, instead
+/// calls [`Deadline::advance_to`] with the ticks elapsed since the
+/// connection's last activity. Both share the same limits, so the two
+/// serve loops expire peers at exactly the same boundary heights.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    idle: u32,
+    stalled_limit: u32,
+    keep_alive_limit: u32,
+}
+
+impl Default for Deadline {
+    fn default() -> Deadline {
+        Deadline::new()
+    }
+}
+
+impl Deadline {
+    /// A deadline with the standard limits ([`STALLED_READ_TICKS`],
+    /// [`KEEP_ALIVE_TICKS`]).
+    pub fn new() -> Deadline {
+        Deadline::with_limits(STALLED_READ_TICKS, KEEP_ALIVE_TICKS)
+    }
+
+    /// A deadline with custom limits (both in ticks, both must be
+    /// positive) — the event server exposes these so tests can observe
+    /// expiry without waiting out the production timeouts.
+    pub fn with_limits(stalled_limit: u32, keep_alive_limit: u32) -> Deadline {
+        assert!(stalled_limit > 0 && keep_alive_limit > 0, "deadline limits must be positive");
+        Deadline { idle: 0, stalled_limit, keep_alive_limit }
+    }
+
+    /// Records progress (bytes arrived): the idle count restarts from
+    /// zero, so the limits bound silence, not total transfer time.
+    pub fn progress(&mut self) {
+        self.idle = 0;
+    }
+
+    /// Counts one idle tick and checks the applicable limit. `mid_frame`
+    /// selects the clock: true once any byte of the current frame has
+    /// arrived, false while the connection waits for a frame to start.
+    pub fn tick(&mut self, mid_frame: bool) -> DeadlineVerdict {
+        self.advance_to(self.idle.saturating_add(1), mid_frame)
+    }
+
+    /// Sets the idle count to `idle_ticks` (the event loop computes it
+    /// from its tick counter and the connection's last-activity tick) and
+    /// checks the applicable limit.
+    pub fn advance_to(&mut self, idle_ticks: u32, mid_frame: bool) -> DeadlineVerdict {
+        self.idle = idle_ticks;
+        if mid_frame {
+            if self.idle >= self.stalled_limit {
+                return DeadlineVerdict::MidFrameStalled;
+            }
+        } else if self.idle >= self.keep_alive_limit {
+            return DeadlineVerdict::KeepAliveExpired;
+        }
+        DeadlineVerdict::Wait
+    }
+
+    /// The current idle-tick count.
+    pub fn idle_ticks(&self) -> u32 {
+        self.idle
+    }
+
+    /// Ticks until the applicable limit would expire — what the event
+    /// loop uses to schedule the connection's next timer-wheel check.
+    pub fn remaining_ticks(&self, mid_frame: bool) -> u32 {
+        let limit = if mid_frame { self.stalled_limit } else { self.keep_alive_limit };
+        limit.saturating_sub(self.idle).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mid_frame_stall_expires_at_exactly_the_boundary() {
+        // The threaded loop's historical behavior: 1199 idle polls wait,
+        // the 1200th gives up — these heights are load-bearing for both
+        // serve paths, so they are pinned here.
+        let mut d = Deadline::new();
+        for _ in 0..STALLED_READ_TICKS - 1 {
+            assert_eq!(d.tick(true), DeadlineVerdict::Wait);
+        }
+        assert_eq!(d.idle_ticks(), STALLED_READ_TICKS - 1);
+        assert_eq!(d.tick(true), DeadlineVerdict::MidFrameStalled);
+    }
+
+    #[test]
+    fn keep_alive_expires_at_exactly_the_boundary() {
+        let mut d = Deadline::new();
+        for _ in 0..KEEP_ALIVE_TICKS - 1 {
+            assert_eq!(d.tick(false), DeadlineVerdict::Wait);
+        }
+        assert_eq!(d.tick(false), DeadlineVerdict::KeepAliveExpired);
+    }
+
+    #[test]
+    fn a_started_frame_switches_clocks_without_resetting_the_count() {
+        // 1200 idle ticks have passed; the keep-alive clock would wait
+        // another 1200, but the moment a frame starts the (already
+        // exceeded) stall clock applies.
+        let mut d = Deadline::new();
+        for _ in 0..STALLED_READ_TICKS {
+            assert_eq!(d.tick(false), DeadlineVerdict::Wait);
+        }
+        assert_eq!(d.tick(true), DeadlineVerdict::MidFrameStalled);
+    }
+
+    #[test]
+    fn progress_resets_both_clocks() {
+        let mut d = Deadline::new();
+        for _ in 0..STALLED_READ_TICKS - 1 {
+            d.tick(true);
+        }
+        d.progress();
+        assert_eq!(d.idle_ticks(), 0);
+        // A slow-loris peer delivering one byte per tick never expires.
+        for _ in 0..3 * STALLED_READ_TICKS {
+            assert_eq!(d.tick(true), DeadlineVerdict::Wait);
+            d.progress();
+        }
+    }
+
+    #[test]
+    fn advance_to_matches_tick_at_the_boundaries() {
+        let mut ticked = Deadline::new();
+        let mut jumped = Deadline::new();
+        for _ in 0..KEEP_ALIVE_TICKS - 1 {
+            ticked.tick(false);
+        }
+        assert_eq!(
+            jumped.advance_to(KEEP_ALIVE_TICKS - 1, false),
+            DeadlineVerdict::Wait
+        );
+        assert_eq!(ticked.tick(false), jumped.advance_to(KEEP_ALIVE_TICKS, false));
+        let mut d = Deadline::new();
+        assert_eq!(d.advance_to(STALLED_READ_TICKS, true), DeadlineVerdict::MidFrameStalled);
+    }
+
+    #[test]
+    fn custom_limits_apply_and_remaining_reports_the_gap() {
+        let mut d = Deadline::with_limits(4, 8);
+        assert_eq!(d.remaining_ticks(true), 4);
+        assert_eq!(d.remaining_ticks(false), 8);
+        assert_eq!(d.advance_to(3, true), DeadlineVerdict::Wait);
+        assert_eq!(d.remaining_ticks(true), 1);
+        assert_eq!(d.tick(true), DeadlineVerdict::MidFrameStalled);
+        let mut d = Deadline::with_limits(4, 8);
+        for _ in 0..7 {
+            assert_eq!(d.tick(false), DeadlineVerdict::Wait);
+        }
+        assert_eq!(d.tick(false), DeadlineVerdict::KeepAliveExpired);
+        // Remaining never reports zero: an expired deadline still gets a
+        // wheel slot so the verdict is delivered.
+        assert_eq!(d.remaining_ticks(false), 1);
+    }
+}

@@ -21,7 +21,13 @@
 //!   per-worker reusable [`TaintScratch`](fistful_flow::graph::TaintScratch),
 //!   a sharded LRU response [`cache`] keyed by request bytes, and graceful
 //!   shutdown that drains in-flight requests;
-//! * [`client`] — a blocking typed client speaking the same protocol;
+//! * [`event`] — the event-driven serve loop over the same request core:
+//!   a std-only poll(2)-based readiness loop ([`conn`] holds the shared
+//!   deadline bookkeeping) with nonblocking accept, request pipelining,
+//!   per-connection budgets, and queue-full backpressure, so thousands of
+//!   mostly-idle keep-alive connections share a fixed worker pool;
+//! * [`client`] — a blocking typed client speaking the same protocol
+//!   (including coalesced pipelined batches);
 //! * [`live`] — the background ingest pipeline that hot-swaps fresh
 //!   artifact generations into a running server at every reconcile epoch
 //!   (and persists per-epoch deltas through [`store`] so a restarted
@@ -78,17 +84,22 @@
 
 pub mod cache;
 pub mod client;
+pub mod conn;
+pub mod event;
 pub mod live;
 pub mod protocol;
 pub mod server;
 pub mod store;
+pub(crate) mod sys;
 
 pub use cache::{CacheClass, CacheFloors, ShardedCache};
 pub use client::Client;
+pub use conn::{Deadline, DeadlineVerdict};
+pub use event::{EventServeConfig, EventServer};
 pub use live::{LiveConfig, LiveHandle, LivePipeline, LiveReport};
 pub use protocol::{
-    AddressReport, BalanceReport, ClusterReport, ErrorCode, Request, Response, ServeError,
-    ServerStats, TaintReport, WireError, WireMovement, MAX_REQUEST_PAYLOAD, MAX_RESPONSE_PAYLOAD,
-    PROTOCOL_MAGIC, PROTOCOL_VERSION, PROTOCOL_VERSION_V1,
+    AddressReport, BalanceReport, ClusterReport, ErrorCode, FramePrefix, Request, Response,
+    ServeError, ServerStats, TaintReport, WireError, WireMovement, MAX_REQUEST_PAYLOAD,
+    MAX_RESPONSE_PAYLOAD, PROTOCOL_MAGIC, PROTOCOL_VERSION, PROTOCOL_VERSION_V1,
 };
 pub use server::{Publisher, ServeArtifacts, ServeConfig, Server};

@@ -121,6 +121,9 @@ pub enum ServeError {
     /// A structurally valid request violated a semantic invariant (e.g. a
     /// loot outpoint beyond the graph).
     InvalidRequest(String),
+    /// The server shed load: the connection cap or a per-connection
+    /// pipelining budget was exceeded (the message says which).
+    Busy(String),
     /// The server answered with an error frame.
     Remote(WireError),
     /// The server answered with a well-formed response of the wrong type.
@@ -149,6 +152,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Decode(e) => write!(f, "payload decode: {e}"),
             ServeError::UnknownMessage(t) => write!(f, "unknown message type {t:#x}"),
             ServeError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            ServeError::Busy(msg) => write!(f, "server busy: {msg}"),
             ServeError::Remote(e) => write!(f, "server error: {e}"),
             ServeError::UnexpectedResponse => write!(f, "response type does not match request"),
             ServeError::MismatchedArtifacts(what) => {
@@ -195,6 +199,9 @@ pub enum ErrorCode {
     UnknownRequest = 5,
     /// A structurally valid request violated a semantic invariant.
     InvalidRequest = 6,
+    /// The server shed load (connection cap or pipelining budget); retry
+    /// later or on a fresh connection.
+    Busy = 7,
 }
 
 impl ErrorCode {
@@ -206,6 +213,7 @@ impl ErrorCode {
             4 => ErrorCode::Malformed,
             5 => ErrorCode::UnknownRequest,
             6 => ErrorCode::InvalidRequest,
+            7 => ErrorCode::Busy,
             other => return Err(DecodeError::InvalidValue(other)),
         })
     }
@@ -236,6 +244,7 @@ impl WireError {
             ServeError::FrameTooLarge { .. } => (ErrorCode::FrameTooLarge, e.to_string()),
             ServeError::UnknownMessage(_) => (ErrorCode::UnknownRequest, e.to_string()),
             ServeError::InvalidRequest(_) => (ErrorCode::InvalidRequest, e.to_string()),
+            ServeError::Busy(_) => (ErrorCode::Busy, e.to_string()),
             other => (ErrorCode::Malformed, other.to_string()),
         };
         WireError { code, message }
@@ -321,6 +330,55 @@ pub fn parse_frame_header(
         return Err(ServeError::FrameTooLarge { len: payload_len, limit });
     }
     Ok(FrameHeader { version, payload_len })
+}
+
+/// What scanning a byte buffer's prefix for one frame concluded
+/// ([`parse_frame_prefix`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FramePrefix {
+    /// The buffer does not yet hold a complete frame; at least `needed`
+    /// more bytes must arrive (a lower bound — the header may reveal a
+    /// larger payload once complete).
+    Incomplete {
+        /// Minimum additional bytes before the scan can conclude.
+        needed: usize,
+    },
+    /// One complete frame sits at the front of the buffer.
+    Complete {
+        /// The frame's protocol version.
+        version: u8,
+        /// The payload bytes (epoch field, if any, already skipped).
+        payload: Vec<u8>,
+        /// Total frame length: drain this many bytes before rescanning.
+        consumed: usize,
+    },
+}
+
+/// Scans the front of an accumulation buffer for one complete frame —
+/// the event loop's incremental decoder, fed by whatever byte slices the
+/// socket happened to deliver.
+///
+/// Header validation (magic, version, length-vs-`limit`) happens as soon
+/// as [`FRAME_HEADER_LEN`] bytes are present, so a garbage or oversized
+/// frame is rejected without waiting for (or buffering) its body — the
+/// same early-check order as the blocking reader. The returned payload
+/// excludes the v2 epoch field, which on requests is reserved anyway.
+pub fn parse_frame_prefix(buf: &[u8], limit: u32) -> Result<FramePrefix, ServeError> {
+    if buf.len() < FRAME_HEADER_LEN {
+        return Ok(FramePrefix::Incomplete { needed: FRAME_HEADER_LEN - buf.len() });
+    }
+    let header: [u8; FRAME_HEADER_LEN] = buf[..FRAME_HEADER_LEN].try_into().expect("9 bytes");
+    let parsed = parse_frame_header(&header, limit)?;
+    let body_start = FRAME_HEADER_LEN + parsed.epoch_bytes();
+    let total = body_start + parsed.payload_len as usize;
+    if buf.len() < total {
+        return Ok(FramePrefix::Incomplete { needed: total - buf.len() });
+    }
+    Ok(FramePrefix::Complete {
+        version: parsed.version,
+        payload: buf[body_start..total].to_vec(),
+        consumed: total,
+    })
 }
 
 // ----- requests -----
@@ -1001,6 +1059,7 @@ mod tests {
             })),
             Response::BalancePoint(None),
             Response::Error(WireError { code: ErrorCode::Malformed, message: "nope".into() }),
+            Response::Error(WireError { code: ErrorCode::Busy, message: "shed".into() }),
         ]
     }
 
@@ -1157,6 +1216,86 @@ mod tests {
     }
 
     #[test]
+    fn frame_prefix_scans_at_every_split_point() {
+        // A v2 and a v1 frame back to back; the scanner must report the
+        // exact shortfall at every possible prefix length, then yield the
+        // first frame without touching the second.
+        let req = Request::TaintTrace { loot: vec![(3, 0), (9, 2)], max_txs: 500 };
+        let payload = req.encode_to_vec();
+        let f2 = frame_at(&payload, 7);
+        let f1 = frame_v1(&payload);
+        let mut blob = f2.clone();
+        blob.extend_from_slice(&f1);
+        for cut in 0..f2.len() {
+            let got = parse_frame_prefix(&blob[..cut], MAX_REQUEST_PAYLOAD).unwrap();
+            let expect_needed = if cut < FRAME_HEADER_LEN {
+                FRAME_HEADER_LEN - cut
+            } else {
+                f2.len() - cut
+            };
+            assert_eq!(got, FramePrefix::Incomplete { needed: expect_needed }, "cut {cut}");
+        }
+        // Any prefix holding the whole first frame yields it, whatever
+        // fraction of the second frame rode along.
+        for cut in f2.len()..=blob.len() {
+            let got = parse_frame_prefix(&blob[..cut], MAX_REQUEST_PAYLOAD).unwrap();
+            assert_eq!(
+                got,
+                FramePrefix::Complete {
+                    version: PROTOCOL_VERSION,
+                    payload: payload.clone(),
+                    consumed: f2.len(),
+                },
+                "cut {cut}"
+            );
+        }
+        // After draining the first frame, the v1 frame parses too (and its
+        // total length differs by exactly the epoch field).
+        let got = parse_frame_prefix(&blob[f2.len()..], MAX_REQUEST_PAYLOAD).unwrap();
+        assert_eq!(
+            got,
+            FramePrefix::Complete {
+                version: PROTOCOL_VERSION_V1,
+                payload,
+                consumed: f1.len(),
+            }
+        );
+        assert_eq!(f2.len(), f1.len() + FRAME_EPOCH_LEN);
+    }
+
+    #[test]
+    fn frame_prefix_rejects_bad_headers_without_the_body() {
+        // Garbage magic fails as soon as the 9 header bytes are in, even
+        // though the declared body never arrives.
+        let bad_magic = b"XSRV\x02\x10\x00\x00\x00";
+        assert!(matches!(
+            parse_frame_prefix(&bad_magic[..], MAX_REQUEST_PAYLOAD),
+            Err(ServeError::BadMagic(_))
+        ));
+        let bad_version = b"FSRV\x09\x00\x00\x00\x00";
+        assert_eq!(
+            parse_frame_prefix(&bad_version[..], MAX_REQUEST_PAYLOAD),
+            Err(ServeError::UnsupportedVersion(9))
+        );
+        let mut oversized = *b"FSRV\x02\x00\x00\x00\x00";
+        oversized[5..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            parse_frame_prefix(&oversized[..], MAX_REQUEST_PAYLOAD),
+            Err(ServeError::FrameTooLarge { len: u32::MAX, limit: MAX_REQUEST_PAYLOAD })
+        );
+        // ...but an 8-byte prefix of the same garbage is still just
+        // incomplete: rejection never happens before the header is whole.
+        assert_eq!(
+            parse_frame_prefix(&oversized[..8], MAX_REQUEST_PAYLOAD).unwrap(),
+            FramePrefix::Incomplete { needed: 1 }
+        );
+        assert_eq!(
+            parse_frame_prefix(&[], MAX_REQUEST_PAYLOAD).unwrap(),
+            FramePrefix::Incomplete { needed: FRAME_HEADER_LEN }
+        );
+    }
+
+    #[test]
     fn cacheability_is_by_type_byte() {
         for req in sample_requests() {
             let payload = req.encode_to_vec();
@@ -1176,6 +1315,7 @@ mod tests {
             (ServeError::FrameTooLarge { len: 1, limit: 0 }, ErrorCode::FrameTooLarge),
             (ServeError::UnknownMessage(0x77), ErrorCode::UnknownRequest),
             (ServeError::InvalidRequest("x".into()), ErrorCode::InvalidRequest),
+            (ServeError::Busy("cap".into()), ErrorCode::Busy),
             (ServeError::Decode(DecodeError::UnexpectedEnd), ErrorCode::Malformed),
         ];
         for (err, code) in cases {
@@ -1195,6 +1335,7 @@ mod tests {
             ServeError::Decode(DecodeError::UnexpectedEnd),
             ServeError::UnknownMessage(0x77),
             ServeError::InvalidRequest("x".into()),
+            ServeError::Busy("x".into()),
             ServeError::Remote(WireError { code: ErrorCode::Malformed, message: "x".into() }),
             ServeError::UnexpectedResponse,
             ServeError::MismatchedArtifacts("x"),

@@ -46,6 +46,7 @@
 //! unserved connections are dropped.
 
 use crate::cache::{CacheClass, CacheFloors, ShardedCache};
+use crate::conn::{Deadline, DeadlineVerdict, TICK};
 use crate::protocol::{
     frame_at, frame_v1, parse_frame_header, AddressReport, BalanceReport, ClusterReport, Request,
     Response, ServeError, ServerStats, TaintReport, WireError, FRAME_HEADER_LEN,
@@ -64,9 +65,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// How long an idle worker read waits before re-checking the shutdown
-/// flag. Bounds shutdown latency without costing anything on busy
-/// connections.
-const IDLE_POLL: Duration = Duration::from_millis(25);
+/// flag — one deadline tick ([`crate::conn::TICK`]). Bounds shutdown
+/// latency without costing anything on busy connections.
+const IDLE_POLL: Duration = TICK;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -144,37 +145,62 @@ impl ServeArtifacts {
 
 /// One published artifact generation: the bundle, the epoch it was built
 /// at, and the cache floors in force while it is current.
-struct Published {
-    epoch: u64,
-    floors: CacheFloors,
-    artifacts: Arc<ServeArtifacts>,
+pub(crate) struct Published {
+    pub(crate) epoch: u64,
+    pub(crate) floors: CacheFloors,
+    pub(crate) artifacts: Arc<ServeArtifacts>,
 }
 
-/// State shared by the acceptor, the workers, and the [`Server`] handle.
-struct Shared {
+/// The request-serving half of a server, independent of how connections
+/// are multiplexed: published artifacts, response cache, counters, and
+/// the shutdown flag. Both serve loops — the threaded worker pool here
+/// and the event loop in [`crate::event`] — answer requests through one
+/// `Core` via [`process_request`], which is what makes their byte
+/// streams identical by construction.
+pub(crate) struct Core {
     /// The current artifact generation. Workers clone the inner `Arc`
     /// once per request; the mutex is held only for that pointer copy, so
     /// a publish never blocks behind a long-running handler.
-    published: Mutex<Arc<Published>>,
-    cache: Option<ShardedCache>,
-    max_taint_txs: usize,
-    workers: u32,
-    shutdown: AtomicBool,
-    requests: AtomicU64,
-    swaps: AtomicU64,
-    queue: Mutex<VecDeque<TcpStream>>,
-    available: Condvar,
+    pub(crate) published: Mutex<Arc<Published>>,
+    pub(crate) cache: Option<ShardedCache>,
+    pub(crate) max_taint_txs: usize,
+    pub(crate) workers: u32,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) requests: AtomicU64,
+    pub(crate) swaps: AtomicU64,
 }
 
-impl Shared {
+impl Core {
+    /// Fresh serving state at epoch zero around one artifact bundle.
+    pub(crate) fn new(
+        workers: u32,
+        cache_entries: usize,
+        max_taint_txs: usize,
+        artifacts: Arc<ServeArtifacts>,
+    ) -> Core {
+        Core {
+            published: Mutex::new(Arc::new(Published {
+                epoch: 0,
+                floors: CacheFloors::default(),
+                artifacts,
+            })),
+            cache: (cache_entries > 0).then(|| ShardedCache::new(cache_entries)),
+            max_taint_txs,
+            workers,
+            shutdown: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            swaps: AtomicU64::new(0),
+        }
+    }
+
     /// The current artifact generation (one lock, one refcount bump).
-    fn current(&self) -> Arc<Published> {
+    pub(crate) fn current(&self) -> Arc<Published> {
         Arc::clone(&self.published.lock().expect("published poisoned"))
     }
 
     /// A point-in-time copy of the served counters and artifact
     /// dimensions — the `Stats` answer.
-    fn stats(&self) -> ServerStats {
+    pub(crate) fn stats(&self) -> ServerStats {
         let published = self.current();
         ServerStats {
             requests: self.requests.load(Ordering::Relaxed),
@@ -189,6 +215,18 @@ impl Shared {
             swaps: self.swaps.load(Ordering::Relaxed),
         }
     }
+
+    /// Whether shutdown has been signalled.
+    pub(crate) fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// State shared by the acceptor, the workers, and the [`Server`] handle.
+struct Shared {
+    core: Arc<Core>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
 }
 
 /// A handle for hot-swapping the served artifacts. Cloneable and
@@ -197,7 +235,7 @@ impl Shared {
 /// ever read it).
 #[derive(Clone)]
 pub struct Publisher {
-    shared: Arc<Shared>,
+    pub(crate) core: Arc<Core>,
 }
 
 impl Publisher {
@@ -215,7 +253,7 @@ impl Publisher {
     ///
     /// Epochs must be nondecreasing across publishes.
     pub fn publish(&self, artifacts: Arc<ServeArtifacts>, epoch: u64, ids_stable: bool) {
-        let mut published = self.shared.published.lock().expect("published poisoned");
+        let mut published = self.core.published.lock().expect("published poisoned");
         assert!(epoch >= published.epoch, "published epochs must be nondecreasing");
         let floors = CacheFloors {
             snapshot: if ids_stable { published.floors.snapshot } else { epoch },
@@ -223,17 +261,17 @@ impl Publisher {
         };
         *published = Arc::new(Published { epoch, floors, artifacts });
         drop(published);
-        self.shared.swaps.fetch_add(1, Ordering::Relaxed);
+        self.core.swaps.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The epoch of the currently published generation.
     pub fn current_epoch(&self) -> u64 {
-        self.shared.current().epoch
+        self.core.current().epoch
     }
 
     /// Number of publishes performed on this server so far.
     pub fn swaps(&self) -> u64 {
-        self.shared.swaps.load(Ordering::Relaxed)
+        self.core.swaps.load(Ordering::Relaxed)
     }
 }
 
@@ -270,17 +308,12 @@ impl Server {
         };
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            published: Mutex::new(Arc::new(Published {
-                epoch: 0,
-                floors: CacheFloors::default(),
+            core: Arc::new(Core::new(
+                workers as u32,
+                config.cache_entries,
+                config.max_taint_txs,
                 artifacts,
-            })),
-            cache: (config.cache_entries > 0).then(|| ShardedCache::new(config.cache_entries)),
-            max_taint_txs: config.max_taint_txs,
-            workers: workers as u32,
-            shutdown: AtomicBool::new(false),
-            requests: AtomicU64::new(0),
-            swaps: AtomicU64::new(0),
+            )),
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
         });
@@ -289,7 +322,7 @@ impl Server {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || {
                 for conn in listener.incoming() {
-                    if shared.shutdown.load(Ordering::SeqCst) {
+                    if shared.core.shutdown_requested() {
                         break;
                     }
                     let Ok(stream) = conn else { continue };
@@ -316,13 +349,13 @@ impl Server {
     /// Current counters and artifact dimensions, without a socket round
     /// trip.
     pub fn stats(&self) -> ServerStats {
-        self.shared.stats()
+        self.shared.core.stats()
     }
 
     /// A handle for hot-swapping the served artifacts (see
     /// [`Publisher::publish`]).
     pub fn publisher(&self) -> Publisher {
-        Publisher { shared: Arc::clone(&self.shared) }
+        Publisher { core: Arc::clone(&self.shared.core) }
     }
 
     /// Signals shutdown, drains in-flight requests, and joins every
@@ -332,7 +365,7 @@ impl Server {
     }
 
     fn shutdown_inner(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.core.shutdown.store(true, Ordering::SeqCst);
         // Wake the acceptor out of accept(); it observes the flag first.
         let _ = TcpStream::connect(self.local_addr);
         self.shared.available.notify_all();
@@ -354,7 +387,7 @@ impl Drop for Server {
 /// One worker: pop connections until shutdown, serving each to
 /// completion with a thread-local reusable taint scratch.
 fn worker_loop(shared: &Shared) {
-    let mut scratch = TaintScratch::for_graph(&shared.current().artifacts.graph);
+    let mut scratch = TaintScratch::for_graph(&shared.core.current().artifacts.graph);
     loop {
         let conn = {
             let mut queue = shared.queue.lock().expect("queue poisoned");
@@ -362,7 +395,7 @@ fn worker_loop(shared: &Shared) {
                 if let Some(conn) = queue.pop_front() {
                     break Some(conn);
                 }
-                if shared.shutdown.load(Ordering::SeqCst) {
+                if shared.core.shutdown_requested() {
                     break None;
                 }
                 queue = shared
@@ -392,30 +425,25 @@ enum FrameRead {
     Bad(ServeError),
 }
 
-/// How many consecutive idle polls a *started* frame may sit stalled
-/// before the worker gives up on the connection (`IDLE_POLL` apart, so
-/// this is a ~30-second mid-frame read deadline). Without it, a peer that
-/// sends half a frame and then goes silent would pin a worker forever.
-const STALLED_READ_LIMIT: u32 = 1200;
+/// The typed error a stalled partial frame is answered with — shared by
+/// both serve loops so the byte streams match.
+pub(crate) fn stalled_read_error() -> ServeError {
+    ServeError::Io("mid-frame read stalled".into())
+}
 
-/// How many consecutive idle polls a connection may sit with *no* frame
-/// started before the worker closes it (~60 seconds) — the keep-alive
-/// timeout. Workers serve one connection at a time, so without this,
-/// `workers` idle-but-open clients would starve every queued connection.
-const KEEP_ALIVE_LIMIT: u32 = 2400;
-
-/// Reads one frame. While no byte of the frame has arrived, idle polls
-/// check the shutdown flag (and the [`KEEP_ALIVE_LIMIT`] idle timeout);
-/// once a frame has started, a fully delivered frame is always read to
-/// completion (and later answered — that is what lets shutdown drain
-/// in-flight work), but a *stalled* partial frame is abandoned on
-/// shutdown, and after [`STALLED_READ_LIMIT`] idle polls even without
-/// one — a half-received request was never being processed, so dropping
-/// it loses nothing that was promised.
-fn read_request_frame(stream: &mut TcpStream, shared: &Shared) -> FrameRead {
+/// Reads one frame, with silence bounded by a [`Deadline`] (the shared
+/// bookkeeping both serve loops use). While no byte of the frame has
+/// arrived, idle polls check the shutdown flag (and the keep-alive
+/// limit); once a frame has started, a fully delivered frame is always
+/// read to completion (and later answered — that is what lets shutdown
+/// drain in-flight work), but a *stalled* partial frame is abandoned on
+/// shutdown, and at the mid-frame deadline even without one — a
+/// half-received request was never being processed, so dropping it loses
+/// nothing that was promised.
+fn read_request_frame(stream: &mut TcpStream, core: &Core) -> FrameRead {
+    let mut deadline = Deadline::new();
     let mut header = [0u8; FRAME_HEADER_LEN];
     let mut filled = 0usize;
-    let mut stalled = 0u32;
     while filled < FRAME_HEADER_LEN {
         match stream.read(&mut header[filled..]) {
             Ok(0) => {
@@ -423,19 +451,20 @@ fn read_request_frame(stream: &mut TcpStream, shared: &Shared) -> FrameRead {
             }
             Ok(n) => {
                 filled += n;
-                stalled = 0;
+                deadline.progress();
             }
             Err(e) => match e.kind() {
                 std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
-                    if shared.shutdown.load(Ordering::SeqCst) {
+                    if core.shutdown_requested() {
                         return FrameRead::Shutdown;
                     }
-                    stalled += 1;
-                    if filled == 0 && stalled >= KEEP_ALIVE_LIMIT {
-                        return FrameRead::Eof; // keep-alive expired; free the worker
-                    }
-                    if filled > 0 && stalled >= STALLED_READ_LIMIT {
-                        return FrameRead::Bad(ServeError::Io("mid-frame read stalled".into()));
+                    match deadline.tick(filled > 0) {
+                        DeadlineVerdict::Wait => {}
+                        // Keep-alive expired; free the worker.
+                        DeadlineVerdict::KeepAliveExpired => return FrameRead::Eof,
+                        DeadlineVerdict::MidFrameStalled => {
+                            return FrameRead::Bad(stalled_read_error())
+                        }
                     }
                 }
                 std::io::ErrorKind::Interrupted => {}
@@ -455,22 +484,22 @@ fn read_request_frame(stream: &mut TcpStream, shared: &Shared) -> FrameRead {
     let len = parsed.payload_len as usize;
     let mut rest = vec![0u8; epoch_bytes + len];
     let mut filled = 0usize;
-    let mut stalled = 0u32;
     while filled < rest.len() {
         match stream.read(&mut rest[filled..]) {
             Ok(0) => return FrameRead::Bad(ServeError::Truncated),
             Ok(n) => {
                 filled += n;
-                stalled = 0;
+                deadline.progress();
             }
             Err(e) => match e.kind() {
                 std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
-                    if shared.shutdown.load(Ordering::SeqCst) {
+                    if core.shutdown_requested() {
                         return FrameRead::Shutdown;
                     }
-                    stalled += 1;
-                    if stalled >= STALLED_READ_LIMIT {
-                        return FrameRead::Bad(ServeError::Io("mid-frame read stalled".into()));
+                    // The body is always mid-frame: the header bytes that
+                    // got us here already started the frame.
+                    if deadline.tick(true) == DeadlineVerdict::MidFrameStalled {
+                        return FrameRead::Bad(stalled_read_error());
                     }
                 }
                 std::io::ErrorKind::Interrupted => {}
@@ -485,7 +514,7 @@ fn read_request_frame(stream: &mut TcpStream, shared: &Shared) -> FrameRead {
 /// Frames an already-encoded non-`Stats` response payload for a peer
 /// speaking `version` (version-1 `Stats` bodies differ, so those take
 /// the [`Response::to_frame_v1`] path instead).
-fn frame_payload_for(payload: &[u8], version: u8, epoch: u64) -> Vec<u8> {
+pub(crate) fn frame_payload_for(payload: &[u8], version: u8, epoch: u64) -> Vec<u8> {
     if version >= PROTOCOL_VERSION {
         frame_at(payload, epoch)
     } else {
@@ -505,12 +534,94 @@ fn cache_class_of(response: &Response) -> CacheClass {
     }
 }
 
+/// The complete error frame answering an unacceptable request frame,
+/// framed as `version` and stamped with the current epoch — shared by
+/// both serve loops so a framing error's bytes are identical whichever
+/// loop caught it.
+pub(crate) fn framing_error_frame(core: &Core, e: &ServeError, version: u8) -> Vec<u8> {
+    let wire = Response::Error(WireError::from_serve_error(e));
+    let encoded = fistful_chain::encode::Encodable::encode_to_vec(&wire);
+    frame_payload_for(&encoded, version, core.current().epoch)
+}
+
+/// Answers one request payload end to end: counter bump, artifact-
+/// generation pin, cache consult, decode, handle, oversize demotion,
+/// cache insert, and version-correct framing. Returns the complete
+/// response frame and whether the connection must close after sending it.
+///
+/// This is the single request path both serve loops share — the threaded
+/// workers call it with the socket in hand, the event loop from its
+/// worker pool with the frame already parsed — which is what makes the
+/// two servers' byte streams identical by construction.
+pub(crate) fn process_request(
+    core: &Core,
+    payload: Vec<u8>,
+    version: u8,
+    scratch: &mut TaintScratch,
+) -> (Vec<u8>, bool) {
+    core.requests.fetch_add(1, Ordering::Relaxed);
+
+    // Pin the artifact generation for this request: everything below
+    // — cache floors, handlers, the epoch stamped into the response
+    // frame — reads this one `Published`, so a concurrent publish
+    // cannot tear a request across generations.
+    let published = core.current();
+
+    // Cache fast path: the key is the raw request payload, so a hit
+    // skips decoding, handling, and re-encoding alike. Only consult it
+    // for request types whose answers are pure functions of the
+    // artifacts (never Ping/Stats). Values are stored as payload
+    // bytes; framing is per-connection (version and current epoch).
+    let cacheable = payload
+        .first()
+        .is_some_and(|&t| Request::type_byte_is_cacheable(t));
+    if cacheable {
+        if let Some(cached) = core.cache.as_ref().and_then(|c| c.get(&payload, &published.floors))
+        {
+            return (frame_payload_for(&cached, version, published.epoch), false);
+        }
+    }
+
+    let (mut response, mut close_after) = match Request::decode_payload(&payload) {
+        Ok(request) => handle(&request, core, &published, scratch),
+        Err(e) => (Response::Error(WireError::from_serve_error(&e)), true),
+    };
+    let mut encoded = fistful_chain::encode::Encodable::encode_to_vec(&response);
+    // The client enforces MAX_RESPONSE_PAYLOAD on its side of the
+    // protocol; a response beyond it (e.g. a taint trace under an
+    // operator-raised `max_taint_txs` ceiling) must become a typed
+    // error here, not a frame every conforming peer rejects.
+    if encoded.len() > crate::protocol::MAX_RESPONSE_PAYLOAD as usize {
+        let e = ServeError::InvalidRequest(format!(
+            "response of {} bytes exceeds the {}-byte frame limit; lower the walk bounds",
+            encoded.len(),
+            crate::protocol::MAX_RESPONSE_PAYLOAD
+        ));
+        response = Response::Error(WireError::from_serve_error(&e));
+        close_after = true;
+        encoded = fistful_chain::encode::Encodable::encode_to_vec(&response);
+    }
+    if cacheable && !close_after {
+        if let Some(cache) = core.cache.as_ref() {
+            cache.insert(payload, encoded.clone(), published.epoch, cache_class_of(&response));
+        }
+    }
+    // Stats responses have a distinct legacy body; everything else is
+    // byte-identical across versions and only the framing differs.
+    let framed = match (&response, version) {
+        (Response::Stats(_), v) if v < PROTOCOL_VERSION => response.to_frame_v1(),
+        _ => frame_payload_for(&encoded, version, published.epoch),
+    };
+    (framed, close_after)
+}
+
 /// Serves one connection until EOF, a protocol error, or shutdown.
 fn serve_connection(mut stream: TcpStream, shared: &Shared, scratch: &mut TaintScratch) {
     let _ = stream.set_nodelay(true);
     if stream.set_read_timeout(Some(IDLE_POLL)).is_err() {
         return;
     }
+    let core = &*shared.core;
     // Until the first request frame parses, errors are framed as the
     // current protocol version (a peer whose magic or version byte is
     // garbage has no known dialect to answer in).
@@ -521,10 +632,10 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared, scratch: &mut TaintS
         // now instead of starting another read. Without this check a
         // client pumping requests back-to-back would keep the socket
         // readable forever and the idle-timeout path would never fire.
-        if shared.shutdown.load(Ordering::SeqCst) {
+        if core.shutdown_requested() {
             return;
         }
-        let payload = match read_request_frame(&mut stream, shared) {
+        let payload = match read_request_frame(&mut stream, core) {
             FrameRead::Payload(payload, v) => {
                 version = v;
                 payload
@@ -533,77 +644,12 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared, scratch: &mut TaintS
             FrameRead::Bad(e) => {
                 // Tell the peer what was wrong with its frame, then close:
                 // after a framing error the stream cannot be resynced.
-                let wire = Response::Error(WireError::from_serve_error(&e));
-                let encoded = fistful_chain::encode::Encodable::encode_to_vec(&wire);
-                let epoch = shared.current().epoch;
-                let _ = stream.write_all(&frame_payload_for(&encoded, version, epoch));
+                let _ = stream.write_all(&framing_error_frame(core, &e, version));
                 close_gracefully(stream);
                 return;
             }
         };
-        shared.requests.fetch_add(1, Ordering::Relaxed);
-
-        // Pin the artifact generation for this request: everything below
-        // — cache floors, handlers, the epoch stamped into the response
-        // frame — reads this one `Published`, so a concurrent publish
-        // cannot tear a request across generations.
-        let published = shared.current();
-
-        // Cache fast path: the key is the raw request payload, so a hit
-        // skips decoding, handling, and re-encoding alike. Only consult it
-        // for request types whose answers are pure functions of the
-        // artifacts (never Ping/Stats). Values are stored as payload
-        // bytes; framing is per-connection (version and current epoch).
-        let cacheable = payload
-            .first()
-            .is_some_and(|&t| Request::type_byte_is_cacheable(t));
-        if cacheable {
-            if let Some(cached) =
-                shared.cache.as_ref().and_then(|c| c.get(&payload, &published.floors))
-            {
-                if stream.write_all(&frame_payload_for(&cached, version, published.epoch)).is_err()
-                {
-                    return;
-                }
-                continue;
-            }
-        }
-
-        let (mut response, mut close_after) = match Request::decode_payload(&payload) {
-            Ok(request) => handle(&request, shared, &published, scratch),
-            Err(e) => (Response::Error(WireError::from_serve_error(&e)), true),
-        };
-        let mut encoded = fistful_chain::encode::Encodable::encode_to_vec(&response);
-        // The client enforces MAX_RESPONSE_PAYLOAD on its side of the
-        // protocol; a response beyond it (e.g. a taint trace under an
-        // operator-raised `max_taint_txs` ceiling) must become a typed
-        // error here, not a frame every conforming peer rejects.
-        if encoded.len() > crate::protocol::MAX_RESPONSE_PAYLOAD as usize {
-            let e = ServeError::InvalidRequest(format!(
-                "response of {} bytes exceeds the {}-byte frame limit; lower the walk bounds",
-                encoded.len(),
-                crate::protocol::MAX_RESPONSE_PAYLOAD
-            ));
-            response = Response::Error(WireError::from_serve_error(&e));
-            close_after = true;
-            encoded = fistful_chain::encode::Encodable::encode_to_vec(&response);
-        }
-        if cacheable && !close_after {
-            if let Some(cache) = shared.cache.as_ref() {
-                cache.insert(
-                    payload,
-                    encoded.clone(),
-                    published.epoch,
-                    cache_class_of(&response),
-                );
-            }
-        }
-        // Stats responses have a distinct legacy body; everything else is
-        // byte-identical across versions and only the framing differs.
-        let framed = match (&response, version) {
-            (Response::Stats(_), v) if v < PROTOCOL_VERSION => response.to_frame_v1(),
-            _ => frame_payload_for(&encoded, version, published.epoch),
-        };
+        let (framed, close_after) = process_request(core, payload, version, scratch);
         if stream.write_all(&framed).is_err() {
             return;
         }
@@ -643,14 +689,14 @@ fn close_gracefully(mut stream: TcpStream) {
 /// (semantic errors close, like framing errors do).
 fn handle(
     request: &Request,
-    shared: &Shared,
+    core: &Core,
     published: &Published,
     scratch: &mut TaintScratch,
 ) -> (Response, bool) {
     let artifacts = &published.artifacts;
     let response = match request {
         Request::Ping => Response::Pong,
-        Request::Stats => Response::Stats(shared.stats()),
+        Request::Stats => Response::Stats(core.stats()),
         Request::AddressInfo { address } => Response::AddressInfo(
             artifacts.snapshot.cluster_of(*address).map(|cluster| AddressReport {
                 address: *address,
@@ -674,7 +720,7 @@ fn handle(
                     return (Response::Error(WireError::from_serve_error(&e)), true);
                 }
             }
-            let bound = (*max_txs as usize).min(shared.max_taint_txs);
+            let bound = (*max_txs as usize).min(core.max_taint_txs);
             let trace = track_theft_indexed(
                 graph,
                 loot,

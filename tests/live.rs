@@ -16,8 +16,9 @@ use fistful::flow::theft::track_theft_indexed;
 use fistful::flow::{balance_series_at, point_at};
 use fistful::serve::store::read_live_meta;
 use fistful::serve::{
-    AddressReport, BalanceReport, Client, ClusterReport, LiveConfig, LivePipeline, Request,
-    Response, ServeArtifacts, ServeConfig, Server, TaintReport,
+    AddressReport, BalanceReport, Client, ClusterReport, EventServeConfig, EventServer,
+    LiveConfig, LivePipeline, Publisher, Request, Response, ServeArtifacts, ServeConfig, Server,
+    ServerStats, TaintReport, PROTOCOL_MAGIC, PROTOCOL_VERSION,
 };
 use fistful::sim::SimConfig;
 use fistful_bench::Workbench;
@@ -153,16 +154,8 @@ fn expected_payload(base: &ServeArtifacts, request: &Request) -> Vec<u8> {
     response.encode_to_vec()
 }
 
-/// One full round of mixed requests on an open connection, every answer
-/// checked byte-for-byte against the baseline of the epoch the response
-/// was stamped with, epochs checked nondecreasing along the connection.
-fn round(
-    client: &mut Client,
-    t: u32,
-    fx: &Fixture,
-    prev_epoch: &mut u64,
-    seen: &mut HashSet<u64>,
-) {
+/// The per-round mixed request list client `t` replays each lap.
+fn round_requests(t: u32, fx: &Fixture) -> Vec<Request> {
     let final_base = &fx.baselines[&fx.final_epoch];
     let n_addr = final_base.snapshot.address_count() as u32;
     let n_clusters = final_base.snapshot.cluster_count() as u32;
@@ -186,8 +179,20 @@ fn round(
         loot: vec![((t * 5 + 1) % cut, 0), ((t * 5 + 4) % cut, 0)],
         max_txs: 48,
     });
+    requests
+}
 
-    for request in &requests {
+/// One full round of mixed requests on an open connection, every answer
+/// checked byte-for-byte against the baseline of the epoch the response
+/// was stamped with, epochs checked nondecreasing along the connection.
+fn round(
+    client: &mut Client,
+    t: u32,
+    fx: &Fixture,
+    prev_epoch: &mut u64,
+    seen: &mut HashSet<u64>,
+) {
+    for request in &round_requests(t, fx) {
         let raw = client
             .call_raw(&request.encode_to_vec())
             .unwrap_or_else(|e| panic!("client {t}: {request:?} failed mid-soak: {e}"));
@@ -219,10 +224,120 @@ fn round(
     );
 }
 
+/// Reads one v2 response frame from a raw soak connection, checking the
+/// framing is intact (magic, version, exact lengths — a torn frame fails
+/// here), and returns `(epoch, payload)`.
+fn read_soak_frame(stream: &mut std::net::TcpStream, t: u32) -> (u64, Vec<u8>) {
+    use std::io::Read;
+    let mut header = [0u8; 9];
+    stream.read_exact(&mut header).unwrap_or_else(|e| panic!("client {t}: torn header: {e}"));
+    assert_eq!(header[..4], PROTOCOL_MAGIC, "client {t}: bad magic mid-soak");
+    assert_eq!(header[4], PROTOCOL_VERSION, "client {t}: bad version mid-soak");
+    let len = u32::from_le_bytes(header[5..9].try_into().unwrap()) as usize;
+    let mut epoch = [0u8; 8];
+    stream.read_exact(&mut epoch).unwrap_or_else(|e| panic!("client {t}: torn epoch: {e}"));
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).unwrap_or_else(|e| panic!("client {t}: torn payload: {e}"));
+    (u64::from_le_bytes(epoch), payload)
+}
+
+/// The event-loop variant of [`round`]: the whole request list goes out
+/// as one coalesced pipelined blob, and the in-order responses are each
+/// checked byte-for-byte against the baseline of the epoch they are
+/// stamped with — a hot swap mid-batch is fine (epochs may step up
+/// between responses) but must never regress or tear a frame.
+fn pipelined_round(
+    stream: &mut std::net::TcpStream,
+    t: u32,
+    fx: &Fixture,
+    prev_epoch: &mut u64,
+    seen: &mut HashSet<u64>,
+) {
+    use std::io::Write;
+    let requests = round_requests(t, fx);
+    let mut blob = Vec::new();
+    for request in &requests {
+        blob.extend_from_slice(&request.to_frame());
+    }
+    stream.write_all(&blob).unwrap_or_else(|e| panic!("client {t}: pipelined write: {e}"));
+    for request in &requests {
+        let (epoch, payload) = read_soak_frame(stream, t);
+        assert!(
+            epoch >= *prev_epoch,
+            "client {t}: response epoch regressed {} -> {epoch}",
+            *prev_epoch
+        );
+        *prev_epoch = epoch;
+        seen.insert(epoch);
+        let base = fx
+            .baselines
+            .get(&epoch)
+            .unwrap_or_else(|| panic!("client {t}: response stamped unknown epoch {epoch}"));
+        assert_eq!(
+            payload,
+            expected_payload(base, request),
+            "client {t}: pipelined answer diverged at epoch {epoch} for {request:?}"
+        );
+    }
+    // A stats probe rides the same connection; its epoch must be a
+    // published generation.
+    stream.write_all(&Request::Stats.to_frame()).unwrap_or_else(|e| panic!("client {t}: {e}"));
+    let (epoch, payload) = read_soak_frame(stream, t);
+    match Response::decode_payload(&payload) {
+        Ok(Response::Stats(s)) => {
+            assert!(
+                fx.baselines.contains_key(&s.epoch),
+                "client {t}: stats report unpublished epoch {}",
+                s.epoch
+            );
+            assert!(fx.baselines.contains_key(&epoch));
+        }
+        other => panic!("client {t}: expected stats, got {other:?}"),
+    }
+}
+
+/// Either serving loop, behind the handful of calls the soak needs —
+/// both expose the same [`Publisher`], so the live pipeline cannot tell
+/// them apart.
+enum SoakServer {
+    Threaded(Server),
+    Event(EventServer),
+}
+
+impl SoakServer {
+    fn local_addr(&self) -> std::net::SocketAddr {
+        match self {
+            SoakServer::Threaded(s) => s.local_addr(),
+            SoakServer::Event(s) => s.local_addr(),
+        }
+    }
+
+    fn publisher(&self) -> Publisher {
+        match self {
+            SoakServer::Threaded(s) => s.publisher(),
+            SoakServer::Event(s) => s.publisher(),
+        }
+    }
+
+    fn stats(&self) -> ServerStats {
+        match self {
+            SoakServer::Threaded(s) => s.stats(),
+            SoakServer::Event(s) => s.stats(),
+        }
+    }
+
+    fn shutdown(self) {
+        match self {
+            SoakServer::Threaded(s) => s.shutdown(),
+            SoakServer::Event(s) => s.shutdown(),
+        }
+    }
+}
+
 /// The soak itself: 8 clients hammer the server from before the first
 /// streamed block until after the terminal flush, checking every answer
 /// differentially; returns after asserting the end state.
-fn soak(cache_entries: usize, store_dir: Option<&Path>) {
+fn soak(cache_entries: usize, store_dir: Option<&Path>, event_loop: bool) {
     let fx = fixture();
     let chain = Arc::new(fx.wb.eco.chain.resolved().clone());
     let mut config = fx.config.clone();
@@ -233,16 +348,28 @@ fn soak(cache_entries: usize, store_dir: Option<&Path>) {
         artifacts.snapshot, fx.baselines[&0].snapshot,
         "bootstrap bundle diverges from the epoch-0 batch rebuild"
     );
-    let server = Server::start(
-        ServeConfig {
-            addr: "127.0.0.1:0".to_string(),
-            workers: 8,
-            cache_entries,
-            ..ServeConfig::default()
-        },
-        artifacts,
-    )
-    .expect("start server");
+    let server = if event_loop {
+        SoakServer::Event(
+            EventServer::start(
+                EventServeConfig { workers: 8, cache_entries, ..EventServeConfig::default() },
+                artifacts,
+            )
+            .expect("start event server"),
+        )
+    } else {
+        SoakServer::Threaded(
+            Server::start(
+                ServeConfig {
+                    addr: "127.0.0.1:0".to_string(),
+                    workers: 8,
+                    cache_entries,
+                    ..ServeConfig::default()
+                },
+                artifacts,
+            )
+            .expect("start server"),
+        )
+    };
     let addr = server.local_addr();
 
     let done = AtomicBool::new(false);
@@ -252,18 +379,33 @@ fn soak(cache_entries: usize, store_dir: Option<&Path>) {
         for t in 0..8u32 {
             let (done, observed, start) = (&done, &observed, &start);
             s.spawn(move || {
-                let mut client = Client::connect(addr).expect("connect");
-                client.ping().expect("ping");
-                start.wait();
                 let mut prev_epoch = 0u64;
                 let mut seen = HashSet::new();
-                loop {
-                    // Snapshot the flag *before* the round so every client
-                    // completes one full round on the final generation.
-                    let finished = done.load(Ordering::SeqCst);
-                    round(&mut client, t, fx, &mut prev_epoch, &mut seen);
-                    if finished {
-                        break;
+                if event_loop {
+                    // Pipelined raw connection against the event loop.
+                    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+                    stream.set_nodelay(true).expect("nodelay");
+                    start.wait();
+                    loop {
+                        let finished = done.load(Ordering::SeqCst);
+                        pipelined_round(&mut stream, t, fx, &mut prev_epoch, &mut seen);
+                        if finished {
+                            break;
+                        }
+                    }
+                } else {
+                    let mut client = Client::connect(addr).expect("connect");
+                    client.ping().expect("ping");
+                    start.wait();
+                    loop {
+                        // Snapshot the flag *before* the round so every
+                        // client completes one full round on the final
+                        // generation.
+                        let finished = done.load(Ordering::SeqCst);
+                        round(&mut client, t, fx, &mut prev_epoch, &mut seen);
+                        if finished {
+                            break;
+                        }
                     }
                 }
                 observed.lock().unwrap().extend(seen);
@@ -298,12 +440,22 @@ fn soak(cache_entries: usize, store_dir: Option<&Path>) {
 
 #[test]
 fn soak_with_cache_answers_byte_identically_across_hot_swaps() {
-    soak(4096, None);
+    soak(4096, None, false);
 }
 
 #[test]
 fn soak_without_cache_answers_byte_identically_across_hot_swaps() {
-    soak(0, None);
+    soak(0, None, false);
+}
+
+#[test]
+fn event_soak_answers_pipelined_batches_byte_identically_across_hot_swaps() {
+    // The event loop under continuous *pipelined* load while the live
+    // pipeline hot-swaps generations underneath it: epochs monotone per
+    // connection, every frame intact, every answer byte-identical to the
+    // batch rebuild at its stamped epoch. Bounded exactly like the
+    // threaded soaks — one pass of the streamed chain.
+    soak(4096, None, true);
 }
 
 #[test]
@@ -314,7 +466,7 @@ fn soak_with_store_persists_and_a_restart_resumes_identically() {
         std::fs::remove_dir_all(&dir).unwrap();
     }
     std::fs::create_dir_all(&dir).unwrap();
-    soak(1024, Some(&dir));
+    soak(1024, Some(&dir), false);
 
     let fx = fixture();
     // The on-disk base + delta trail folds to the final published state.

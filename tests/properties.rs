@@ -804,13 +804,14 @@ fn serve_response_from(sel: u8, nums: &[u64], text: &str) -> fistful::serve::Res
         })),
         7 => Response::BalancePoint(None),
         _ => Response::Error(WireError {
-            code: match n(0) % 6 {
+            code: match n(0) % 7 {
                 0 => ErrorCode::BadMagic,
                 1 => ErrorCode::UnsupportedVersion,
                 2 => ErrorCode::FrameTooLarge,
                 3 => ErrorCode::Malformed,
                 4 => ErrorCode::UnknownRequest,
-                _ => ErrorCode::InvalidRequest,
+                5 => ErrorCode::InvalidRequest,
+                _ => ErrorCode::Busy,
             },
             message: text.chars().take(40).collect(),
         }),
@@ -868,6 +869,183 @@ proptest! {
         let response = serve_response_from(sel, &nums, &text);
         let payload = response.encode_to_vec();
         prop_assert_eq!(Response::decode_payload(&payload).unwrap(), response);
+    }
+}
+
+// ---------- differential pipelining: event loop vs threaded ----------
+
+/// One threaded and one event server over the same artifacts, plus one
+/// persistent connection to each. Both see the identical cumulative
+/// request stream (batches arrive in proptest case order on a single
+/// runner thread), and both run one worker, so even the `Stats` counters
+/// stay in lockstep.
+struct PipePair {
+    _threaded: fistful::serve::Server,
+    _event: fistful::serve::EventServer,
+    threaded_conn: std::net::TcpStream,
+    event_conn: std::net::TcpStream,
+    loots: Vec<Vec<(u32, u32)>>,
+    address_count: u32,
+    cluster_count: u32,
+    tip_height: u64,
+}
+
+fn pipe_pair() -> &'static std::sync::Mutex<PipePair> {
+    use fistful::serve::{EventServeConfig, EventServer, ServeConfig, Server};
+    use fistful_bench::{serve_artifacts, theft_loots, Workbench};
+    use std::sync::{Arc, Mutex, OnceLock};
+    static PAIR: OnceLock<Mutex<PipePair>> = OnceLock::new();
+    PAIR.get_or_init(|| {
+        let wb = Workbench::build(SimConfig::tiny());
+        let artifacts = Arc::new(serve_artifacts(&wb));
+        let chain = wb.eco.chain.resolved();
+        let loots = theft_loots(chain, &wb.eco.script_report.thefts)
+            .into_iter()
+            .map(|(_, loot)| loot)
+            .collect();
+        let threaded = Server::start(
+            ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                workers: 1,
+                cache_entries: 1024,
+                ..ServeConfig::default()
+            },
+            Arc::clone(&artifacts),
+        )
+        .expect("start threaded server");
+        let event = EventServer::start(
+            EventServeConfig { workers: 1, cache_entries: 1024, ..EventServeConfig::default() },
+            Arc::clone(&artifacts),
+        )
+        .expect("start event server");
+        let threaded_conn = std::net::TcpStream::connect(threaded.local_addr()).expect("connect");
+        let event_conn = std::net::TcpStream::connect(event.local_addr()).expect("connect");
+        threaded_conn.set_nodelay(true).expect("nodelay");
+        event_conn.set_nodelay(true).expect("nodelay");
+        Mutex::new(PipePair {
+            address_count: artifacts.snapshot.address_count() as u32,
+            cluster_count: artifacts.snapshot.cluster_count() as u32,
+            tip_height: artifacts.snapshot.tip_height(),
+            _threaded: threaded,
+            _event: event,
+            threaded_conn,
+            event_conn,
+            loots,
+        })
+    })
+}
+
+/// Reads one response frame in whichever protocol version the server
+/// chose, returning `(version, epoch, payload)`.
+fn read_frame_any(stream: &mut std::net::TcpStream) -> (u8, u64, Vec<u8>) {
+    use fistful::serve::PROTOCOL_VERSION_V1;
+    use std::io::Read;
+    let mut header = [0u8; 9];
+    stream.read_exact(&mut header).expect("response header");
+    assert_eq!(header[..4], fistful::serve::PROTOCOL_MAGIC);
+    let version = header[4];
+    let len = u32::from_le_bytes(header[5..9].try_into().unwrap()) as usize;
+    let epoch = if version == PROTOCOL_VERSION_V1 {
+        0
+    } else {
+        let mut e = [0u8; 8];
+        stream.read_exact(&mut e).expect("response epoch");
+        u64::from_le_bytes(e)
+    };
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload).expect("response payload");
+    (version, epoch, payload)
+}
+
+proptest! {
+    // Each case round-trips a whole batch against two live servers.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Pipelining is a pure transport optimization: a random batch of
+    /// requests — mixed v1/v2 frames, coalesced into one byte blob and
+    /// written over a single connection at arbitrary chunk boundaries —
+    /// yields in-order responses byte-identical to the same requests sent
+    /// one at a time to the threaded server.
+    #[test]
+    fn pipelined_batches_match_sequential_threaded_answers(
+        draws in proptest::collection::vec(
+            (any::<u8>(), any::<u32>(), any::<u64>(), any::<bool>()),
+            1..12,
+        ),
+        chunk_seed in any::<u64>(),
+    ) {
+        use fistful::serve::protocol::frame_v1;
+        use fistful::serve::Request;
+        use fistful_chain::encode::Encodable;
+        use std::io::Write;
+
+        let mut pair = pipe_pair().lock().expect("pair poisoned");
+        // Only requests a server answers without closing: out-of-range
+        // lookups get `None` bodies, but loot stays within the graph and
+        // frames stay well-formed, so the two persistent connections
+        // survive every case.
+        let requests: Vec<(Request, bool)> = draws
+            .iter()
+            .map(|&(sel, a, height, v1)| {
+                let request = match sel % 6 {
+                    0 => Request::Ping,
+                    1 => Request::Stats,
+                    2 => Request::AddressInfo { address: a % (pair.address_count + 3) },
+                    3 => Request::ClusterSummary { cluster: a % (pair.cluster_count + 3) },
+                    4 => Request::TaintTrace {
+                        loot: pair.loots[a as usize % pair.loots.len()].clone(),
+                        max_txs: (height % 50 + 1) as u32,
+                    },
+                    _ => Request::BalancePoint { height: height % (pair.tip_height + 5) },
+                };
+                (request, v1)
+            })
+            .collect();
+
+        // Sequential ground truth from the threaded server first, so the
+        // cumulative streams (and thus Stats counters and cache state)
+        // match request for request.
+        let mut expected = Vec::with_capacity(requests.len());
+        for (request, v1) in &requests {
+            let bytes = if *v1 {
+                frame_v1(&request.encode_to_vec())
+            } else {
+                request.to_frame()
+            };
+            pair.threaded_conn.write_all(&bytes).expect("threaded write");
+            let conn = &mut pair.threaded_conn;
+            expected.push(read_frame_any(conn));
+        }
+
+        // The same batch as one coalesced blob, chopped at arbitrary
+        // boundaries (with pauses, so the server genuinely sees partial
+        // frames), pipelined over the event connection.
+        let mut blob = Vec::new();
+        for (request, v1) in &requests {
+            if *v1 {
+                blob.extend_from_slice(&frame_v1(&request.encode_to_vec()));
+            } else {
+                blob.extend_from_slice(&request.to_frame());
+            }
+        }
+        let mut lcg = chunk_seed | 1;
+        let mut at = 0usize;
+        let mut pauses = 0;
+        while at < blob.len() {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let take = (1 + (lcg >> 33) as usize % 17).min(blob.len() - at);
+            pair.event_conn.write_all(&blob[at..at + take]).expect("event write");
+            at += take;
+            if lcg % 5 == 0 && pauses < 3 && at < blob.len() {
+                pauses += 1;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        for (i, want) in expected.iter().enumerate() {
+            let conn = &mut pair.event_conn;
+            let got = read_frame_any(conn);
+            assert_eq!(&got, want, "response #{} diverged (request {:?})", i, requests[i]);
+        }
     }
 }
 
