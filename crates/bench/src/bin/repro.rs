@@ -80,9 +80,29 @@ fn main() {
         Command::StoreAppend { scale, dir, epochs, shards, json, out } => {
             store_append(&scale, &dir, epochs, shards, json, out.as_deref())
         }
-        Command::Serve { scale, port, workers, cache, live, store, epoch, shards, event_loop } => {
-            serve(&scale, port, workers, cache, live, store.as_deref(), epoch, shards, event_loop)
-        }
+        Command::Serve {
+            scale,
+            port,
+            metrics_port,
+            workers,
+            cache,
+            live,
+            store,
+            epoch,
+            shards,
+            event_loop,
+        } => serve(
+            &scale,
+            port,
+            metrics_port,
+            workers,
+            cache,
+            live,
+            store.as_deref(),
+            epoch,
+            shards,
+            event_loop,
+        ),
         Command::ServeBench {
             scale,
             threads,
@@ -261,6 +281,13 @@ impl Engine {
         }
     }
 
+    fn metrics_handle(&self) -> fistful_serve::MetricsHandle {
+        match self {
+            Engine::Threaded(s) => s.metrics_handle(),
+            Engine::Event(s) => s.metrics_handle(),
+        }
+    }
+
     fn shutdown(self) {
         match self {
             Engine::Threaded(s) => s.shutdown(),
@@ -275,11 +302,13 @@ impl Engine {
 /// and stream the rest of the economy through the sharded ingest
 /// pipeline in the background, hot-swapping fresh artifacts every epoch.
 /// With `--event-loop`, all connection I/O runs on the poll(2) readiness
-/// loop instead of a thread per worker.
+/// loop instead of a thread per worker. With `--metrics-port`, a second
+/// listener answers `GET /metrics` with the Prometheus text exposition.
 #[allow(clippy::too_many_arguments)]
 fn serve(
     scale: &str,
     port: u16,
+    metrics_port: Option<u16>,
     workers: usize,
     cache: usize,
     live: bool,
@@ -306,6 +335,23 @@ fn serve(
     };
     let bound = listener.local_addr().expect("bound listener has an address");
     println!("listening on {bound} (building artifacts ...)");
+    // The scrape listener binds (and is announced) before the artifact
+    // build too, so monitoring can point at the port immediately; the
+    // exporter itself starts once the engine exists.
+    let metrics_listener = metrics_port.map(|mp| {
+        let addr = format!("127.0.0.1:{mp}");
+        match std::net::TcpListener::bind(&addr) {
+            Ok(listener) => {
+                let bound = listener.local_addr().expect("bound listener has an address");
+                println!("metrics on http://{bound}/metrics");
+                listener
+            }
+            Err(e) => {
+                eprintln!("repro: cannot bind metrics port {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
 
     let cfg = sim_config(scale);
     eprintln!(
@@ -371,6 +417,17 @@ fn serve(
         eprintln!("# serving artifacts ready in {:.1?}", t1.elapsed());
         start_server(artifacts)
     };
+    // Kept alive for the life of the process: dropping the exporter
+    // would stop answering scrapes.
+    let _metrics_exporter = metrics_listener.map(|ml| {
+        match fistful_serve::MetricsExporter::start_with_listener(ml, server.metrics_handle()) {
+            Ok(exporter) => exporter,
+            Err(e) => {
+                eprintln!("repro: cannot start metrics exporter: {e}");
+                std::process::exit(1);
+            }
+        }
+    });
     let stats = server.stats();
     println!(
         "serving {} addresses / {} clusters / {} txs on {} with {} {} workers (cache: {})",
@@ -462,6 +519,16 @@ fn serve_bench(
                 requests,
             );
             let after = server.stats();
+            // Scrape the fresh-per-run engine over the binary protocol
+            // before it shuts down: its per-type counters must equal the
+            // load generator's issued counts exactly (requests are
+            // counted at dispatch entry, before the cache is consulted).
+            let metrics = fistful_serve::Client::connect(server.local_addr())
+                .and_then(|mut c| c.metrics_dump())
+                .unwrap_or_else(|e| {
+                    eprintln!("repro: cannot scrape bench server metrics: {e}");
+                    std::process::exit(1);
+                });
             server.shutdown();
             let summary = servebench::summarize(
                 measured,
@@ -472,7 +539,16 @@ fn serve_bench(
                 requests,
                 &before,
                 &after,
+                &metrics,
             );
+            for t in &summary.types {
+                assert_eq!(
+                    t.server_count,
+                    t.count as u64,
+                    "server-side {} counter disagrees with the load generator",
+                    t.kind.label()
+                );
+            }
             print_serve_bench_run(&summary);
             sink.push(summary.to_json(scale));
         }
@@ -504,14 +580,15 @@ fn print_serve_bench_run(s: &servebench::RunSummary) {
         s.cache_misses
     );
     println!(
-        "{:<10} {:>8} {:>10} {:>10} {:>10}",
-        "type", "count", "req/s", "p50 us", "p99 us"
+        "{:<10} {:>8} {:>8} {:>10} {:>10} {:>10}",
+        "type", "count", "served", "req/s", "p50 us", "p99 us"
     );
     for t in &s.types {
         println!(
-            "{:<10} {:>8} {:>10.0} {:>10.1} {:>10.1}",
+            "{:<10} {:>8} {:>8} {:>10.0} {:>10.1} {:>10.1}",
             t.kind.label(),
             t.count,
+            t.server_count,
             t.rps,
             t.p50_us,
             t.p99_us

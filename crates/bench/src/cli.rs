@@ -67,8 +67,9 @@ pub fn usage() -> String {
          \x20      repro store open <dir> [--verify-scale {scales}] [--json] [--out FILE]\n\
          \x20      repro store append <dir> [--scale {scales}] [--epochs K] [--shards N]\n\
          \x20                  [--json] [--out FILE]\n\
-         \x20      repro serve [--scale {scales}] [--port P] [--workers N] [--cache N]\n\
-         \x20                  [--event-loop] [--live] [--store DIR] [--epoch K] [--shards N]\n\
+         \x20      repro serve [--scale {scales}] [--port P] [--metrics-port P]\n\
+         \x20                  [--workers N] [--cache N] [--event-loop] [--live]\n\
+         \x20                  [--store DIR] [--epoch K] [--shards N]\n\
          \x20      repro serve-bench [--scale {scales}] [--threads N,N,...]\n\
          \x20                  [--connections M] [--idle I] [--requests R]\n\
          \x20                  [--mix kind:w,...] [--event-loop] [--json] [--out FILE]\n\
@@ -111,7 +112,9 @@ pub fn usage() -> String {
          \x20        through the sharded ingest pipeline in the background,\n\
          \x20        hot-swapping fresh artifacts every --epoch blocks across\n\
          \x20        --shards shards, persisting per-epoch deltas to --store\n\
-         \x20        so a restart resumes from disk\n\
+         \x20        so a restart resumes from disk; --metrics-port binds a\n\
+         \x20        second listener (must differ from --port; 0 = ephemeral)\n\
+         \x20        answering GET /metrics with the Prometheus text exposition\n\
          serve-bench — closed-loop load generator against an in-process\n\
          \x20        server: sweeps --threads worker counts with the cache on\n\
          \x20        and off, reporting throughput and p50/p99 latency per\n\
@@ -242,6 +245,10 @@ pub enum Command {
         /// TCP port to listen on (`0` = ephemeral; the bound address is
         /// printed before the artifacts are built).
         port: u16,
+        /// When set, also bind an HTTP listener on this port serving the
+        /// Prometheus text exposition at `GET /metrics` (`0` =
+        /// ephemeral). Must differ from `port`.
+        metrics_port: Option<u16>,
         /// Worker threads; `0` means one per core.
         workers: usize,
         /// Response-cache capacity; `0` disables caching.
@@ -385,6 +392,7 @@ fn parse_count(flag: &str, next: Option<&String>) -> Result<usize, CliOutcome> {
 fn parse_serve(args: &[String]) -> Result<Command, CliOutcome> {
     let mut scale = "default".to_string();
     let mut port = DEFAULT_SERVE_PORT;
+    let mut metrics_port: Option<u16> = None;
     let mut workers = 0usize;
     let mut cache = DEFAULT_SERVE_CACHE;
     let mut live = false;
@@ -401,6 +409,14 @@ fn parse_serve(args: &[String]) -> Result<Command, CliOutcome> {
                 port = match it.next().and_then(|s| s.parse().ok()) {
                     Some(p) => p,
                     None => return Err(CliOutcome::Error("invalid --port value".to_string())),
+                };
+            }
+            "--metrics-port" => {
+                metrics_port = match it.next().and_then(|s| s.parse().ok()) {
+                    Some(p) => Some(p),
+                    None => {
+                        return Err(CliOutcome::Error("invalid --metrics-port value".to_string()))
+                    }
                 };
             }
             "--workers" => {
@@ -431,7 +447,23 @@ fn parse_serve(args: &[String]) -> Result<Command, CliOutcome> {
     if !live && store.is_some() {
         return Err(CliOutcome::Error("--store requires --live".to_string()));
     }
-    Ok(Command::Serve { scale, port, workers, cache, live, store, epoch, shards, event_loop })
+    // An ephemeral metrics port (0) can never collide; two explicit equal
+    // ports would fight over one bind, so reject up front.
+    if metrics_port == Some(port) && port != 0 {
+        return Err(CliOutcome::Error("--metrics-port must differ from --port".to_string()));
+    }
+    Ok(Command::Serve {
+        scale,
+        port,
+        metrics_port,
+        workers,
+        cache,
+        live,
+        store,
+        epoch,
+        shards,
+        event_loop,
+    })
 }
 
 /// Parses a `--mix kind:weight,...` specification.
@@ -1092,6 +1124,8 @@ mod tests {
             "--idle",
             "--event-loop",
             "--mix",
+            "--metrics-port",
+            "GET /metrics",
         ] {
             assert!(usage.contains(needle), "usage is missing `{needle}`");
         }
@@ -1198,6 +1232,7 @@ mod tests {
             Command::Serve {
                 scale: "default".into(),
                 port: DEFAULT_SERVE_PORT,
+                metrics_port: None,
                 workers: 0,
                 cache: DEFAULT_SERVE_CACHE,
                 live: false,
@@ -1209,13 +1244,14 @@ mod tests {
         );
         assert_eq!(
             parse(&args(&[
-                "serve", "--scale", "tiny", "--port", "9000", "--workers", "4", "--cache", "0",
-                "--event-loop"
+                "serve", "--scale", "tiny", "--port", "9000", "--metrics-port", "9100",
+                "--workers", "4", "--cache", "0", "--event-loop"
             ]))
             .unwrap(),
             Command::Serve {
                 scale: "tiny".into(),
                 port: 9000,
+                metrics_port: Some(9100),
                 workers: 4,
                 cache: 0,
                 live: false,
@@ -1233,6 +1269,7 @@ mod tests {
             Command::Serve {
                 scale: "default".into(),
                 port: DEFAULT_SERVE_PORT,
+                metrics_port: None,
                 workers: 0,
                 cache: DEFAULT_SERVE_CACHE,
                 live: true,
@@ -1242,6 +1279,13 @@ mod tests {
                 event_loop: false
             }
         );
+        // Two ephemeral ports never collide, so `0 0` stays legal.
+        let Command::Serve { metrics_port, .. } =
+            parse(&args(&["serve", "--port", "0", "--metrics-port", "0"])).unwrap()
+        else {
+            panic!("expected serve");
+        };
+        assert_eq!(metrics_port, Some(0));
         // The event loop composes with live ingest: hot swaps publish
         // into either serving loop.
         let Command::Serve { live, event_loop, .. } =
@@ -1265,6 +1309,10 @@ mod tests {
             &["serve", "--live", "--shards", "0"],
             &["serve", "--live", "--store"],
             &["serve", "--store", "/tmp/s"], // --store without --live
+            &["serve", "--metrics-port", "notaport"],
+            &["serve", "--metrics-port"],
+            // Binary and scrape listener on one explicit port.
+            &["serve", "--port", "9000", "--metrics-port", "9000"],
         ] {
             assert!(
                 matches!(parse(&args(bad)), Err(CliOutcome::Error(_))),

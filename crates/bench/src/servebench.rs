@@ -10,7 +10,7 @@
 
 use crate::json::Json;
 use fistful_serve::protocol::Request;
-use fistful_serve::{Client, ServeArtifacts, ServerStats};
+use fistful_serve::{Client, MetricsDump, ServeArtifacts, ServerStats};
 use fistful_chain::encode::Encodable;
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
@@ -269,6 +269,11 @@ pub struct TypeSummary {
     pub kind: RequestKind,
     /// Requests of this kind issued.
     pub count: usize,
+    /// Requests of this kind the *server's* metrics registry counted —
+    /// scraped from the fresh-per-run engine after the load drains, so it
+    /// must equal [`count`](TypeSummary::count) exactly (counted at
+    /// dispatch entry, before the response cache is consulted).
+    pub server_count: u64,
     /// Median latency in microseconds.
     pub p50_us: f64,
     /// 99th-percentile latency in microseconds.
@@ -316,8 +321,8 @@ fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
     sorted_ns[rank] as f64 / 1_000.0
 }
 
-/// Folds a measurement plus the server's counter movement into the
-/// reportable digest.
+/// Folds a measurement plus the server's counter movement and the
+/// post-run metrics scrape into the reportable digest.
 #[allow(clippy::too_many_arguments)]
 pub fn summarize(
     mut measured: LoadMeasurement,
@@ -328,6 +333,7 @@ pub fn summarize(
     requests_per_connection: usize,
     stats_before: &ServerStats,
     stats_after: &ServerStats,
+    metrics: &MetricsDump,
 ) -> RunSummary {
     let elapsed_secs = measured.elapsed.as_secs_f64().max(1e-9);
     let total_requests: usize = measured.latencies_ns.iter().map(Vec::len).sum();
@@ -338,9 +344,11 @@ pub fn summarize(
             continue;
         }
         lat.sort_unstable();
+        let series = format!("fistful_requests_total{{type=\"{}\"}}", kind.label());
         types.push(TypeSummary {
             kind,
             count: lat.len(),
+            server_count: metrics.counter(&series).unwrap_or(0),
             p50_us: percentile_us(lat, 0.50),
             p99_us: percentile_us(lat, 0.99),
             rps: lat.len() as f64 / elapsed_secs,
@@ -364,11 +372,12 @@ pub fn summarize(
 
 impl RunSummary {
     /// The stable machine-readable form emitted under `--json`
-    /// (schema `fistful.repro.serve-bench/2`, which added `engine` and
-    /// `idle_connections` to `/1`).
+    /// (schema `fistful.repro.serve-bench/3`, which added the per-type
+    /// `server_count` scraped from the metrics registry to `/2`; `/2`
+    /// added `engine` and `idle_connections` to `/1`).
     pub fn to_json(&self, scale: &str) -> Json {
         Json::obj(vec![
-            ("schema", "fistful.repro.serve-bench/2".into()),
+            ("schema", "fistful.repro.serve-bench/3".into()),
             ("scale", scale.into()),
             ("engine", self.engine.into()),
             ("workers", self.workers.into()),
@@ -391,6 +400,7 @@ impl RunSummary {
                                 t.kind.label().to_string(),
                                 Json::obj(vec![
                                     ("count", t.count.into()),
+                                    ("server_count", (t.server_count as usize).into()),
                                     ("p50_us", t.p50_us.into()),
                                     ("p99_us", t.p99_us.into()),
                                     ("rps", t.rps.into()),
@@ -441,19 +451,34 @@ mod tests {
         };
         let before = ServerStats::default();
         let after = ServerStats { cache_hits: 5, cache_misses: 7, ..ServerStats::default() };
-        let summary = summarize(measured, "event", 2, 64, 1, 3, &before, &after);
+        let metrics = MetricsDump {
+            counters: vec![
+                ("fistful_requests_total{type=\"ping\"}".to_string(), 2),
+                ("fistful_requests_total{type=\"addr\"}".to_string(), 1),
+            ],
+            ..MetricsDump::default()
+        };
+        let summary = summarize(measured, "event", 2, 64, 1, 3, &before, &after, &metrics);
         assert_eq!(summary.total_requests, 3);
         assert_eq!(summary.cache_hits, 5);
         assert_eq!(summary.idle_connections, 48);
         assert_eq!(summary.types.len(), 2);
+        // The scraped per-type counters line up with the measured counts.
+        for t in &summary.types {
+            assert_eq!(t.server_count, t.count as u64, "{}", t.kind.label());
+        }
 
         let json = summary.to_json("tiny");
-        assert_eq!(json.get("schema").unwrap().as_str(), Some("fistful.repro.serve-bench/2"));
+        assert_eq!(json.get("schema").unwrap().as_str(), Some("fistful.repro.serve-bench/3"));
         assert_eq!(json.get("engine").unwrap().as_str(), Some("event"));
         assert_eq!(json.get("workers").unwrap().as_f64(), Some(2.0));
         assert_eq!(json.get("idle_connections").unwrap().as_f64(), Some(48.0));
         let types = json.get("types").unwrap();
         assert!(types.get("ping").is_some());
+        assert_eq!(
+            types.get("ping").unwrap().get("server_count").unwrap().as_f64(),
+            Some(2.0)
+        );
         assert!(types.get("addr").is_some());
         assert!(types.get("taint").is_none(), "kinds that never ran are omitted");
         // The emitted line parses back.

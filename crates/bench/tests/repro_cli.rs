@@ -412,7 +412,7 @@ fn serve_bench_reports_per_type_latency_and_cache_counters() {
     let cached = &objects[0];
     assert_eq!(
         cached.get("schema").unwrap().as_str(),
-        Some("fistful.repro.serve-bench/2")
+        Some("fistful.repro.serve-bench/3")
     );
     assert_eq!(cached.get("engine").unwrap().as_str(), Some("threaded"));
     assert_eq!(cached.get("idle_connections").unwrap().as_f64(), Some(0.0));
@@ -427,6 +427,14 @@ fn serve_bench_reports_per_type_latency_and_cache_counters() {
         });
         assert!(t.get("count").unwrap().as_f64().unwrap() > 0.0);
         assert!(t.get("p99_us").unwrap().as_f64().unwrap() >= t.get("p50_us").unwrap().as_f64().unwrap());
+        // The server's scraped per-type counter agrees exactly with the
+        // load generator's issued count (requests are counted at
+        // dispatch entry, before the response cache short-circuits).
+        assert_eq!(
+            t.get("server_count").unwrap().as_f64(),
+            t.get("count").unwrap().as_f64(),
+            "scraped `{kind}` counter diverges from issued count:\n{stdout}"
+        );
     }
     // The cache-off run reports zero cache traffic.
     let uncached = &objects[1];
@@ -443,6 +451,10 @@ fn serve_bench_usage_errors_exit_two() {
         &["serve-bench", "--connections", "none"],
         &["serve-bench", "--bogus"],
         &["serve", "--port", "notaport"],
+        &["serve", "--metrics-port", "notaport"],
+        // One explicit port cannot hold both the binary and the scrape
+        // listener.
+        &["serve", "--port", "9000", "--metrics-port", "9000"],
     ] {
         let out = repro(bad);
         assert_eq!(out.status.code(), Some(2), "args {bad:?}");
@@ -515,6 +527,63 @@ fn serve_reports_the_bound_address_before_building_and_swaps_live() {
         );
         std::thread::sleep(std::time::Duration::from_millis(50));
     }
+    child.kill().expect("kill repro serve");
+    child.wait().expect("wait for repro serve");
+}
+
+#[test]
+fn serve_metrics_port_announces_and_answers_http_scrapes() {
+    use std::io::{BufRead, Read, Write};
+    // Both listeners bind (and print) before the slow artifact build:
+    // the binary address first, the scrape URL second.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "serve",
+            "--scale",
+            "tiny",
+            "--port",
+            "0",
+            "--metrics-port",
+            "0",
+            "--workers",
+            "2",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn repro serve --metrics-port");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let first = lines.next().expect("a first stdout line").expect("readable line");
+    let addr: std::net::SocketAddr = first
+        .strip_prefix("listening on ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("first stdout line is not the bound address: {first}"))
+        .parse()
+        .expect("parseable socket address");
+    let second = lines.next().expect("a second stdout line").expect("readable line");
+    let metrics_addr: std::net::SocketAddr = second
+        .strip_prefix("metrics on http://")
+        .and_then(|rest| rest.strip_suffix("/metrics"))
+        .unwrap_or_else(|| panic!("second stdout line is not the metrics address: {second}"))
+        .parse()
+        .expect("parseable metrics socket address");
+    assert_ne!(addr.port(), metrics_addr.port());
+
+    // Issue a known mix over the binary port, then scrape over HTTP and
+    // check the counters moved.
+    let mut client = fistful_serve::Client::connect(addr).expect("connect to repro serve");
+    for _ in 0..3 {
+        client.ping().expect("ping");
+    }
+    let mut sock = std::net::TcpStream::connect(metrics_addr).expect("connect to metrics port");
+    sock.write_all(b"GET /metrics HTTP/1.1\r\nHost: repro\r\n\r\n").expect("send scrape");
+    let mut response = String::new();
+    sock.read_to_string(&mut response).expect("read scrape");
+    assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+    assert!(response.contains("# TYPE fistful_requests_total counter"), "{response}");
+    assert!(response.contains("fistful_requests_total{type=\"ping\"} 3"), "{response}");
+    assert!(response.contains("fistful_request_latency_seconds_bucket"), "{response}");
     child.kill().expect("kill repro serve");
     child.wait().expect("wait for repro serve");
 }

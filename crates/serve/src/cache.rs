@@ -39,7 +39,11 @@
 //! shard is a classic O(1) LRU — a hash map into a slab of entries linked
 //! into a recency list — evicting the least-recently-used entry when full.
 //! Hit/miss counters are process-wide atomics, surfaced through the
-//! `Stats` request and `repro serve-bench`.
+//! `Stats` request and `repro serve-bench`. Each shard additionally
+//! keeps its own hit/miss/eviction tallies — plain integers bumped
+//! under the shard lock the operation already holds, so they cost
+//! nothing extra — surfaced per shard through the metrics layer
+//! ([`ShardedCache::shard_stats`]).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -103,6 +107,13 @@ struct LruShard {
     head: usize,
     /// Least recently used slot, or [`NIL`].
     tail: usize,
+    /// Lookups this shard answered. Bumped under the shard lock the
+    /// lookup already holds (same for the two tallies below).
+    hits: u64,
+    /// Lookups this shard could not answer (absent or stale-reaped).
+    misses: u64,
+    /// Entries this shard removed: capacity evictions plus stale reaps.
+    evictions: u64,
 }
 
 struct Entry {
@@ -125,6 +136,9 @@ impl LruShard {
             free: Vec::new(),
             head: NIL,
             tail: NIL,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
         }
     }
 
@@ -161,15 +175,21 @@ impl LruShard {
     }
 
     fn get(&mut self, key: &[u8], floors: &CacheFloors) -> Option<Bytes> {
-        let slot = *self.map.get(key)?;
+        let Some(&slot) = self.map.get(key) else {
+            self.misses += 1;
+            return None;
+        };
         if self.slab[slot].epoch < floors.floor(self.slab[slot].class) {
             // Stale under the current floors: reap it now so the slot is
             // reusable and a racing re-insert lands on an empty key.
             self.remove(slot);
+            self.evictions += 1;
+            self.misses += 1;
             return None;
         }
         self.unlink(slot);
         self.link_front(slot);
+        self.hits += 1;
         Some(Arc::clone(&self.slab[slot].value))
     }
 
@@ -195,6 +215,7 @@ impl LruShard {
             // Evict the least recently used entry, recycling its slot.
             let victim = self.tail;
             self.remove(victim);
+            self.evictions += 1;
         }
         let entry = Entry { key: Arc::clone(&key), value, epoch, class, prev: NIL, next: NIL };
         let slot = match self.free.pop() {
@@ -210,6 +231,17 @@ impl LruShard {
         self.map.insert(key, slot);
         self.link_front(slot);
     }
+}
+
+/// One shard's lookup and removal tallies ([`ShardedCache::shard_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheShardStats {
+    /// Lookups this shard answered.
+    pub hits: u64,
+    /// Lookups this shard could not answer (absent or stale-reaped).
+    pub misses: u64,
+    /// Entries this shard removed — capacity evictions plus stale reaps.
+    pub evictions: u64,
 }
 
 /// The sharded response cache. See the [module docs](self).
@@ -280,6 +312,24 @@ impl ShardedCache {
     /// Lookups that missed so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Per-shard hit/miss/eviction tallies, in shard order — the
+    /// metrics layer's `{shard="i"}` series. Sum of per-shard hits and
+    /// misses equals the global [`ShardedCache::hits`] and
+    /// [`ShardedCache::misses`].
+    pub fn shard_stats(&self) -> Vec<CacheShardStats> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().expect("cache shard poisoned");
+                CacheShardStats {
+                    hits: shard.hits,
+                    misses: shard.misses,
+                    evictions: shard.evictions,
+                }
+            })
+            .collect()
     }
 
     /// Entries currently cached across all shards (stale entries not yet
@@ -440,6 +490,38 @@ mod tests {
         }
         assert_eq!(shard.map.len(), 4);
         assert!(shard.slab.len() <= 4, "slab grew to {}", shard.slab.len());
+    }
+
+    #[test]
+    fn shard_stats_sum_to_global_counters_and_count_evictions() {
+        // One entry per shard, so insert churn forces capacity evictions.
+        let cache = ShardedCache::new(ShardedCache::SHARDS);
+        for n in 0..32u32 {
+            cache.get(&key(n), &FROZEN);
+            cache.insert(key(n), vec![n as u8], 1, CacheClass::Graph);
+        }
+        for n in 0..32u32 {
+            cache.get(&key(n), &FROZEN);
+        }
+        let stats = cache.shard_stats();
+        assert_eq!(stats.len(), ShardedCache::SHARDS);
+        assert_eq!(stats.iter().map(|s| s.hits).sum::<u64>(), cache.hits());
+        assert_eq!(stats.iter().map(|s| s.misses).sum::<u64>(), cache.misses());
+        let evictions: u64 = stats.iter().map(|s| s.evictions).sum();
+        assert!(
+            evictions >= 32 - ShardedCache::SHARDS as u64,
+            "32 inserts into {} one-entry shards must evict, saw {evictions}",
+            ShardedCache::SHARDS
+        );
+        // Stale reaps count as evictions too: every surviving Graph entry
+        // dies at its next lookup under a raised floor.
+        let survivors = cache.len() as u64;
+        let floors = CacheFloors { snapshot: 0, graph: 2 };
+        for n in 0..32u32 {
+            assert_eq!(cache.get(&key(n), &floors), None);
+        }
+        let after: u64 = cache.shard_stats().iter().map(|s| s.evictions).sum();
+        assert_eq!(after, evictions + survivors);
     }
 
     #[test]

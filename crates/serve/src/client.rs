@@ -1,6 +1,7 @@
 //! A blocking client for the query service — one connection, many
 //! requests, typed answers.
 
+use crate::metrics::MetricsDump;
 use crate::protocol::{
     frame, parse_frame_header, AddressReport, BalanceReport, ClusterReport, Request, Response,
     ServeError, ServerStats, TaintReport, FRAME_EPOCH_LEN, FRAME_HEADER_LEN, MAX_RESPONSE_PAYLOAD,
@@ -178,6 +179,16 @@ impl Client {
         let request = Request::TaintTrace { loot: loot.to_vec(), max_txs };
         self.expect(&request, |r| match r {
             Response::TaintTrace(t) => Some(t),
+            _ => None,
+        })
+    }
+
+    /// A full snapshot of the server's metrics registry over the binary
+    /// protocol — the same counters, gauges, and histograms the HTTP
+    /// `/metrics` endpoint renders, without needing a second port.
+    pub fn metrics_dump(&mut self) -> Result<MetricsDump, ServeError> {
+        self.expect(&Request::MetricsDump, |r| match r {
+            Response::MetricsDump(d) => Some(d),
             _ => None,
         })
     }

@@ -72,8 +72,8 @@ use crate::protocol::{
     PROTOCOL_VERSION,
 };
 use crate::server::{
-    framing_error_frame, process_request, stalled_read_error, Core, Publisher, ServeArtifacts,
-    ServeConfig,
+    framing_error_frame, process_request, stalled_read_error, Core, MetricsHandle, Publisher,
+    ServeArtifacts, ServeConfig,
 };
 use crate::sys::{self, PollFd, POLLIN, POLLOUT};
 use fistful_flow::graph::TaintScratch;
@@ -166,6 +166,9 @@ struct Job {
     seq: u64,
     version: u8,
     payload: Vec<u8>,
+    /// When the frame finished parsing — dispatch-queue wait time is
+    /// measured from here to the worker's pop.
+    queued: Instant,
 }
 
 /// One answered request on its way back to the loop thread.
@@ -216,6 +219,7 @@ fn event_worker_loop(core: &Core, dispatch: &Dispatch, waker: &TcpStream) {
             }
         };
         let Some(job) = job else { return };
+        core.metrics.dispatch_wait.observe(job.queued.elapsed());
         let (framed, close_after) = process_request(core, job.payload, job.version, &mut scratch);
         dispatch.done.lock().expect("done poisoned").push(Completion {
             conn: job.conn,
@@ -398,8 +402,12 @@ impl EventLoop {
                 fds.push(PollFd::new(listener.as_raw_fd(), POLLIN));
                 tokens.push(Token::Listener);
             }
-            let backpressure =
-                self.dispatch.jobs.lock().expect("jobs poisoned").len() >= self.cfg.queue_depth;
+            let depth = self.dispatch.jobs.lock().expect("jobs poisoned").len();
+            self.core.metrics.queue_depth.set(depth as u64);
+            let backpressure = depth >= self.cfg.queue_depth;
+            if backpressure {
+                self.core.metrics.backpressure_stalls.inc();
+            }
             for (idx, slot) in self.conns.iter().enumerate() {
                 let Some(conn) = slot else { continue };
                 let mut events = 0;
@@ -493,6 +501,7 @@ impl EventLoop {
             }
         };
         self.active += 1;
+        self.core.metrics.connections.inc();
         self.arm(idx, remaining);
         idx
     }
@@ -513,6 +522,7 @@ impl EventLoop {
         if self.conns[idx].take().is_some() {
             self.free.push(idx);
             self.active -= 1;
+            self.core.metrics.connections.dec();
         }
     }
 
@@ -530,6 +540,7 @@ impl EventLoop {
                     let shed = self.active >= self.cfg.max_connections;
                     let idx = self.install(stream);
                     if shed {
+                        self.core.metrics.busy_sheds.inc();
                         let e = ServeError::Busy(format!(
                             "connection limit of {} reached; retry later",
                             self.cfg.max_connections
@@ -629,6 +640,7 @@ impl EventLoop {
                         if conn.outstanding + jobs.len() >= max_pipelined {
                             // The offending request is rejected with a
                             // typed error *after* every in-budget response.
+                            self.core.metrics.busy_sheds.inc();
                             error = Some(ServeError::Busy(format!(
                                 "pipelined request limit of {max_pipelined} exceeded"
                             )));
@@ -638,7 +650,14 @@ impl EventLoop {
                         conn.version = version;
                         let seq = conn.next_seq;
                         conn.next_seq += 1;
-                        jobs.push(Job { conn: idx, gen: conn.gen, seq, version, payload });
+                        jobs.push(Job {
+                            conn: idx,
+                            gen: conn.gen,
+                            seq,
+                            version,
+                            payload,
+                            queued: Instant::now(),
+                        });
                     }
                     Err(e) => {
                         error = Some(e);
@@ -871,6 +890,7 @@ impl EventLoop {
                     // Writes owed and the socket is not taking them: the
                     // stall limit bounds how long we hold the buffers.
                     if idle >= self.cfg.stalled_ticks.max(1) {
+                        self.core.metrics.stall_expirations.inc();
                         Action::Drop
                     } else {
                         Action::Rearm(self.cfg.stalled_ticks.max(1) - idle)
@@ -888,8 +908,12 @@ impl EventLoop {
                         DeadlineVerdict::Wait => {
                             Action::Rearm(conn.deadline.remaining_ticks(mid_frame))
                         }
-                        DeadlineVerdict::KeepAliveExpired => Action::Drop,
+                        DeadlineVerdict::KeepAliveExpired => {
+                            self.core.metrics.idle_expirations.inc();
+                            Action::Drop
+                        }
                         DeadlineVerdict::MidFrameStalled => {
+                            self.core.metrics.stall_expirations.inc();
                             conn.read_buf.clear();
                             conn.read_pos = 0;
                             Action::Stalled
@@ -1073,6 +1097,13 @@ impl EventServer {
     /// server's, so the live pipeline drives either loop.
     pub fn publisher(&self) -> Publisher {
         Publisher { core: Arc::clone(&self.core) }
+    }
+
+    /// A handle over the metrics registry, for scraping this server's
+    /// counters without a socket round trip — interchangeable with the
+    /// threaded server's, so one exporter serves either engine.
+    pub fn metrics_handle(&self) -> MetricsHandle {
+        MetricsHandle { core: Arc::clone(&self.core) }
     }
 
     /// Signals shutdown, drains in-flight requests (parsed requests are

@@ -1,0 +1,340 @@
+//! A minimal HTTP/1.1 exporter for the Prometheus text exposition.
+//!
+//! Prometheus scrapes over HTTP, not over the FSRV binary protocol, so
+//! each serve engine can stand up one [`MetricsExporter`] on a separate
+//! listener (the `--metrics-port` of `repro serve`). The exporter is
+//! deliberately tiny and std-only: a single accept thread, one request
+//! per connection (`Connection: close` always), `GET /metrics` answered
+//! with [`render_prometheus`](crate::metrics::render_prometheus) output
+//! as `text/plain; version=0.0.4`, and a `404` for every other path or
+//! method. It is not a general HTTP server — headers beyond the request
+//! line are read and discarded, bodies are not accepted, and the request
+//! head is capped at 8 KiB.
+//!
+//! The exporter holds a [`MetricsHandle`] cloned from either engine, so
+//! every scrape renders a fresh snapshot of the same registry the binary
+//! [`Request::MetricsDump`](crate::protocol::Request::MetricsDump) path
+//! serializes — the two exposures can never drift.
+//!
+//! ```
+//! use fistful_core::change::{self, ChangeConfig};
+//! use fistful_core::cluster::Clusterer;
+//! use fistful_core::naming::name_clusters;
+//! use fistful_core::snapshot::ClusterSnapshot;
+//! use fistful_core::tagdb::TagDb;
+//! use fistful_core::testutil::TestChain;
+//! use fistful_flow::balance_series;
+//! use fistful_flow::graph::TxGraph;
+//! use fistful_serve::httpexpo::MetricsExporter;
+//! use fistful_serve::{ServeArtifacts, ServeConfig, Server};
+//! use std::io::{Read, Write};
+//! use std::net::{TcpListener, TcpStream};
+//! use std::sync::Arc;
+//!
+//! let mut t = TestChain::new();
+//! let cb1 = t.coinbase(1, 50);
+//! let cb2 = t.coinbase(2, 50);
+//! t.tx(&[(cb1, 0), (cb2, 0)], &[(3, 100)]);
+//! let clustering = Clusterer::h1_only().run(&t.chain);
+//! let names = name_clusters(&clustering, &TagDb::new());
+//! let snapshot = ClusterSnapshot::build(&t.chain, &clustering, &names);
+//! let labels = change::identify(&t.chain, &ChangeConfig::naive());
+//! let balances = balance_series(&t.chain, &snapshot, 1);
+//! let graph = TxGraph::build(&t.chain);
+//! let artifacts = Arc::new(ServeArtifacts::new(snapshot, graph, labels, balances).unwrap());
+//!
+//! let server = Server::start(ServeConfig::default(), artifacts).unwrap();
+//! let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+//! let addr = listener.local_addr().unwrap();
+//! let exporter = MetricsExporter::start_with_listener(listener, server.metrics_handle()).unwrap();
+//!
+//! let mut sock = TcpStream::connect(addr).unwrap();
+//! sock.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+//! let mut body = String::new();
+//! sock.read_to_string(&mut body).unwrap();
+//! assert!(body.starts_with("HTTP/1.1 200 OK\r\n"));
+//! assert!(body.contains("fistful_requests_total"));
+//! exporter.shutdown();
+//! server.shutdown();
+//! ```
+
+use crate::server::MetricsHandle;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Largest request head (request line plus headers) the exporter reads
+/// before giving up on a connection.
+const MAX_HEAD: usize = 8 * 1024;
+
+/// How long a scrape socket may sit idle mid-request before the exporter
+/// abandons it; keeps a stuck scraper from wedging the accept thread.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A background thread serving `GET /metrics` as Prometheus text.
+///
+/// Start it on a pre-bound listener (bind first, so the scrape address
+/// can be printed before slow artifact builds) with a [`MetricsHandle`]
+/// from either serve engine. Shutdown is explicit via
+/// [`shutdown`](MetricsExporter::shutdown) or implicit through [`Drop`].
+#[derive(Debug)]
+pub struct MetricsExporter {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsExporter {
+    /// Serves scrapes on an already-bound listener. The thread answers
+    /// one request per connection until [`shutdown`] is called.
+    ///
+    /// [`shutdown`]: MetricsExporter::shutdown
+    pub fn start_with_listener(
+        listener: TcpListener,
+        handle: MetricsHandle,
+    ) -> io::Result<MetricsExporter> {
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let accept_thread = thread::Builder::new()
+            .name("metrics-expo".into())
+            .spawn(move || accept_loop(&listener, &handle, &thread_stop))?;
+        Ok(MetricsExporter { local_addr, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The address scrapers should point at.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stops accepting and joins the accept thread. Idempotent through
+    /// [`Drop`].
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(accept_thread) = self.accept_thread.take() else { return };
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in accept(2); a throwaway local connect
+        // wakes it so it can observe the flag. Failure is fine — the
+        // listener may already be gone.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = accept_thread.join();
+    }
+}
+
+impl Drop for MetricsExporter {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, handle: &MetricsHandle, stop: &AtomicBool) {
+    loop {
+        let Ok((sock, _)) = listener.accept() else {
+            if stop.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        // Scrapes are rare (seconds apart) and small; serving them inline
+        // on the accept thread keeps the exporter to a single thread.
+        let _ = serve_scrape(sock, handle);
+    }
+}
+
+/// Reads one request head, answers it, and closes. Any I/O error simply
+/// abandons the connection — the scraper retries on its own schedule.
+fn serve_scrape(mut sock: TcpStream, handle: &MetricsHandle) -> io::Result<()> {
+    sock.set_read_timeout(Some(SOCKET_TIMEOUT))?;
+    sock.set_write_timeout(Some(SOCKET_TIMEOUT))?;
+    let head = read_head(&mut sock)?;
+    let response = match parse_request_line(&head) {
+        Some(("GET", "/metrics")) => ok_response(&handle.render()),
+        _ => not_found_response(),
+    };
+    sock.write_all(response.as_bytes())
+}
+
+/// Reads until the blank line ending the request head, or until
+/// [`MAX_HEAD`] bytes have arrived, whichever is first.
+fn read_head(sock: &mut TcpStream) -> io::Result<Vec<u8>> {
+    let mut head = Vec::new();
+    let mut chunk = [0u8; 512];
+    while head.len() < MAX_HEAD {
+        let n = sock.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&chunk[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    Ok(head)
+}
+
+/// Extracts `(method, path)` from the request line; `None` on anything
+/// that does not look like `METHOD SP PATH SP HTTP/...`.
+fn parse_request_line(head: &[u8]) -> Option<(&str, &str)> {
+    let head = std::str::from_utf8(head).ok()?;
+    let line = head.split("\r\n").next()?;
+    let mut parts = line.split(' ');
+    let method = parts.next()?;
+    let path = parts.next()?;
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/") {
+        return None;
+    }
+    // Scrapers may append query parameters; the exporter ignores them.
+    let path = path.split('?').next().unwrap_or(path);
+    Some((method, path))
+}
+
+fn ok_response(body: &str) -> String {
+    format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    )
+}
+
+fn not_found_response() -> String {
+    let body = "not found\n";
+    format!(
+        "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServeArtifacts, ServeConfig, Server};
+    use fistful_core::change::{self, ChangeConfig};
+    use fistful_core::cluster::Clusterer;
+    use fistful_core::naming::name_clusters;
+    use fistful_core::snapshot::ClusterSnapshot;
+    use fistful_core::tagdb::TagDb;
+    use fistful_core::testutil::TestChain;
+    use fistful_flow::balance_series;
+    use fistful_flow::graph::TxGraph;
+
+    fn bundle() -> Arc<ServeArtifacts> {
+        let mut t = TestChain::new();
+        let cb1 = t.coinbase(1, 50);
+        let cb2 = t.coinbase(2, 50);
+        t.tx(&[(cb1, 0), (cb2, 0)], &[(3, 70), (4, 30)]);
+        let clustering = Clusterer::h1_only().run(&t.chain);
+        let names = name_clusters(&clustering, &TagDb::new());
+        let snapshot = ClusterSnapshot::build(&t.chain, &clustering, &names);
+        let labels = change::identify(&t.chain, &ChangeConfig::naive());
+        let balances = balance_series(&t.chain, &snapshot, 1);
+        let graph = TxGraph::build(&t.chain);
+        Arc::new(ServeArtifacts::new(snapshot, graph, labels, balances).unwrap())
+    }
+
+    fn scrape_server() -> (Server, MetricsExporter) {
+        let server = Server::start(ServeConfig::default(), bundle()).expect("server");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let exporter =
+            MetricsExporter::start_with_listener(listener, server.metrics_handle()).expect("start");
+        (server, exporter)
+    }
+
+    fn raw_request(addr: SocketAddr, request: &str) -> String {
+        let mut sock = TcpStream::connect(addr).expect("connect");
+        sock.write_all(request.as_bytes()).expect("send");
+        let mut response = String::new();
+        sock.read_to_string(&mut response).expect("recv");
+        response
+    }
+
+    #[test]
+    fn get_metrics_returns_prometheus_text() {
+        let (server, exporter) = scrape_server();
+        let response =
+            raw_request(exporter.local_addr(), "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.contains("Content-Type: text/plain; version=0.0.4\r\n"));
+        assert!(response.contains("Connection: close\r\n"));
+        assert!(response.contains("# TYPE fistful_requests_total counter"));
+        assert!(response.contains("fistful_request_latency_seconds_bucket"));
+        // Content-Length matches the body exactly.
+        let (head, body) = response.split_once("\r\n\r\n").expect("head/body split");
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("length header")
+            .parse()
+            .expect("numeric length");
+        assert_eq!(len, body.len());
+        exporter.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn other_paths_and_methods_get_404() {
+        let (server, exporter) = scrape_server();
+        let addr = exporter.local_addr();
+        for request in [
+            "GET /other HTTP/1.1\r\nHost: t\r\n\r\n",
+            "POST /metrics HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n",
+            "garbage\r\n\r\n",
+        ] {
+            let response = raw_request(addr, request);
+            assert!(response.starts_with("HTTP/1.1 404 Not Found\r\n"), "{request:?}: {response}");
+        }
+        // The exporter survives bad requests and still answers scrapes.
+        let response = raw_request(addr, "GET /metrics?x=1 HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"));
+        exporter.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn scrape_reflects_served_requests() {
+        use crate::client::Client;
+        let (server, exporter) = scrape_server();
+        let mut client = Client::connect(server.local_addr()).expect("client");
+        for _ in 0..3 {
+            client.ping().expect("ping");
+        }
+        let _ = client.stats().expect("stats");
+        let response =
+            raw_request(exporter.local_addr(), "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(response.contains("fistful_requests_total{type=\"ping\"} 3"), "{response}");
+        assert!(response.contains("fistful_requests_total{type=\"stats\"} 1"), "{response}");
+        assert!(response.contains("fistful_request_latency_seconds_count{type=\"ping\"} 3"));
+        exporter.shutdown();
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_cleans_up() {
+        let (server, exporter) = scrape_server();
+        let addr = exporter.local_addr();
+        exporter.shutdown();
+        // The port no longer answers scrapes once the exporter is gone.
+        let answered = TcpStream::connect(addr)
+            .and_then(|mut sock| {
+                sock.set_read_timeout(Some(Duration::from_millis(500)))?;
+                sock.write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n")?;
+                let mut buf = String::new();
+                sock.read_to_string(&mut buf)?;
+                Ok(buf)
+            })
+            .map(|buf| buf.starts_with("HTTP/1.1 200"))
+            .unwrap_or(false);
+        assert!(!answered, "exporter kept serving after shutdown");
+        server.shutdown();
+    }
+}

@@ -31,7 +31,16 @@
 //! * [`live`] — the background ingest pipeline that hot-swaps fresh
 //!   artifact generations into a running server at every reconcile epoch
 //!   (and persists per-epoch deltas through [`store`] so a restarted
-//!   server resumes where it left off).
+//!   server resumes where it left off);
+//! * [`metrics`] — the first-party observability layer: a lock-free
+//!   registry of counters, gauges, and log₂ latency histograms that both
+//!   engines and the live pipeline write into (one relaxed atomic add on
+//!   the hot path), snapshotted as a [`MetricsDump`] and rendered as
+//!   Prometheus text;
+//! * [`httpexpo`] — a tiny std-only HTTP/1.1 exporter serving that text
+//!   on a separate scrape port (`repro serve --metrics-port`), while the
+//!   binary [`Request::MetricsDump`] exposes the identical snapshot over
+//!   the FSRV protocol.
 //!
 //! `repro serve` runs the server over a simulated economy from the CLI,
 //! and `repro serve-bench` is the closed-loop load generator
@@ -86,20 +95,26 @@ pub mod cache;
 pub mod client;
 pub mod conn;
 pub mod event;
+pub mod httpexpo;
 pub mod live;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod store;
 pub(crate) mod sys;
 
-pub use cache::{CacheClass, CacheFloors, ShardedCache};
+pub use cache::{CacheClass, CacheFloors, CacheShardStats, ShardedCache};
 pub use client::Client;
 pub use conn::{Deadline, DeadlineVerdict};
 pub use event::{EventServeConfig, EventServer};
+pub use httpexpo::MetricsExporter;
 pub use live::{LiveConfig, LiveHandle, LivePipeline, LiveReport};
+pub use metrics::{
+    render_prometheus, Counter, Gauge, HistogramDump, LatencyHistogram, MetricsDump, ServeMetrics,
+};
 pub use protocol::{
     AddressReport, BalanceReport, ClusterReport, ErrorCode, FramePrefix, Request, Response,
     ServeError, ServerStats, TaintReport, WireError, WireMovement, MAX_REQUEST_PAYLOAD,
     MAX_RESPONSE_PAYLOAD, PROTOCOL_MAGIC, PROTOCOL_VERSION, PROTOCOL_VERSION_V1,
 };
-pub use server::{Publisher, ServeArtifacts, ServeConfig, Server};
+pub use server::{MetricsHandle, Publisher, ServeArtifacts, ServeConfig, Server};

@@ -65,7 +65,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Persistence failures surface as serve-level I/O errors.
 fn store_err(e: StoreError) -> ServeError {
@@ -301,6 +301,7 @@ impl LivePipeline {
     /// and refreshed meta are appended to the store directory before the
     /// swap so a crash right after the publish still resumes here.
     fn publish_epoch(&mut self, publisher: &Publisher, flushed: bool) -> Result<(), ServeError> {
+        let swap_started = Instant::now();
         let cut = self.pipe.reconciled_txs() as usize;
         let (snapshot, delta) = self.pipe.export_delta(&self.chain, &self.db, &self.base);
         // Purely additive epoch? Then every cached Some-bodied snapshot
@@ -325,6 +326,10 @@ impl LivePipeline {
             artifacts.write_serve_file(&dir, Some(&self.meta(flushed))).map_err(store_err)?;
         }
         publisher.publish(Arc::clone(&artifacts), self.epoch, ids_stable);
+        // The swap latency covers the whole rebuild — delta export, graph
+        // extension, balance rebuild, store append — not just the pointer
+        // swap, because that is the freshness lag a scraper cares about.
+        publisher.core.metrics.swap_latency.observe(swap_started.elapsed());
         self.publishes += 1;
         self.base = snapshot;
         self.last_cut = cut;
@@ -373,6 +378,7 @@ impl LivePipeline {
             let next = self.blocks_fed;
             self.pipe.ingest_block(&chain.block(next as BlockId));
             self.blocks_fed += 1;
+            publisher.core.metrics.ingest_blocks.inc();
             if self.pipe.reconciled_txs() as usize != self.last_cut {
                 self.publish_epoch(publisher, false)?;
                 observed.store(self.epoch, Ordering::Relaxed);

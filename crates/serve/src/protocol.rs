@@ -44,10 +44,11 @@
 //! | 3    | [`Request::ClusterSummary`]      | cluster (u32)                |
 //! | 4    | [`Request::TaintTrace`]          | `CompactSize` loot count, then (tx u32, vout u32) per outpoint; max_txs (u32) |
 //! | 5    | [`Request::BalancePoint`]        | height (u64)                 |
+//! | 6    | [`Request::MetricsDump`]         | (empty)                      |
 //!
 //! # Response payloads
 //!
-//! Responses reuse the request's type byte (`0`–`5`); `0xEE` is
+//! Responses reuse the request's type byte (`0`–`6`); `0xEE` is
 //! [`Response::Error`]. Optional bodies (an address the snapshot does not
 //! cover, a height before the first sample) are a `0`/`1` presence byte
 //! followed, when present, by the record. Amounts are u64 satoshis.
@@ -58,6 +59,7 @@
 //! never a panic (the wire proptests in the root `tests/properties.rs`
 //! fuzz both directions).
 
+use crate::metrics::{HistogramDump, MetricsDump};
 use fistful_chain::amount::Amount;
 use fistful_chain::encode::{Decodable, DecodeError, Encodable, Reader, Writer};
 use fistful_core::snapshot::ClusterInfo;
@@ -390,6 +392,7 @@ const T_ADDRESS_INFO: u8 = 2;
 const T_CLUSTER_SUMMARY: u8 = 3;
 const T_TAINT_TRACE: u8 = 4;
 const T_BALANCE_POINT: u8 = 5;
+const T_METRICS_DUMP: u8 = 6;
 /// Response-only error type byte.
 const T_ERROR: u8 = 0xEE;
 
@@ -425,6 +428,10 @@ pub enum Request {
         /// Block height to sample at.
         height: u64,
     },
+    /// A snapshot of the server's full metric registry — the binary
+    /// scrape path, so `serve-bench` and the typed client read the same
+    /// counters the HTTP `/metrics` exporter renders, without HTTP.
+    MetricsDump,
 }
 
 impl Request {
@@ -450,6 +457,7 @@ impl Request {
                 Request::TaintTrace { loot, max_txs: r.u32()? }
             }
             T_BALANCE_POINT => Request::BalancePoint { height: r.u64()? },
+            T_METRICS_DUMP => Request::MetricsDump,
             other => return Err(ServeError::UnknownMessage(other)),
         };
         r.finish()?;
@@ -497,6 +505,7 @@ impl Encodable for Request {
                 w.u8(T_BALANCE_POINT);
                 w.u64(*height);
             }
+            Request::MetricsDump => w.u8(T_METRICS_DUMP),
         }
     }
 }
@@ -528,10 +537,16 @@ pub struct ServerStats {
     pub epoch: u64,
     /// How many artifact publishes this server has performed since start.
     pub swaps: u64,
+    /// Whole seconds since the server core was created, from the
+    /// server's monotonic clock (`0` when decoded from a v1 body).
+    pub uptime_seconds: u64,
+    /// Request frames handled since start, read from the metrics
+    /// registry's per-type counters (`0` when decoded from a v1 body).
+    pub requests_total: u64,
 }
 
 impl Encodable for ServerStats {
-    /// The full v2 body — ten fields. v1 connections get the legacy
+    /// The full v2 body — twelve fields. v1 connections get the legacy
     /// 8-field body via [`ServerStats::encode_v1`] instead; keeping the
     /// `Encodable` impl single-layout preserves the canonical-decode
     /// property (decode ok ⟹ re-encode byte-identical) the wire
@@ -547,6 +562,8 @@ impl Encodable for ServerStats {
         w.u64(self.tip_height);
         w.u64(self.epoch);
         w.u64(self.swaps);
+        w.u64(self.uptime_seconds);
+        w.u64(self.requests_total);
     }
 }
 
@@ -564,8 +581,9 @@ impl ServerStats {
         w.u64(self.tip_height);
     }
 
-    /// Reads the legacy v1 8-field body; `epoch` and `swaps` come back
-    /// zero (v1 predates the live pipeline).
+    /// Reads the legacy v1 8-field body; `epoch`, `swaps`,
+    /// `uptime_seconds`, and `requests_total` come back zero (v1
+    /// predates the live pipeline and the metrics layer).
     pub fn decode_v1(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
         Ok(ServerStats {
             requests: r.u64()?,
@@ -578,6 +596,8 @@ impl ServerStats {
             tip_height: r.u64()?,
             epoch: 0,
             swaps: 0,
+            uptime_seconds: 0,
+            requests_total: 0,
         })
     }
 }
@@ -587,7 +607,85 @@ impl Decodable for ServerStats {
         let mut stats = ServerStats::decode_v1(r)?;
         stats.epoch = r.u64()?;
         stats.swaps = r.u64()?;
+        stats.uptime_seconds = r.u64()?;
+        stats.requests_total = r.u64()?;
         Ok(stats)
+    }
+}
+
+impl Encodable for HistogramDump {
+    fn encode(&self, w: &mut Writer) {
+        w.string(&self.name);
+        w.compact_size(self.buckets.len() as u64);
+        for &b in &self.buckets {
+            w.u64(b);
+        }
+        w.u64(self.sum_micros);
+        w.u64(self.count);
+    }
+}
+
+impl Decodable for HistogramDump {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let name = r.string()?;
+        // Each bucket is exactly 8 bytes.
+        let k = r.compact_size()?;
+        if k > r.remaining() as u64 / 8 {
+            return Err(DecodeError::OversizedCount(k));
+        }
+        let mut buckets = Vec::with_capacity(k as usize);
+        for _ in 0..k {
+            buckets.push(r.u64()?);
+        }
+        Ok(HistogramDump { name, buckets, sum_micros: r.u64()?, count: r.u64()? })
+    }
+}
+
+/// Reads a `(name, value)` series list, bounding the declared count by
+/// what the remaining input could possibly hold (each entry is at least
+/// 9 bytes: an empty-string length plus a u64).
+fn decode_series(r: &mut Reader<'_>) -> Result<Vec<(String, u64)>, DecodeError> {
+    let k = r.compact_size()?;
+    if k > r.remaining() as u64 / 9 {
+        return Err(DecodeError::OversizedCount(k));
+    }
+    let mut series = Vec::with_capacity(k as usize);
+    for _ in 0..k {
+        series.push((r.string()?, r.u64()?));
+    }
+    Ok(series)
+}
+
+impl Encodable for MetricsDump {
+    fn encode(&self, w: &mut Writer) {
+        w.compact_size(self.counters.len() as u64);
+        for (name, value) in &self.counters {
+            w.string(name);
+            w.u64(*value);
+        }
+        w.compact_size(self.gauges.len() as u64);
+        for (name, value) in &self.gauges {
+            w.string(name);
+            w.u64(*value);
+        }
+        fistful_chain::encode::encode_vec(w, &self.histograms);
+    }
+}
+
+impl Decodable for MetricsDump {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let counters = decode_series(r)?;
+        let gauges = decode_series(r)?;
+        // A HistogramDump is at least 18 bytes (name + count + sum + count).
+        let k = r.compact_size()?;
+        if k > r.remaining() as u64 / 18 {
+            return Err(DecodeError::OversizedCount(k));
+        }
+        let mut histograms = Vec::with_capacity(k as usize);
+        for _ in 0..k {
+            histograms.push(HistogramDump::decode(r)?);
+        }
+        Ok(MetricsDump { counters, gauges, histograms })
     }
 }
 
@@ -879,6 +977,8 @@ pub enum Response {
     /// Answer to [`Request::BalancePoint`]; `None` when the height
     /// precedes the first sample.
     BalancePoint(Option<BalanceReport>),
+    /// Answer to [`Request::MetricsDump`]: the full metric snapshot.
+    MetricsDump(MetricsDump),
     /// The request could not be served; the connection closes after this.
     Error(WireError),
 }
@@ -912,6 +1012,7 @@ impl Response {
             T_CLUSTER_SUMMARY => Response::ClusterSummary(decode_opt(&mut r)?),
             T_TAINT_TRACE => Response::TaintTrace(TaintReport::decode(&mut r)?),
             T_BALANCE_POINT => Response::BalancePoint(decode_opt(&mut r)?),
+            T_METRICS_DUMP => Response::MetricsDump(MetricsDump::decode(&mut r)?),
             T_ERROR => {
                 let code = ErrorCode::from_byte(r.u8()?)?;
                 Response::Error(WireError { code, message: r.string()? })
@@ -988,6 +1089,10 @@ impl Encodable for Response {
                 w.u8(T_BALANCE_POINT);
                 encode_opt(w, v);
             }
+            Response::MetricsDump(d) => {
+                w.u8(T_METRICS_DUMP);
+                d.encode(w);
+            }
             Response::Error(e) => {
                 w.u8(T_ERROR);
                 w.u8(e.code as u8);
@@ -1009,6 +1114,7 @@ mod tests {
             Request::ClusterSummary { cluster: 7 },
             Request::TaintTrace { loot: vec![(3, 0), (9, 2)], max_txs: 500 },
             Request::BalancePoint { height: 1234 },
+            Request::MetricsDump,
         ]
     }
 
@@ -1033,6 +1139,8 @@ mod tests {
                 tip_height: 49,
                 epoch: 3,
                 swaps: 2,
+                uptime_seconds: 86_400,
+                requests_total: 10,
             }),
             Response::AddressInfo(None),
             Response::AddressInfo(Some(AddressReport { address: 1, cluster: 0, info: info.clone() })),
@@ -1058,6 +1166,19 @@ mod tests {
                 balances: vec![("exchange".into(), Amount::from_sat(40))],
             })),
             Response::BalancePoint(None),
+            Response::MetricsDump(MetricsDump {
+                counters: vec![
+                    ("fistful_requests_total{type=\"ping\"}".into(), 9),
+                    ("fistful_busy_sheds_total".into(), 0),
+                ],
+                gauges: vec![("fistful_connections".into(), 3)],
+                histograms: vec![HistogramDump {
+                    name: "fistful_request_latency_seconds{type=\"ping\"}".into(),
+                    buckets: vec![4, 3, 2, 0],
+                    sum_micros: 77,
+                    count: 9,
+                }],
+            }),
             Response::Error(WireError { code: ErrorCode::Malformed, message: "nope".into() }),
             Response::Error(WireError { code: ErrorCode::Busy, message: "shed".into() }),
         ]
@@ -1123,11 +1244,12 @@ mod tests {
         let v2 = resp.encode_to_vec();
         let f1 = resp.to_frame_v1();
         let v1_payload = &f1[FRAME_HEADER_LEN..];
-        // The v1 body is the v2 body minus the trailing epoch + swaps.
-        assert_eq!(v1_payload, &v2[..v2.len() - 16]);
+        // The v1 body is the v2 body minus the trailing epoch + swaps +
+        // uptime + requests_total.
+        assert_eq!(v1_payload, &v2[..v2.len() - 32]);
         // A v1 decode recovers everything except the live fields.
         let decoded = Response::decode_payload_v1(v1_payload).unwrap();
-        let expect = ServerStats { epoch: 0, swaps: 0, ..stats };
+        let expect = ServerStats { epoch: 0, swaps: 0, uptime_seconds: 0, requests_total: 0, ..stats };
         assert_eq!(decoded, Response::Stats(expect));
         // Non-stats payloads decode identically through the v1 path.
         for resp in sample_responses() {
@@ -1301,7 +1423,10 @@ mod tests {
             let payload = req.encode_to_vec();
             let cacheable = Request::type_byte_is_cacheable(payload[0]);
             match req {
-                Request::Ping | Request::Stats => assert!(!cacheable),
+                // Ping and Stats are trivial; MetricsDump must always be
+                // computed fresh (a cached scrape would freeze every
+                // counter at its insert-time value).
+                Request::Ping | Request::Stats | Request::MetricsDump => assert!(!cacheable),
                 _ => assert!(cacheable, "{req:?}"),
             }
         }

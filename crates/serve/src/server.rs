@@ -47,6 +47,7 @@
 
 use crate::cache::{CacheClass, CacheFloors, ShardedCache};
 use crate::conn::{Deadline, DeadlineVerdict, TICK};
+use crate::metrics::{kind_index, render_prometheus, MetricsDump, ServeMetrics, KIND_LABELS};
 use crate::protocol::{
     frame_at, frame_v1, parse_frame_header, AddressReport, BalanceReport, ClusterReport, Request,
     Response, ServeError, ServerStats, TaintReport, WireError, FRAME_HEADER_LEN,
@@ -62,7 +63,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long an idle worker read waits before re-checking the shutdown
 /// flag — one deadline tick ([`crate::conn::TICK`]). Bounds shutdown
@@ -168,6 +169,12 @@ pub(crate) struct Core {
     pub(crate) shutdown: AtomicBool,
     pub(crate) requests: AtomicU64,
     pub(crate) swaps: AtomicU64,
+    /// The full lock-free metric registry (see [`crate::metrics`]):
+    /// shared by the worker pool, the event loop, the live pipeline, and
+    /// both scrape paths.
+    pub(crate) metrics: ServeMetrics,
+    /// When this core was created — the server's monotonic uptime clock.
+    pub(crate) start: Instant,
 }
 
 impl Core {
@@ -190,6 +197,8 @@ impl Core {
             shutdown: AtomicBool::new(false),
             requests: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
+            metrics: ServeMetrics::new(),
+            start: Instant::now(),
         }
     }
 
@@ -213,12 +222,80 @@ impl Core {
             tip_height: published.artifacts.snapshot.tip_height(),
             epoch: published.epoch,
             swaps: self.swaps.load(Ordering::Relaxed),
+            uptime_seconds: self.start.elapsed().as_secs(),
+            requests_total: self.metrics.requests.iter().map(|c| c.get()).sum(),
         }
+    }
+
+    /// Snapshots the entire metric registry into the plain value both
+    /// scrape paths serve — the binary `MetricsDump` response encodes
+    /// exactly this, and the HTTP exporter renders exactly this, so the
+    /// two views can never disagree about a counter.
+    pub(crate) fn metrics_dump(&self) -> MetricsDump {
+        let m = &self.metrics;
+        let mut counters = Vec::new();
+        for (i, label) in KIND_LABELS.iter().enumerate() {
+            counters
+                .push((format!("fistful_requests_total{{type=\"{label}\"}}"), m.requests[i].get()));
+        }
+        counters.push(("fistful_backpressure_stalls_total".to_string(), m.backpressure_stalls.get()));
+        counters.push(("fistful_busy_sheds_total".to_string(), m.busy_sheds.get()));
+        counters
+            .push(("fistful_timer_stall_expirations_total".to_string(), m.stall_expirations.get()));
+        counters.push(("fistful_timer_idle_expirations_total".to_string(), m.idle_expirations.get()));
+        counters.push(("fistful_ingest_blocks_total".to_string(), m.ingest_blocks.get()));
+        counters.push(("fistful_swaps_total".to_string(), self.swaps.load(Ordering::Relaxed)));
+        if let Some(cache) = &self.cache {
+            for (i, s) in cache.shard_stats().iter().enumerate() {
+                counters.push((format!("fistful_cache_hits_total{{shard=\"{i}\"}}"), s.hits));
+                counters.push((format!("fistful_cache_misses_total{{shard=\"{i}\"}}"), s.misses));
+                counters
+                    .push((format!("fistful_cache_evictions_total{{shard=\"{i}\"}}"), s.evictions));
+            }
+        }
+        let gauges = vec![
+            ("fistful_inflight_requests".to_string(), m.inflight.get()),
+            ("fistful_connections".to_string(), m.connections.get()),
+            ("fistful_queue_depth".to_string(), m.queue_depth.get()),
+            ("fistful_live_epoch".to_string(), m.live_epoch.get()),
+            ("fistful_uptime_seconds".to_string(), self.start.elapsed().as_secs()),
+        ];
+        let mut histograms = Vec::with_capacity(KIND_LABELS.len() + 2);
+        for (i, label) in KIND_LABELS.iter().enumerate() {
+            histograms.push(
+                m.request_latency[i]
+                    .dump(&format!("fistful_request_latency_seconds{{type=\"{label}\"}}")),
+            );
+        }
+        histograms.push(m.dispatch_wait.dump("fistful_dispatch_wait_seconds"));
+        histograms.push(m.swap_latency.dump("fistful_swap_latency_seconds"));
+        MetricsDump { counters, gauges, histograms }
     }
 
     /// Whether shutdown has been signalled.
     pub(crate) fn shutdown_requested(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A cheap, cloneable handle onto a running server's metric registry —
+/// what the HTTP exporter ([`crate::httpexpo`]) renders from, obtainable
+/// from either serve engine
+/// ([`Server::metrics_handle`] / [`crate::event::EventServer::metrics_handle`]).
+#[derive(Clone)]
+pub struct MetricsHandle {
+    pub(crate) core: Arc<Core>,
+}
+
+impl MetricsHandle {
+    /// Snapshots every metric into a plain [`MetricsDump`].
+    pub fn dump(&self) -> MetricsDump {
+        self.core.metrics_dump()
+    }
+
+    /// Renders the Prometheus text exposition of a fresh snapshot.
+    pub fn render(&self) -> String {
+        render_prometheus(&self.dump())
     }
 }
 
@@ -262,6 +339,7 @@ impl Publisher {
         *published = Arc::new(Published { epoch, floors, artifacts });
         drop(published);
         self.core.swaps.fetch_add(1, Ordering::Relaxed);
+        self.core.metrics.live_epoch.set(epoch);
     }
 
     /// The epoch of the currently published generation.
@@ -358,6 +436,12 @@ impl Server {
         Publisher { core: Arc::clone(&self.shared.core) }
     }
 
+    /// A handle onto this server's metric registry, for the HTTP
+    /// exporter or direct in-process scraping.
+    pub fn metrics_handle(&self) -> MetricsHandle {
+        MetricsHandle { core: Arc::clone(&self.shared.core) }
+    }
+
     /// Signals shutdown, drains in-flight requests, and joins every
     /// thread. Idempotent through [`Drop`].
     pub fn shutdown(mut self) {
@@ -406,7 +490,11 @@ fn worker_loop(shared: &Shared) {
             }
         };
         match conn {
-            Some(stream) => serve_connection(stream, shared, &mut scratch),
+            Some(stream) => {
+                shared.core.metrics.connections.inc();
+                serve_connection(stream, shared, &mut scratch);
+                shared.core.metrics.connections.dec();
+            }
             None => return,
         }
     }
@@ -554,6 +642,26 @@ pub(crate) fn framing_error_frame(core: &Core, e: &ServeError, version: u8) -> V
 /// worker pool with the frame already parsed — which is what makes the
 /// two servers' byte streams identical by construction.
 pub(crate) fn process_request(
+    core: &Core,
+    payload: Vec<u8>,
+    version: u8,
+    scratch: &mut TaintScratch,
+) -> (Vec<u8>, bool) {
+    // Per-type count at entry, from the raw type byte — *before* the
+    // cache consult, so cache hits count and a scraped per-type total
+    // exactly matches what a load generator sent. Latency is observed at
+    // exit, covering cache consult / decode / handle / encode / framing.
+    let started = Instant::now();
+    let kind = kind_index(payload.first().copied().unwrap_or(u8::MAX));
+    core.metrics.requests[kind].inc();
+    core.metrics.inflight.inc();
+    let result = process_request_inner(core, payload, version, scratch);
+    core.metrics.inflight.dec();
+    core.metrics.request_latency[kind].observe(started.elapsed());
+    result
+}
+
+fn process_request_inner(
     core: &Core,
     payload: Vec<u8>,
     version: u8,
@@ -734,6 +842,11 @@ fn handle(
         Request::BalancePoint { height } => {
             Response::BalancePoint(point_at(&artifacts.balances, *height).map(BalanceReport::from))
         }
+        // The binary scrape path: the same snapshot function the HTTP
+        // exporter renders, so both report identical counter values for
+        // identical server state. Never cached (the type byte is not
+        // cacheable): a scrape must always be computed fresh.
+        Request::MetricsDump => Response::MetricsDump(core.metrics_dump()),
     };
     (response, false)
 }

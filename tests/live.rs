@@ -149,7 +149,9 @@ fn expected_payload(base: &ServeArtifacts, request: &Request) -> Vec<u8> {
         Request::BalancePoint { height } => {
             Response::BalancePoint(point_at(&base.balances, *height).map(BalanceReport::from))
         }
-        Request::Stats => unreachable!("stats are counters, not differential material"),
+        Request::Stats | Request::MetricsDump => {
+            unreachable!("stats and metrics are counters, not differential material")
+        }
     };
     response.encode_to_vec()
 }

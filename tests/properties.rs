@@ -761,6 +761,8 @@ fn serve_response_from(sel: u8, nums: &[u64], text: &str) -> fistful::serve::Res
             tip_height: n(7),
             epoch: n(8),
             swaps: n(9),
+            uptime_seconds: n(10),
+            requests_total: n(11),
         }),
         2 => Response::AddressInfo(None),
         3 => Response::AddressInfo(Some(AddressReport {
